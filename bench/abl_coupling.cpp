@@ -1,0 +1,71 @@
+// Ablation: loose (operator-split) vs tight (fully coupled) chemistry
+// integration — the paper's "stiff behaviour of the complete equation set"
+// discussion: "the species equations are often effectively uncoupled from
+// the flowfield equations and solved separately in a 'loosely' coupled
+// manner".
+//
+// Protocol: adiabatic isochoric air reactor ignited at 6000 K. The tight
+// path integrates composition and temperature together; the loose path
+// splits chemistry (frozen T) from the energy update, per step. Accuracy
+// is measured against a fine-step tight solution; cost as wall time.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "chemistry/source.hpp"
+#include "io/table.hpp"
+
+using namespace cat;
+
+int main() {
+  const auto mech = chemistry::park_air5();
+  const chemistry::IsochoricReactor reactor(mech);
+  const double rho = 0.05;
+  const double t_final = 2.0e-4;
+
+  auto initial = [&] {
+    chemistry::IsochoricReactor::State s;
+    s.y.assign(mech.n_species(), 0.0);
+    s.y[mech.species_set().local_index("N2")] = 0.767;
+    s.y[mech.species_set().local_index("O2")] = 0.233;
+    s.t = 6000.0;
+    return s;
+  };
+
+  // Reference: tight coupling in one shot (the integrator is adaptive, so
+  // this is the accuracy ceiling of the model).
+  auto ref = initial();
+  reactor.advance_coupled(ref, rho, t_final);
+
+  io::Table table(
+      "abl_coupling: operator-split vs fully coupled air reactor");
+  table.set_columns({"n_steps", "tight_err_T", "tight_ms", "split_err_T",
+                     "split_ms"});
+
+  for (std::size_t n_steps : {1, 4, 16, 64}) {
+    auto tight = initial();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < n_steps; ++k)
+      reactor.advance_coupled(tight, rho, t_final / n_steps);
+    const auto t1 = std::chrono::steady_clock::now();
+    auto split = initial();
+    for (std::size_t k = 0; k < n_steps; ++k)
+      reactor.advance_split(split, rho, t_final / n_steps);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    table.add_row(
+        {static_cast<double>(n_steps), std::fabs(tight.t - ref.t),
+         std::chrono::duration<double, std::milli>(t1 - t0).count(),
+         std::fabs(split.t - ref.t),
+         std::chrono::duration<double, std::milli>(t2 - t1).count()});
+  }
+  table.print();
+  std::printf(
+      "\nreference end state: T = %.1f K\n"
+      "reading: splitting error shrinks as the coupling step shrinks —\n"
+      "loose coupling is viable exactly when the flow step resolves the\n"
+      "thermal time scale (the paper's stiffness caveat).\n",
+      ref.t);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 5 — "Space Shuttle Orbiter Geometry" (from Ref. 20).
+//
+// Regenerates the geometry used for the windward PNS simulations: the
+// discretized Orbiter profile (windward centerline depth and planform
+// half-width vs x/L) and the equivalent axisymmetric hyperboloid at the
+// STS-3 angle of attack used by the Fig. 4/6 analyses.
+
+#include <cmath>
+#include <cstdio>
+
+#include "geometry/body.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+using namespace cat;
+
+int main() {
+  geometry::OrbiterGeometry orb;
+
+  io::Table table("Fig 5: Orbiter outline (normalized by L = 32.77 m)");
+  table.set_columns({"x_over_l", "z_windward_over_l", "half_width_over_l"});
+  for (std::size_t i = 0; i < orb.x.size(); ++i) {
+    table.add_row({orb.x[i] / orb.length, orb.z_windward[i] / orb.length,
+                   orb.half_width[i] / orb.length});
+  }
+  table.print();
+  io::write_csv(table, "fig5_orbiter_outline.csv");
+
+  const double alpha = 40.0 * M_PI / 180.0;
+  const geometry::Hyperboloid eqv = orb.equivalent_hyperboloid(alpha);
+  io::Table hyp(
+      "Equivalent axisymmetric hyperboloid at alpha = 40 deg (x, r) [m]");
+  hyp.set_columns({"s_m", "x_m", "r_m", "theta_deg"});
+  for (int k = 0; k <= 24; ++k) {
+    const double s =
+        eqv.total_arc_length() * static_cast<double>(k) / 24.0;
+    const auto p = eqv.at(std::max(s, 1e-6));
+    hyp.add_row({p.s, p.x, p.r, p.theta * 180.0 / M_PI});
+  }
+  hyp.print();
+  io::write_csv(hyp, "fig5_equivalent_hyperboloid.csv");
+
+  std::printf(
+      "\nnose radius = %.2f m, asymptotic half angle = %.1f deg "
+      "(windward-plane equivalent body)\n",
+      eqv.nose_radius(), std::atan(std::tan(alpha - 0.02)) * 180.0 / M_PI);
+  return 0;
+}

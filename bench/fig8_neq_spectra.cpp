@@ -1,0 +1,95 @@
+// Fig. 8 — "Comparison of Computed and Measured Spectra for Nonequilibrium
+// Air" (from Ref. 22/23, Park's NEQAIR validation).
+//
+// The nonequilibrium emission spectrum of the shocked gas (from the Fig. 7
+// relaxation solution, sampled in the radiating zone) is compared with a
+// "measured" spectrum. Substitution (DESIGN.md): the AVCO shock-tube trace
+// is not available; the measured reference is the band model evaluated at
+// the near-equilibrium endpoint with deterministic instrument-like noise.
+// The comparison the figure makes — band positions (N2+(1-), N2(1+/2+),
+// atomic N/O lines) and relative strengths — is preserved.
+
+#include <cstdio>
+
+#include "chemistry/reaction.hpp"
+#include "gas/constants.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "radiation/spectra.hpp"
+#include "solvers/relax1d/relax1d.hpp"
+
+using namespace cat;
+
+namespace {
+std::vector<double> number_densities(const chemistry::Mechanism& mech,
+                                     const solvers::RelaxationProfile& prof,
+                                     std::size_t k) {
+  const std::size_t ns = mech.n_species();
+  std::vector<double> nd(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    nd[s] = prof.rho[k] * prof.y[s][k] /
+            mech.species_set().species(s).molar_mass *
+            gas::constants::kAvogadro;
+  }
+  return nd;
+}
+}  // namespace
+
+int main() {
+  const auto mech = chemistry::park_air11();
+  solvers::Relax1dOptions opt;
+  opt.x_max = 0.5;
+  opt.n_samples = 160;
+  solvers::PostShockRelaxation solver(mech, opt);
+  const solvers::ShockTubeFreestream fs{13.0, 300.0, 10000.0};
+  std::vector<double> y1(mech.n_species(), 0.0);
+  y1[mech.species_set().local_index("N2")] = 0.767;
+  y1[mech.species_set().local_index("O2")] = 0.233;
+  const auto prof = solver.solve(fs, y1);
+
+  // Sample the nonequilibrium radiating zone: where Tv is near its peak.
+  std::size_t k_neq = 0;
+  double tv_max = 0.0;
+  for (std::size_t k = 0; k < prof.size(); ++k) {
+    if (prof.tv[k] > tv_max) {
+      tv_max = prof.tv[k];
+      k_neq = k;
+    }
+  }
+  const std::size_t k_eq = prof.size() - 1;  // near-equilibrium endpoint
+
+  radiation::SpectralGrid grid(0.2e-6, 1.0e-6, 320);
+  radiation::RadiationModel model(mech.species_set());
+  const double depth = 0.05;  // shock-tube optical path [m]
+
+  const auto nd_neq = number_densities(mech, prof, k_neq);
+  const auto nd_eq = number_densities(mech, prof, k_eq);
+  const auto computed = radiation::slab_radiance(
+      model, mech.species_set(), grid, nd_neq, prof.t[k_neq],
+      prof.tv[k_neq], depth);
+  const auto measured = radiation::synthetic_measured_spectrum(
+      model, mech.species_set(), grid, nd_eq, prof.t[k_eq], depth);
+
+  io::Table table(
+      "Fig 8: emission spectra, W/(cm^2 sr um) vs wavelength (um)");
+  table.set_columns({"lambda_um", "I_nonequilibrium", "I_measured"});
+  for (std::size_t k = 0; k < grid.size(); k += 2) {
+    // W/(m^2 sr m) -> W/(cm^2 sr um): 1e-4 (area) * 1e-6 (per meter->um)
+    table.add_row({computed.lambda[k] * 1e6,
+                   computed.intensity[k] * 1e-10,
+                   measured.intensity[k] * 1e-10});
+  }
+  table.print();
+  io::write_csv(table, "fig8_neq_spectra.csv");
+
+  std::printf(
+      "\nnonequilibrium zone: x = %.2e m, T = %.0f K, Tv = %.0f K\n"
+      "equilibrium endpoint: T = %.0f K\n"
+      "log-spectral correlation (computed vs measured) = %.3f\n"
+      "(paper shape: N2+(1-) + N2(2+) bands in the UV-violet, N2(1+) and\n"
+      " atomic N/O lines in the red/near-IR; good agreement validates the\n"
+      " two-temperature + QSS-class radiation analysis)\n",
+      prof.x[k_neq], prof.t[k_neq], prof.tv[k_neq], prof.t[k_eq],
+      radiation::spectral_correlation(computed, measured));
+  return 0;
+}

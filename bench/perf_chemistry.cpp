@@ -1,0 +1,40 @@
+// Performance: finite-rate source-term evaluation throughput — the kernel
+// that dominates "fully coupled" nonequilibrium CFD (paper: the stiff
+// species equations nearly triple the system size).
+
+#include <benchmark/benchmark.h>
+
+#include "chemistry/reaction.hpp"
+
+using namespace cat;
+
+namespace {
+
+void bench_production_rates(benchmark::State& state,
+                            chemistry::Mechanism (*factory)()) {
+  const auto mech = factory();
+  const std::size_t ns = mech.n_species();
+  std::vector<double> y(ns, 0.0);
+  y[mech.species_set().local_index("N2")] = 0.60;
+  y[mech.species_set().local_index("O2")] = 0.10;
+  y[mech.species_set().local_index("N")] = 0.15;
+  y[mech.species_set().local_index("O")] = 0.14;
+  y[mech.species_set().local_index("NO")] = 0.01;
+  std::vector<double> wdot(ns);
+  const double rho = 0.02, t = 8000.0, tv = 6000.0;
+  for (auto _ : state) {
+    mech.mass_production_rates(rho, y, t, tv, wdot);
+    benchmark::DoNotOptimize(wdot.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void air5(benchmark::State& s) { bench_production_rates(s, chemistry::park_air5); }
+void air9(benchmark::State& s) { bench_production_rates(s, chemistry::park_air9); }
+void air11(benchmark::State& s) { bench_production_rates(s, chemistry::park_air11); }
+
+}  // namespace
+
+BENCHMARK(air5);
+BENCHMARK(air9);
+BENCHMARK(air11);

@@ -1,0 +1,55 @@
+// Performance: HLLE+MUSCL residual assembly (the FV solver inner loop),
+// ideal vs tabulated-equilibrium EOS — the per-iteration cost of adding
+// real-gas physics to the shock-capturing core.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "geometry/body.hpp"
+#include "solvers/euler/euler.hpp"
+
+using namespace cat;
+
+namespace {
+
+grid::StructuredGrid make_grid() {
+  static geometry::Sphere body(0.1524);
+  return grid::make_normal_grid(
+      body, body.total_arc_length(), 32, 32,
+      [](double s) { return 0.1524 * (0.3 + 0.4 * s * s); }, 1.3);
+}
+
+void euler_iteration_ideal(benchmark::State& state) {
+  auto g = make_grid();
+  auto gas =
+      std::make_shared<core::IdealGasModel>(gas::IdealGas(1.4, 287.053));
+  solvers::FvOptions opt;
+  opt.startup_iters = 0;
+  solvers::EulerSolver solver(g, gas, opt);
+  solver.initialize({0.0889, 5901.0, 0.0, 5474.9});
+  for (auto _ : state) {
+    solver.advance(1);
+    benchmark::DoNotOptimize(solver.residual());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32);
+}
+
+void euler_iteration_equilibrium(benchmark::State& state) {
+  auto g = make_grid();
+  static auto gas = core::make_equilibrium_air_model(0.0889, 216.65, 5901.0);
+  solvers::FvOptions opt;
+  opt.startup_iters = 0;
+  solvers::EulerSolver solver(g, gas, opt);
+  solver.initialize({0.0889, 5901.0, 0.0, 5474.9});
+  for (auto _ : state) {
+    solver.advance(1);
+    benchmark::DoNotOptimize(solver.residual());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32);
+}
+
+}  // namespace
+
+BENCHMARK(euler_iteration_ideal)->Unit(benchmark::kMillisecond);
+BENCHMARK(euler_iteration_equilibrium)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,49 @@
+// Performance: spectral emission + tangent-slab transport — the paper
+// calls radiation "one of the most costly parts of the solution process".
+
+#include <benchmark/benchmark.h>
+
+#include "gas/constants.hpp"
+#include "radiation/tangent_slab.hpp"
+
+using namespace cat;
+
+namespace {
+
+void emission_spectrum(benchmark::State& state) {
+  const auto set = gas::make_air11();
+  radiation::RadiationModel model(set);
+  radiation::SpectralGrid grid(0.2e-6, 1.0e-6,
+                               static_cast<std::size_t>(state.range(0)));
+  std::vector<double> nd(set.size(), 1e20);
+  std::vector<double> j(grid.size());
+  for (auto _ : state) {
+    model.emission(nd, 10000.0, 9000.0, grid, j);
+    benchmark::DoNotOptimize(j.data());
+  }
+}
+
+void tangent_slab(benchmark::State& state) {
+  const auto set = gas::make_air11();
+  radiation::RadiationModel model(set);
+  radiation::SpectralGrid grid(0.2e-6, 1.0e-6, 160);
+  std::vector<double> nd(set.size(), 1e21);
+  const std::size_t n_layers = static_cast<std::size_t>(state.range(0));
+  std::vector<radiation::SlabLayer> layers(n_layers);
+  for (auto& layer : layers) {
+    layer.thickness = 0.05 / static_cast<double>(n_layers);
+    layer.j.resize(grid.size());
+    layer.kappa.resize(grid.size());
+    model.emission(nd, 9000.0, 9000.0, grid, layer.j);
+    model.absorption(layer.j, 9000.0, grid, layer.kappa);
+  }
+  for (auto _ : state) {
+    const auto r = radiation::solve_tangent_slab(grid, layers);
+    benchmark::DoNotOptimize(r.q_wall);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(emission_spectrum)->Arg(160)->Arg(640);
+BENCHMARK(tangent_slab)->Arg(10)->Arg(40);

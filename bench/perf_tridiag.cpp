@@ -1,0 +1,46 @@
+// Performance: tridiagonal sweeps — the implicit kernel of every marching
+// solver (VSL/PNS/BL normal-direction solves).
+
+#include <benchmark/benchmark.h>
+
+#include "numerics/tridiag.hpp"
+
+using namespace cat::numerics;
+
+namespace {
+
+void scalar_thomas(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, -1.0), b(n, 2.5), c(n, -1.0), d(n, 1.0);
+  for (auto _ : state) {
+    auto x = solve_tridiagonal(a, b, c, d);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void block_thomas(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 4;  // 4x4 blocks: the FV conservative set
+  for (auto _ : state) {
+    state.PauseTiming();
+    BlockTridiagonal sys(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < m; ++k) {
+        sys.diag(i)(k, k) = 4.0;
+        sys.lower(i)(k, k) = -1.0;
+        sys.upper(i)(k, k) = -1.0;
+        sys.rhs(i)[k] = 1.0;
+      }
+    }
+    state.ResumeTiming();
+    auto x = sys.solve();
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+}  // namespace
+
+BENCHMARK(scalar_thomas)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(block_thomas)->Arg(64)->Arg(256);

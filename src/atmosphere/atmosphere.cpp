@@ -1,0 +1,116 @@
+#include "atmosphere/atmosphere.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+
+namespace cat::atmosphere {
+
+namespace {
+constexpr double kAirR = 287.053;     // [J/(kg K)]
+constexpr double kAirGamma = 1.4;
+constexpr double kEarthG = 9.80665;
+
+/// USSA-1976 layer bases: altitude [m], lapse rate [K/m].
+struct Layer {
+  double z_base, lapse;
+};
+constexpr std::array<Layer, 7> kLayers{{{0.0, -6.5e-3},
+                                        {11000.0, 0.0},
+                                        {20000.0, 1.0e-3},
+                                        {32000.0, 2.8e-3},
+                                        {47000.0, 0.0},
+                                        {51000.0, -2.8e-3},
+                                        {71000.0, -2.0e-3}}};
+constexpr double kZTop = 86000.0;
+}  // namespace
+
+AtmoState EarthAtmosphere::at(double z) const {
+  CAT_REQUIRE(z >= -500.0 && z <= 200000.0, "altitude outside model range");
+  double t = 288.15, p = 101325.0, zb = 0.0;
+  for (std::size_t i = 0; i < kLayers.size(); ++i) {
+    const double z_next =
+        (i + 1 < kLayers.size()) ? kLayers[i + 1].z_base : kZTop;
+    const double dz = std::min(z, z_next) - zb;
+    const double lapse = kLayers[i].lapse;
+    if (dz > 0.0) {
+      if (std::fabs(lapse) < 1e-12) {
+        p *= std::exp(-kEarthG * dz / (kAirR * t));
+      } else {
+        const double t_new = t + lapse * dz;
+        p *= std::pow(t_new / t, -kEarthG / (kAirR * lapse));
+        t = t_new;
+      }
+      zb += dz;
+    }
+    if (z <= z_next) break;
+  }
+  if (z > kZTop) {
+    // Exponential tail with slowly growing temperature (thermosphere floor).
+    const double h = kAirR * t / kEarthG;
+    p *= std::exp(-(z - kZTop) / h);
+    t = t + 2.0e-3 * (z - kZTop);  // mild thermospheric warming
+  }
+  AtmoState s;
+  s.temperature = t;
+  s.pressure = p;
+  s.density = p / (kAirR * t);
+  s.sound_speed = std::sqrt(kAirGamma * kAirR * t);
+  return s;
+}
+
+double EarthAtmosphere::scale_height(double z) const {
+  const AtmoState s = at(z);
+  return kAirR * s.temperature / kEarthG;
+}
+
+AtmoState TitanAtmosphere::at(double z) const {
+  CAT_REQUIRE(z >= 0.0 && z <= 1200000.0, "altitude outside Titan model");
+  // Engineering fit: surface 94 K / 1.5 bar; temperature rises through the
+  // stratosphere to ~170 K near 200 km, then isothermal.
+  const double t = z < 40000.0
+                       ? 94.0 + (130.0 - 94.0) * z / 40000.0
+                       : (z < 200000.0
+                              ? 130.0 + (170.0 - 130.0) * (z - 40000.0) /
+                                    160000.0
+                              : 170.0);
+  // Mean molar mass of the N2/CH4 mixture.
+  const double mbar = kMoleFractionN2 * 28.0134e-3 +
+                      kMoleFractionCH4 * 16.0425e-3;
+  const double r_gas = gas::constants::kRu / mbar;
+  // Integrate hydrostatic equilibrium in closed form over 1 km slabs
+  // (temperature varies slowly; slab-wise isothermal is accurate).
+  double p = 1.5e5, z_cur = 0.0, t_cur = 94.0;
+  const double g = gas::constants::kTitanG0;
+  while (z_cur < z) {
+    const double dz = std::min(1000.0, z - z_cur);
+    const double z_mid = z_cur + 0.5 * dz;
+    const double t_mid =
+        z_mid < 40000.0
+            ? 94.0 + 36.0 * z_mid / 40000.0
+            : (z_mid < 200000.0 ? 130.0 + 40.0 * (z_mid - 40000.0) / 160000.0
+                                : 170.0);
+    p *= std::exp(-g * dz / (r_gas * t_mid));
+    z_cur += dz;
+    t_cur = t_mid;
+  }
+  (void)t_cur;
+  AtmoState s;
+  s.temperature = t;
+  s.pressure = p;
+  s.density = p / (r_gas * t);
+  s.sound_speed = std::sqrt(1.4 * r_gas * t);
+  return s;
+}
+
+double TitanAtmosphere::scale_height(double z) const {
+  const AtmoState s = at(z);
+  const double mbar =
+      kMoleFractionN2 * 28.0134e-3 + kMoleFractionCH4 * 16.0425e-3;
+  return gas::constants::kRu / mbar * s.temperature /
+         gas::constants::kTitanG0;
+}
+
+}  // namespace cat::atmosphere

@@ -1,0 +1,57 @@
+#pragma once
+/// \file atmosphere.hpp
+/// Planetary atmosphere models providing freestream states along entry
+/// trajectories (Fig. 1 flight domain, Fig. 2 Titan heating pulse).
+///
+/// Earth: US Standard Atmosphere 1976, implemented from its piecewise
+/// linear-temperature layers up to 86 km and an exponential extension for
+/// the high-altitude hypersonic regime the paper targets.
+/// Titan: isothermal scale-height model of the lower/middle atmosphere
+/// (N2/CH4, Yelle-type engineering fit) for the Ref. 15 probe scenario.
+
+#include <string>
+
+namespace cat::atmosphere {
+
+/// Point state returned by an atmosphere query.
+struct AtmoState {
+  double temperature;  ///< [K]
+  double pressure;     ///< [Pa]
+  double density;      ///< [kg/m^3]
+  double sound_speed;  ///< [m/s] (frozen, cold composition)
+};
+
+/// Abstract planetary atmosphere.
+class Atmosphere {
+ public:
+  virtual ~Atmosphere() = default;
+  virtual AtmoState at(double altitude) const = 0;  ///< altitude [m]
+  virtual double scale_height(double altitude) const = 0;  ///< [m]
+  virtual std::string name() const = 0;
+};
+
+/// US Standard Atmosphere 1976 (0-86 km layers + exponential tail to
+/// ~120 km, adequate for the continuum regimes the paper covers).
+class EarthAtmosphere final : public Atmosphere {
+ public:
+  AtmoState at(double altitude) const override;
+  double scale_height(double altitude) const override;
+  std::string name() const override { return "Earth-USSA1976"; }
+};
+
+/// Titan engineering atmosphere: N2 with ~5% CH4, surface T ~ 94 K,
+/// stratospheric T ~ 170 K; exponential pressure profile with altitude-
+/// dependent scale height fit to Voyager-era profiles (the design data of
+/// Ref. 15's probe study).
+class TitanAtmosphere final : public Atmosphere {
+ public:
+  AtmoState at(double altitude) const override;
+  double scale_height(double altitude) const override;
+  std::string name() const override { return "Titan-engineering"; }
+
+  /// Cold-composition mole fractions used with the Titan SpeciesSet.
+  static constexpr double kMoleFractionN2 = 0.95;
+  static constexpr double kMoleFractionCH4 = 0.05;
+};
+
+}  // namespace cat::atmosphere

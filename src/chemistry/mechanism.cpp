@@ -1,0 +1,163 @@
+#include <utility>
+
+#include "chemistry/reaction.hpp"
+#include "core/error.hpp"
+
+namespace cat::chemistry {
+
+namespace {
+
+/// cm^3/(mol s) -> m^3/(mol s) for second-order rate constants.
+constexpr double kCgsToSi = 1.0e-6;
+
+struct Builder {
+  gas::SpeciesSet set;
+
+  std::size_t idx(const char* name) const { return set.local_index(name); }
+
+  /// Third-body efficiencies: atoms (and atomic ions) are roughly an order
+  /// of magnitude more effective dissociation partners; free electrons are
+  /// excluded from the heavy-particle third-body sum.
+  std::vector<double> efficiencies(double atom_eff,
+                                   double base = 1.0) const {
+    std::vector<double> eff(set.size(), base);
+    for (std::size_t s = 0; s < set.size(); ++s) {
+      const gas::Species& sp = set.species(s);
+      if (sp.is_electron()) {
+        eff[s] = 0.0;
+      } else if (sp.rotor == gas::RotorType::kAtom) {
+        eff[s] = atom_eff;
+      }
+    }
+    return eff;
+  }
+
+  Reaction dissociation(const char* label, const char* ab, const char* a,
+                        const char* b, double a_cgs, double n, double theta,
+                        double atom_eff) const {
+    Reaction r;
+    r.label = label;
+    r.type = ReactionType::kDissociation;
+    r.reactants = {{idx(ab), 1}};
+    if (std::string(a) == b) {
+      r.products = {{idx(a), 2}};
+    } else {
+      r.products = {{idx(a), 1}, {idx(b), 1}};
+    }
+    r.has_third_body = true;
+    r.third_body_efficiency = efficiencies(atom_eff);
+    r.arrhenius_a = a_cgs * kCgsToSi;
+    r.arrhenius_n = n;
+    r.theta = theta;
+    return r;
+  }
+
+  Reaction exchange(const char* label, const char* r1, const char* r2,
+                    const char* p1, const char* p2, double a_cgs, double n,
+                    double theta) const {
+    Reaction r;
+    r.label = label;
+    r.type = ReactionType::kExchange;
+    r.reactants = {{idx(r1), 1}, {idx(r2), 1}};
+    r.products = {{idx(p1), 1}, {idx(p2), 1}};
+    r.arrhenius_a = a_cgs * kCgsToSi;
+    r.arrhenius_n = n;
+    r.theta = theta;
+    return r;
+  }
+
+  Reaction assoc_ion(const char* label, const char* a1, const char* a2,
+                     const char* ion, double a_cgs, double n,
+                     double theta) const {
+    Reaction r;
+    r.label = label;
+    r.type = ReactionType::kAssociativeIonization;
+    if (std::string(a1) == a2) {
+      r.reactants = {{idx(a1), 2}};
+    } else {
+      r.reactants = {{idx(a1), 1}, {idx(a2), 1}};
+    }
+    r.products = {{idx(ion), 1}, {idx("e-"), 1}};
+    r.arrhenius_a = a_cgs * kCgsToSi;
+    r.arrhenius_n = n;
+    r.theta = theta;
+    return r;
+  }
+
+  Reaction electron_impact(const char* label, const char* atom_name,
+                           const char* ion, double a_cgs, double n,
+                           double theta) const {
+    Reaction r;
+    r.label = label;
+    r.type = ReactionType::kElectronImpact;
+    r.reactants = {{idx(atom_name), 1}, {idx("e-"), 1}};
+    r.products = {{idx(ion), 1}, {idx("e-"), 2}};
+    r.arrhenius_a = a_cgs * kCgsToSi;
+    r.arrhenius_n = n;
+    r.theta = theta;
+    return r;
+  }
+};
+
+std::vector<Reaction> neutral_air_reactions(const Builder& b) {
+  return {
+      // Park-type dissociation set (A in cm^3/mol/s).
+      b.dissociation("N2+M<=>2N+M", "N2", "N", "N", 7.0e21, -1.6, 113200.0,
+                     30.0e21 / 7.0e21),
+      b.dissociation("O2+M<=>2O+M", "O2", "O", "O", 2.0e21, -1.5, 59500.0,
+                     10.0e21 / 2.0e21),
+      b.dissociation("NO+M<=>N+O+M", "NO", "N", "O", 5.0e15, 0.0, 75500.0,
+                     22.0),
+      // Zeldovich exchanges.
+      b.exchange("N2+O<=>NO+N", "N2", "O", "NO", "N", 6.4e17, -1.0, 38400.0),
+      b.exchange("NO+O<=>O2+N", "NO", "O", "O2", "N", 8.4e12, 0.0, 19450.0),
+  };
+}
+
+}  // namespace
+
+Mechanism park_air5() {
+  Builder b{gas::make_air5()};
+  // Build the reactions before handing the set to the Mechanism: braced
+  // constructor arguments evaluate left-to-right, so inlining
+  // neutral_air_reactions(b) after std::move(b.set) would read a
+  // moved-from set.
+  std::vector<Reaction> rx = neutral_air_reactions(b);
+  return {std::move(b.set), std::move(rx)};
+}
+
+Mechanism park_air9() {
+  Builder b{gas::make_air9()};
+  std::vector<Reaction> rx = neutral_air_reactions(b);
+  rx.push_back(b.assoc_ion("N+O<=>NO++e-", "N", "O", "NO+", 8.8e8, 1.0,
+                           31900.0));
+  rx.push_back(b.electron_impact("N+e-<=>N++2e-", "N", "N+", 2.5e34, -3.82,
+                                 168600.0));
+  rx.push_back(b.electron_impact("O+e-<=>O++2e-", "O", "O+", 3.9e33, -3.78,
+                                 158500.0));
+  rx.push_back(b.exchange("NO++O<=>N++O2", "NO+", "O", "N+", "O2", 1.0e12,
+                          0.5, 77200.0));
+  return {std::move(b.set), std::move(rx)};
+}
+
+Mechanism park_air11() {
+  Builder b{gas::make_air11()};
+  std::vector<Reaction> rx = neutral_air_reactions(b);
+  rx.push_back(b.assoc_ion("N+O<=>NO++e-", "N", "O", "NO+", 8.8e8, 1.0,
+                           31900.0));
+  rx.push_back(b.assoc_ion("O+O<=>O2++e-", "O", "O", "O2+", 7.1e2, 2.7,
+                           80600.0));
+  rx.push_back(b.assoc_ion("N+N<=>N2++e-", "N", "N", "N2+", 4.4e7, 1.5,
+                           67500.0));
+  rx.push_back(b.electron_impact("N+e-<=>N++2e-", "N", "N+", 2.5e34, -3.82,
+                                 168600.0));
+  rx.push_back(b.electron_impact("O+e-<=>O++2e-", "O", "O+", 3.9e33, -3.78,
+                                 158500.0));
+  rx.push_back(b.exchange("NO++O<=>N++O2", "NO+", "O", "N+", "O2", 1.0e12,
+                          0.5, 77200.0));
+  rx.push_back(b.exchange("O++N2<=>N2++O", "O+", "N2", "N2+", "O", 9.1e11,
+                          0.36, 22800.0));
+  return {std::move(b.set), std::move(rx)};
+}
+
+}  // namespace cat::chemistry

@@ -1,0 +1,164 @@
+#include "chemistry/reaction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+#include "gas/thermo.hpp"
+
+namespace cat::chemistry {
+
+using gas::constants::kPressureRef;
+using gas::constants::kRu;
+
+int Reaction::delta_nu() const {
+  int d = 0;
+  for (const auto& s : products) d += s.nu;
+  for (const auto& s : reactants) d -= s.nu;
+  return d;
+}
+
+Mechanism::Mechanism(gas::SpeciesSet set, std::vector<Reaction> reactions)
+    : set_(std::move(set)), mix_(set_), reactions_(std::move(reactions)) {
+  for (const auto& r : reactions_) {
+    for (const auto& st : r.reactants)
+      CAT_REQUIRE(st.species < set_.size() && st.nu > 0, "bad reactant");
+    for (const auto& st : r.products)
+      CAT_REQUIRE(st.species < set_.size() && st.nu > 0, "bad product");
+    if (r.has_third_body)
+      CAT_REQUIRE(r.third_body_efficiency.size() == set_.size(),
+                  "third-body efficiency size mismatch");
+    CAT_REQUIRE(r.arrhenius_a > 0.0, "non-positive pre-exponential");
+    // Element balance check: production must conserve every element.
+    std::array<int, gas::kNumElements> bal{};
+    for (const auto& st : r.reactants)
+      for (std::size_t e = 0; e < gas::kNumElements; ++e)
+        bal[e] -= st.nu * set_.species(st.species).composition[e];
+    for (const auto& st : r.products)
+      for (std::size_t e = 0; e < gas::kNumElements; ++e)
+        bal[e] += st.nu * set_.species(st.species).composition[e];
+    for (std::size_t e = 0; e < gas::kNumElements; ++e)
+      CAT_REQUIRE(bal[e] == 0, "reaction does not conserve elements: " + r.label);
+  }
+}
+
+double Mechanism::forward_rate(std::size_t r, double t, double tv) const {
+  const Reaction& rx = reactions_[r];
+  double tc = t;
+  switch (rx.type) {
+    case ReactionType::kDissociation:
+      tc = std::sqrt(t * tv);  // Park's geometric-mean controlling T
+      break;
+    case ReactionType::kElectronImpact:
+      tc = tv;
+      break;
+    case ReactionType::kExchange:
+    case ReactionType::kAssociativeIonization:
+      tc = t;
+      break;
+  }
+  tc = std::max(tc, 50.0);
+  return rx.arrhenius_a * std::pow(tc, rx.arrhenius_n) *
+         std::exp(-rx.theta / tc);
+}
+
+double Mechanism::equilibrium_constant(std::size_t r, double t) const {
+  const Reaction& rx = reactions_[r];
+  double dg = 0.0;
+  for (const auto& st : rx.products)
+    dg += st.nu * gas::gibbs_mole(set_.species(st.species), t, kPressureRef);
+  for (const auto& st : rx.reactants)
+    dg -= st.nu * gas::gibbs_mole(set_.species(st.species), t, kPressureRef);
+  const double kp = std::exp(std::clamp(-dg / (kRu * t), -300.0, 300.0));
+  // K_c = K_p (p_ref / Ru T)^dnu with concentrations in mol/m^3.
+  return kp * std::pow(kPressureRef / (kRu * t), rx.delta_nu());
+}
+
+double Mechanism::backward_rate(std::size_t r, double t, double tv) const {
+  // Detailed balance at the controlling temperature of the reverse path.
+  // Reverse of electron-impact ionization (three-body recombination) is
+  // electron-driven -> evaluate K_c at Tv; all others at T.
+  const Reaction& rx = reactions_[r];
+  const double tb =
+      rx.type == ReactionType::kElectronImpact ? std::max(tv, 50.0) : t;
+  const double kf_at_tb = [&] {
+    // k_f at the backward controlling temperature (not the mixed forward
+    // controlling temperature) so that kf/kb = K_c holds exactly at
+    // thermal equilibrium.
+    return rx.arrhenius_a * std::pow(std::max(tb, 50.0), rx.arrhenius_n) *
+           std::exp(-rx.theta / std::max(tb, 50.0));
+  }();
+  const double kc = equilibrium_constant(r, tb);
+  if (kc <= 0.0) return 0.0;
+  return kf_at_tb / kc;
+}
+
+void Mechanism::production_rates(std::span<const double> c, double t,
+                                 double tv, std::span<double> wdot) const {
+  CAT_REQUIRE(c.size() == n_species() && wdot.size() == n_species(),
+              "size mismatch");
+  std::fill(wdot.begin(), wdot.end(), 0.0);
+  for (std::size_t r = 0; r < reactions_.size(); ++r) {
+    const Reaction& rx = reactions_[r];
+    const double kf = forward_rate(r, t, tv);
+    const double kb = backward_rate(r, t, tv);
+
+    double fwd = kf, bwd = kb;
+    for (const auto& st : rx.reactants)
+      for (int k = 0; k < st.nu; ++k) fwd *= std::max(c[st.species], 0.0);
+    for (const auto& st : rx.products)
+      for (int k = 0; k < st.nu; ++k) bwd *= std::max(c[st.species], 0.0);
+
+    double rate = fwd - bwd;
+    if (rx.has_third_body) {
+      double cm = 0.0;
+      for (std::size_t s = 0; s < n_species(); ++s)
+        cm += rx.third_body_efficiency[s] * std::max(c[s], 0.0);
+      rate *= cm;
+    }
+    for (const auto& st : rx.reactants) wdot[st.species] -= st.nu * rate;
+    for (const auto& st : rx.products) wdot[st.species] += st.nu * rate;
+  }
+}
+
+void Mechanism::mass_production_rates(double rho, std::span<const double> y,
+                                      double t, double tv,
+                                      std::span<double> wdot_mass) const {
+  std::vector<double> c(n_species());
+  for (std::size_t s = 0; s < n_species(); ++s)
+    c[s] = rho * y[s] / set_.species(s).molar_mass;
+  std::vector<double> wdot(n_species());
+  production_rates(c, t, tv, wdot);
+  for (std::size_t s = 0; s < n_species(); ++s)
+    wdot_mass[s] = wdot[s] * set_.species(s).molar_mass;
+}
+
+double Mechanism::chemistry_vibronic_source(std::span<const double> c,
+                                            double t, double tv) const {
+  std::vector<double> wdot(n_species());
+  production_rates(c, t, tv, wdot);
+  double q = 0.0;
+  for (std::size_t s = 0; s < n_species(); ++s) {
+    const gas::Species& sp = set_.species(s);
+    if (!sp.is_molecule()) continue;
+    // Molecules appear/disappear carrying the prevailing vibronic energy.
+    q += wdot[s] * gas::vibronic_energy_mole(sp, tv);
+  }
+  return q;
+}
+
+double Mechanism::chemical_time_scale(std::span<const double> c, double t,
+                                      double tv) const {
+  std::vector<double> wdot(n_species());
+  production_rates(c, t, tv, wdot);
+  double tau = 1e30;
+  for (std::size_t s = 0; s < n_species(); ++s) {
+    if (std::fabs(wdot[s]) < 1e-300) continue;
+    const double cs = std::max(c[s], 1e-12);
+    tau = std::min(tau, cs / std::fabs(wdot[s]));
+  }
+  return tau;
+}
+
+}  // namespace cat::chemistry

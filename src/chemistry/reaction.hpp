@@ -1,0 +1,120 @@
+#pragma once
+/// \file reaction.hpp
+/// Elementary reactions and the finite-rate mechanism evaluator.
+///
+/// Forward rates are modified-Arrhenius k_f = A T_c^n exp(-theta/T_c) where
+/// the controlling temperature T_c depends on the reaction class (Park's
+/// two-temperature prescription: dissociation is driven by sqrt(T*Tv),
+/// electron-impact processes by the electron temperature Tv, everything
+/// else by T). Backward rates come from detailed balance through the RRHO
+/// Gibbs energies, guaranteeing that the kinetics relax to exactly the
+/// composition the equilibrium solver would produce — the consistency the
+/// paper demands between chemistry modeling and flowfield coupling.
+
+#include <string>
+#include <vector>
+
+#include "gas/mixture.hpp"
+#include "gas/species.hpp"
+
+namespace cat::chemistry {
+
+/// Reaction classes determining the controlling temperature.
+enum class ReactionType {
+  kDissociation,          ///< AB + M -> A + B + M      (T_c = sqrt(T Tv))
+  kExchange,              ///< AB + C -> AC + B         (T_c = T)
+  kAssociativeIonization, ///< A + B -> AB+ + e-        (T_c = T)
+  kElectronImpact,        ///< A + e- -> A+ + 2e-       (T_c = Tv)
+};
+
+/// Stoichiometric participant: local species index and integer coefficient.
+struct Stoich {
+  std::size_t species;
+  int nu;
+};
+
+/// One elementary reaction (optionally with a generic third body M).
+struct Reaction {
+  std::string label;
+  ReactionType type = ReactionType::kExchange;
+  std::vector<Stoich> reactants;  ///< nu > 0
+  std::vector<Stoich> products;   ///< nu > 0
+  bool has_third_body = false;
+  /// Third-body efficiency per local species (size = n_species when
+  /// has_third_body; empty otherwise). Dissociation by atomic partners is
+  /// typically an order of magnitude more effective.
+  std::vector<double> third_body_efficiency;
+
+  /// Arrhenius parameters in SI mole units: A [m^3/(mol s)] per reaction
+  /// order, temperature exponent n, activation temperature theta [K].
+  double arrhenius_a = 0.0;
+  double arrhenius_n = 0.0;
+  double theta = 0.0;  ///< activation temperature E_a/k [K]
+
+  int delta_nu() const;  ///< mole change products - reactants
+};
+
+/// A reacting mechanism bound to a SpeciesSet.
+class Mechanism {
+ public:
+  Mechanism(gas::SpeciesSet set, std::vector<Reaction> reactions);
+
+  const gas::SpeciesSet& species_set() const { return set_; }
+  const gas::Mixture& mixture() const { return mix_; }
+  std::span<const Reaction> reactions() const { return reactions_; }
+  std::size_t n_species() const { return set_.size(); }
+  std::size_t n_reactions() const { return reactions_.size(); }
+
+  /// Forward rate coefficient of reaction r at heavy-particle temperature t
+  /// and vibronic temperature tv.
+  double forward_rate(std::size_t r, double t, double tv) const;
+
+  /// Concentration-based equilibrium constant of reaction r at temperature
+  /// t: K_c = exp(-dG0/RuT) (p_ref/(Ru T))^dnu.
+  double equilibrium_constant(std::size_t r, double t) const;
+
+  /// Backward rate coefficient via detailed balance.
+  double backward_rate(std::size_t r, double t, double tv) const;
+
+  /// Molar production rates wdot [mol/(m^3 s)] for all species given molar
+  /// concentrations c [mol/m^3].
+  void production_rates(std::span<const double> c, double t, double tv,
+                        std::span<double> wdot) const;
+
+  /// Mass production rates [kg/(m^3 s)] from mass state (rho, y).
+  void mass_production_rates(double rho, std::span<const double> y, double t,
+                             double tv, std::span<double> wdot_mass) const;
+
+  /// Vibrational energy gained/lost by chemistry [W/m^3]: Park's
+  /// approximation that molecules are created/destroyed carrying the local
+  /// average vibronic energy.
+  double chemistry_vibronic_source(std::span<const double> c, double t,
+                                   double tv) const;
+
+  /// Characteristic chemical time [s]: min over species of
+  /// c_s / |wdot_s| (bounded below); used for stiffness diagnostics and
+  /// operator-split step control.
+  double chemical_time_scale(std::span<const double> c, double t,
+                             double tv) const;
+
+ private:
+  gas::SpeciesSet set_;
+  gas::Mixture mix_;
+  std::vector<Reaction> reactions_;
+};
+
+/// --- mechanism factories -------------------------------------------------
+
+/// Park-type 5-species air (N2, O2, NO, N, O): 3 dissociations + 2
+/// exchanges (Zeldovich).
+Mechanism park_air5();
+
+/// Park-type 9-species ionizing air (adds NO+, N+, O+, e-): associative
+/// ionization, electron-impact ionization and charge exchange. This is the
+/// paper's "typically nine species" air model.
+Mechanism park_air9();
+
+/// Park-type 11-species air (adds N2+ and O2+).
+Mechanism park_air11();
+
+}  // namespace cat::chemistry

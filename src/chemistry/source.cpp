@@ -1,0 +1,167 @@
+#include "chemistry/source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+#include "gas/thermo.hpp"
+#include "numerics/ode.hpp"
+
+namespace cat::chemistry {
+
+using gas::constants::kRu;
+
+IsochoricReactor::IsochoricReactor(const Mechanism& mech) : mech_(mech) {}
+
+double IsochoricReactor::energy(const State& state) const {
+  return mech_.mixture().internal_energy_mass(state.y, state.t);
+}
+
+void IsochoricReactor::advance_coupled(State& state, double rho,
+                                       double dt) const {
+  const std::size_t ns = mech_.n_species();
+  CAT_REQUIRE(state.y.size() == ns, "state size mismatch");
+  // Unknowns: [y_0..y_{ns-1}, T]; energy conservation closes T:
+  //   de/dt = 0  =>  cv dT/dt = -sum_s e_s(T) dy_s/dt
+  numerics::OdeRhs rhs = [&](double, std::span<const double> u,
+                             std::span<double> dudt) {
+    std::vector<double> y(u.begin(), u.begin() + ns);
+    gas::Mixture::clean_mass_fractions(y);
+    const double t = std::clamp(u[ns], 200.0, 60000.0);
+    std::vector<double> wdot(ns);
+    mech_.mass_production_rates(rho, y, t, t, wdot);
+    double esum = 0.0, cv = 0.0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      const gas::Species& sp = mech_.species_set().species(s);
+      const double e_s = gas::enthalpy_mass(sp, t) - kRu * t / sp.molar_mass;
+      dudt[s] = wdot[s] / rho;
+      esum += e_s * dudt[s];
+      cv += y[s] * (gas::cp_mass(sp, t) - kRu / sp.molar_mass);
+    }
+    dudt[ns] = -esum / std::max(cv, 1e-6);
+  };
+  std::vector<double> u(ns + 1);
+  std::copy(state.y.begin(), state.y.end(), u.begin());
+  u[ns] = state.t;
+  numerics::StiffIntegrator integ(rhs, nullptr,
+                                  {.rel_tol = 1e-8,
+                                   .abs_tol = 1e-14,
+                                   .h_initial = 1e-12,
+                                   .max_steps = 2'000'000});
+  integ.integrate(0.0, dt, u);
+  std::copy(u.begin(), u.begin() + ns, state.y.begin());
+  gas::Mixture::clean_mass_fractions(state.y);
+  state.t = u[ns];
+}
+
+void IsochoricReactor::advance_split(State& state, double rho,
+                                     double dt) const {
+  const std::size_t ns = mech_.n_species();
+  CAT_REQUIRE(state.y.size() == ns, "state size mismatch");
+  const double e_target = energy(state);  // adiabatic: e is invariant
+  // Step 1: chemistry with frozen temperature.
+  const double t_frozen = state.t;
+  numerics::OdeRhs rhs = [&](double, std::span<const double> u,
+                             std::span<double> dudt) {
+    std::vector<double> y(u.begin(), u.end());
+    gas::Mixture::clean_mass_fractions(y);
+    std::vector<double> wdot(ns);
+    mech_.mass_production_rates(rho, y, t_frozen, t_frozen, wdot);
+    for (std::size_t s = 0; s < ns; ++s) dudt[s] = wdot[s] / rho;
+  };
+  std::vector<double> u(state.y);
+  numerics::StiffIntegrator integ(rhs, nullptr,
+                                  {.rel_tol = 1e-8,
+                                   .abs_tol = 1e-14,
+                                   .h_initial = 1e-12,
+                                   .max_steps = 2'000'000});
+  integ.integrate(0.0, dt, u);
+  state.y = u;
+  gas::Mixture::clean_mass_fractions(state.y);
+  // Step 2: recover temperature from the (conserved) energy.
+  state.t = mech_.mixture().temperature_from_energy(state.y, e_target,
+                                                    state.t);
+}
+
+TwoTemperatureReactor::TwoTemperatureReactor(const Mechanism& mech)
+    : mech_(mech), ttg_(mech.species_set()) {}
+
+void TwoTemperatureReactor::advance(State& state, double rho,
+                                    double dt) const {
+  const std::size_t ns = mech_.n_species();
+  CAT_REQUIRE(state.y.size() == ns, "state size mismatch");
+  // Unknowns: [y_s..., T, Tv]. Total energy conservation closes T; the
+  // vibronic pool evolves by Landau-Teller exchange plus the vibronic
+  // energy carried by created/destroyed molecules.
+  numerics::OdeRhs rhs = [&](double, std::span<const double> u,
+                             std::span<double> dudt) {
+    std::vector<double> y(u.begin(), u.begin() + ns);
+    gas::Mixture::clean_mass_fractions(y);
+    const double t = std::clamp(u[ns], 200.0, 80000.0);
+    const double tv = std::clamp(u[ns + 1], 200.0, 80000.0);
+    std::vector<double> wdot(ns), c(ns);
+    mech_.mass_production_rates(rho, y, t, tv, wdot);
+    for (std::size_t s = 0; s < ns; ++s)
+      c[s] = rho * y[s] / mech_.species_set().species(s).molar_mass;
+    const double p = ttg_.pressure(rho, y, t, tv);
+    const double q_lt = ttg_.landau_teller_source(rho, y, t, tv, p);
+    const double q_chem = mech_.chemistry_vibronic_source(c, t, tv);
+
+    for (std::size_t s = 0; s < ns; ++s) dudt[s] = wdot[s] / rho;
+
+    // d(ev)/dt per unit mass:
+    const double dev_dt = (q_lt + q_chem) / rho;
+    const double cv_v = std::max(ttg_.vibronic_cv(y, tv), 1e-6);
+    // Subtract composition change contribution to ev at fixed Tv.
+    double dev_comp = 0.0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      const gas::Species& sp = mech_.species_set().species(s);
+      const double evs = sp.is_electron()
+                             ? 1.5 * kRu * tv / sp.molar_mass
+                             : gas::vibronic_energy_mole(sp, tv) / sp.molar_mass;
+      dev_comp += evs * dudt[s];
+    }
+    dudt[ns + 1] = (dev_dt - dev_comp) / cv_v;
+
+    // Total energy conservation: de/dt = 0 with
+    // e = sum y_s e_s(T, Tv):  cv_tr dT/dt = -sum e_s dy_s/dt - cv_v dTv/dt
+    double esum = 0.0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      const gas::Species& sp = mech_.species_set().species(s);
+      const double t_ref = gas::constants::kTemperatureRef;
+      const double h_th_ref =
+          gas::internal_energy_thermal(sp, t_ref) + kRu * t_ref;
+      double e_mole;
+      if (sp.is_electron()) {
+        e_mole = sp.h_formation_298 - h_th_ref + 1.5 * kRu * tv;
+      } else {
+        double etr = 1.5 * kRu * t;
+        if (sp.rotor == gas::RotorType::kLinear) etr += kRu * t;
+        if (sp.rotor == gas::RotorType::kNonlinear) etr += 1.5 * kRu * t;
+        e_mole = sp.h_formation_298 - h_th_ref + etr +
+                 gas::vibronic_energy_mole(sp, tv);
+      }
+      esum += e_mole / sp.molar_mass * dudt[s];
+    }
+    const double cv_tr = std::max(ttg_.trans_rot_cv(y), 1e-6);
+    dudt[ns] = (-esum - cv_v * dudt[ns + 1]) / cv_tr;
+  };
+
+  std::vector<double> u(ns + 2);
+  std::copy(state.y.begin(), state.y.end(), u.begin());
+  u[ns] = state.t;
+  u[ns + 1] = state.tv;
+  numerics::StiffIntegrator integ(rhs, nullptr,
+                                  {.rel_tol = 1e-7,
+                                   .abs_tol = 1e-14,
+                                   .h_initial = 1e-12,
+                                   .max_steps = 2'000'000});
+  integ.integrate(0.0, dt, u);
+  std::copy(u.begin(), u.begin() + ns, state.y.begin());
+  gas::Mixture::clean_mass_fractions(state.y);
+  state.t = u[ns];
+  state.tv = u[ns + 1];
+}
+
+}  // namespace cat::chemistry

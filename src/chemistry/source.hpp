@@ -1,0 +1,67 @@
+#pragma once
+/// \file source.hpp
+/// Reactor abstractions over a Mechanism: adiabatic constant-volume
+/// reactors in one- and two-temperature form, plus the operator-split
+/// helper used to study loose vs tight chemistry-flow coupling (the
+/// "stiff behaviour ... solved separately in a loosely coupled manner"
+/// discussion in the paper; measured by bench/abl_coupling).
+
+#include <vector>
+
+#include "chemistry/reaction.hpp"
+#include "gas/two_temperature.hpp"
+
+namespace cat::chemistry {
+
+/// Adiabatic, constant-density (isochoric) reactor in thermal equilibrium
+/// (one temperature). State advances mass fractions and temperature.
+class IsochoricReactor {
+ public:
+  explicit IsochoricReactor(const Mechanism& mech);
+
+  struct State {
+    std::vector<double> y;  ///< mass fractions
+    double t;               ///< [K]
+  };
+
+  /// Advance \p state at density \p rho by \p dt using the implicit stiff
+  /// integrator (tight coupling: T and composition integrated together).
+  void advance_coupled(State& state, double rho, double dt) const;
+
+  /// Advance by operator splitting: chemistry at frozen temperature for dt,
+  /// then algebraic temperature update from energy conservation (loose
+  /// coupling). Cheaper per step; splitting error measured in
+  /// bench/abl_coupling.
+  void advance_split(State& state, double rho, double dt) const;
+
+  /// Equilibrium sanity helper: total specific internal energy of a state.
+  double energy(const State& state) const;
+
+ private:
+  const Mechanism& mech_;
+};
+
+/// Adiabatic isochoric reactor with the Park two-temperature model:
+/// state = (mass fractions, T, Tv). Used by unit tests to verify that both
+/// temperatures and the composition relax to the same equilibrium the Gibbs
+/// solver predicts.
+class TwoTemperatureReactor {
+ public:
+  explicit TwoTemperatureReactor(const Mechanism& mech);
+
+  struct State {
+    std::vector<double> y;
+    double t;
+    double tv;
+  };
+
+  void advance(State& state, double rho, double dt) const;
+
+  const gas::TwoTemperatureGas& gas() const { return ttg_; }
+
+ private:
+  const Mechanism& mech_;
+  gas::TwoTemperatureGas ttg_;
+};
+
+}  // namespace cat::chemistry

@@ -1,0 +1,43 @@
+#pragma once
+/// \file driver.hpp
+/// High-level CAT pipelines: trajectory-coupled stagnation heating (the
+/// Fig. 2 "heating pulse" workflow: entry trajectory x stagnation-line
+/// solver with convective + radiative components).
+
+#include <vector>
+
+#include "atmosphere/atmosphere.hpp"
+#include "solvers/stagnation/stagnation.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace cat::core {
+
+/// One point of a heating pulse.
+struct HeatingPoint {
+  double time;       ///< [s]
+  double velocity;   ///< [m/s]
+  double altitude;   ///< [m]
+  double q_conv;     ///< [W/m^2]
+  double q_rad;      ///< [W/m^2]
+};
+
+/// Options for the heating-pulse driver.
+struct HeatingPulseOptions {
+  double start_velocity_fraction = 0.15;  ///< skip points below this V/V_entry
+  std::size_t max_points = 80;            ///< stagnation solves along the pulse
+  double wall_temperature = 1500.0;
+};
+
+/// Compute the stagnation heating pulse along a trajectory: for each
+/// sampled trajectory point run the full stagnation-line solve (equilibrium
+/// shock layer + similarity boundary layer + tangent-slab radiation).
+std::vector<HeatingPoint> heating_pulse(
+    const std::vector<trajectory::TrajectoryPoint>& traj,
+    const trajectory::Vehicle& vehicle,
+    const solvers::StagnationLineSolver& solver,
+    const HeatingPulseOptions& opt = {});
+
+/// Integrated heat load [J/m^2] of a pulse (trapezoid over time).
+double heat_load(const std::vector<HeatingPoint>& pulse);
+
+}  // namespace cat::core

@@ -1,0 +1,39 @@
+#pragma once
+/// \file error.hpp
+/// Error-handling primitives shared by every cataero module.
+///
+/// Two failure categories are distinguished (DESIGN.md "Conventions"):
+///  - API misuse / violated preconditions  -> CAT_REQUIRE -> std::invalid_argument
+///  - runtime solver failure (divergence)  -> throw cat::SolverError
+
+#include <stdexcept>
+#include <string>
+
+namespace cat {
+
+/// Thrown when an iterative solver fails to converge or a simulation
+/// leaves its domain of validity (negative density, NaN residual, ...).
+class SolverError : public std::runtime_error {
+ public:
+  explicit SolverError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("CAT_REQUIRE failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace cat
+
+/// Precondition check: throws std::invalid_argument with location info.
+/// Always active (these guard physics invariants, not hot inner loops).
+#define CAT_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::cat::detail::require_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                 \
+  } while (0)

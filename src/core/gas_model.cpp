@@ -1,0 +1,36 @@
+#include "core/gas_model.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/equilibrium.hpp"
+
+namespace cat::core {
+
+std::shared_ptr<EquilibriumGasModel> make_equilibrium_air_model(
+    double rho_inf, double t_inf, double v_max, std::size_t table_n) {
+  CAT_REQUIRE(rho_inf > 0.0 && t_inf > 0.0 && v_max > 0.0,
+              "invalid flight condition");
+  static const gas::SpeciesSet set = gas::make_air5();
+  gas::EquilibriumSolver solver(set, {{"N2", 0.79}, {"O2", 0.21}});
+
+  // Energy window: from below the freestream internal energy to above the
+  // stagnation internal energy e_inf + v^2/2.
+  const auto cold =
+      solver.solve_tp(std::max(t_inf * 0.5, 160.0), rho_inf * 287.0 * t_inf);
+  const double e_lo = cold.e - 0.05 * v_max * v_max;
+  const double e_hi = cold.e + 0.75 * v_max * v_max;
+
+  gas::EquilibriumEosTable::Range range;
+  range.rho_min = rho_inf / 20.0;
+  range.rho_max = rho_inf * 80.0;  // strong-shock compression + pileup
+  range.e_min = e_lo;
+  range.e_max = e_hi;
+  range.n_rho = table_n;
+  range.n_e = table_n;
+
+  auto table = std::make_shared<gas::EquilibriumEosTable>(solver, range);
+  return std::make_shared<EquilibriumGasModel>(std::move(table));
+}
+
+}  // namespace cat::core

@@ -1,0 +1,57 @@
+#include "core/heating.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cat::core {
+
+double fay_riddell(const FayRiddellInputs& in) {
+  CAT_REQUIRE(in.rho_e > 0.0 && in.mu_e > 0.0, "bad edge state");
+  CAT_REQUIRE(in.du_dx > 0.0, "velocity gradient must be positive");
+  const double le_term =
+      1.0 + (std::pow(in.lewis, 0.52) - 1.0) *
+                (in.h0_e > 0.0 ? in.h_dissociation / in.h0_e : 0.0);
+  return 0.76 * std::pow(in.prandtl, -0.6) *
+         std::pow(in.rho_e * in.mu_e, 0.4) *
+         std::pow(in.rho_w * in.mu_w, 0.1) * std::sqrt(in.du_dx) *
+         (in.h0_e - in.h_w) * le_term;
+}
+
+double newtonian_velocity_gradient(double nose_radius, double p_e,
+                                   double p_inf, double rho_e) {
+  CAT_REQUIRE(nose_radius > 0.0 && rho_e > 0.0, "bad inputs");
+  CAT_REQUIRE(p_e > p_inf, "edge pressure must exceed freestream");
+  return std::sqrt(2.0 * (p_e - p_inf) / rho_e) / nose_radius;
+}
+
+double sutton_graves(double rho_inf, double velocity, double nose_radius,
+                     double k) {
+  CAT_REQUIRE(rho_inf > 0.0 && nose_radius > 0.0, "bad inputs");
+  return k * std::sqrt(rho_inf / nose_radius) * velocity * velocity *
+         velocity;
+}
+
+double tauber_sutton_radiative(double rho_inf, double velocity,
+                               double nose_radius) {
+  CAT_REQUIRE(rho_inf > 0.0 && nose_radius > 0.0, "bad inputs");
+  // Tauber-Sutton: q_r = 4.736e4 R^a rho^1.22 f(V)  [W/cm^2 in CGS-mixed
+  // units]; f(V) tabulated — here a smooth fit rising steeply above
+  // ~9 km/s (the velocity range where air radiation turns on).
+  if (velocity < 9000.0) {
+    // Below the radiative threshold: negligible (smoothly off).
+    const double ramp = std::max(velocity - 6000.0, 0.0) / 3000.0;
+    return 1.0e4 * ramp * ramp * std::pow(rho_inf / 1e-4, 1.22) *
+           std::pow(nose_radius, 0.5);
+  }
+  const double fv = std::pow(velocity / 10000.0, 8.5);
+  const double a = 0.526;  // radius exponent (high-velocity branch)
+  return 4.736e8 * std::pow(nose_radius, a) * std::pow(rho_inf, 1.22) * fv;
+}
+
+double wall_heat_flux(double conductivity, double dt_dn, double rho,
+                      double diffusivity, double sum_h_dy_dn) {
+  return conductivity * dt_dn + rho * diffusivity * sum_h_dy_dn;
+}
+
+}  // namespace cat::core

@@ -1,0 +1,28 @@
+#pragma once
+/// \file constants.hpp
+/// Physical constants (CODATA 2018) and reference states used throughout
+/// the library. All quantities SI.
+
+namespace cat::gas::constants {
+
+inline constexpr double kRu = 8.31446261815324;      ///< universal gas constant [J/(mol K)]
+inline constexpr double kBoltzmann = 1.380649e-23;   ///< [J/K]
+inline constexpr double kAvogadro = 6.02214076e23;   ///< [1/mol]
+inline constexpr double kPlanck = 6.62607015e-34;    ///< [J s]
+inline constexpr double kSpeedOfLight = 2.99792458e8;///< [m/s]
+inline constexpr double kStefanBoltzmann = 5.670374419e-8;  ///< [W/(m^2 K^4)]
+inline constexpr double kElectronCharge = 1.602176634e-19;  ///< [C]
+inline constexpr double kElectronMassKgPerMol = 5.48579909e-7;  ///< [kg/mol]
+
+inline constexpr double kPressureRef = 1.0e5;        ///< thermo reference pressure [Pa]
+inline constexpr double kTemperatureRef = 298.15;    ///< enthalpy reference [K]
+
+/// Earth gravitational parameters for trajectory work.
+inline constexpr double kEarthRadius = 6.371e6;      ///< [m]
+inline constexpr double kEarthG0 = 9.80665;          ///< [m/s^2]
+
+/// Titan parameters (Saturn's largest moon; Ref. 15 scenario).
+inline constexpr double kTitanRadius = 2.575e6;      ///< [m]
+inline constexpr double kTitanG0 = 1.352;            ///< [m/s^2]
+
+}  // namespace cat::gas::constants

@@ -1,0 +1,319 @@
+#include "gas/equilibrium.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+#include "gas/thermo.hpp"
+#include "numerics/linalg.hpp"
+#include "numerics/roots.hpp"
+
+namespace cat::gas {
+
+using constants::kPressureRef;
+using constants::kRu;
+using numerics::LuFactor;
+using numerics::Matrix;
+
+EquilibriumSolver::EquilibriumSolver(SpeciesSet set,
+                                     std::array<double, kNumElements> b)
+    : mix_(std::move(set)), b_(b) {
+  // Species containing an element of zero abundance are pinned to zero
+  // (their mole fraction would be exactly zero at the optimum, but a free
+  // potential for that element would never converge).
+  const std::size_t q = static_cast<std::size_t>(Element::kCharge);
+  enabled_.assign(mix_.n_species(), true);
+  for (std::size_t s = 0; s < mix_.n_species(); ++s) {
+    for (std::size_t e = 0; e < kNumElements; ++e) {
+      if (e == q) continue;
+      if (mix_.set().species(s).composition[e] != 0 && b_[e] == 0.0)
+        enabled_[s] = false;
+    }
+  }
+  // An element is active when some *enabled* species contains it. The
+  // charge pseudo-element is active when ions/electrons survive even
+  // though its abundance is zero (neutrality).
+  for (std::size_t e = 0; e < kNumElements; ++e) {
+    bool present = false;
+    for (std::size_t s = 0; s < mix_.n_species(); ++s)
+      present |= enabled_[s] && (mix_.set().species(s).composition[e] != 0);
+    if (present) {
+      active_elements_.push_back(e);
+    } else {
+      CAT_REQUIRE(b_[e] == 0.0,
+                  "element abundance given for element absent from set");
+    }
+  }
+  CAT_REQUIRE(!active_elements_.empty(), "no active elements");
+}
+
+EquilibriumSolver::EquilibriumSolver(
+    SpeciesSet set,
+    const std::vector<std::pair<std::string, double>>& cold)
+    : EquilibriumSolver(std::move(set), element_moles_per_kg(cold)) {}
+
+std::vector<double> EquilibriumSolver::solve_composition(
+    double t, double p, std::vector<double>* warm_pi) const {
+  CAT_REQUIRE(t > 0.0 && p > 0.0, "state must be positive");
+  const std::size_t ns = mix_.n_species();
+  const std::size_t ne = active_elements_.size();
+
+  // mu0[s] = g_s(T, p_ref)/(Ru T) + ln(p/p_ref): standard-state chemical
+  // potential in Ru*T units at the mixture pressure.
+  std::vector<double> mu0(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    mu0[s] = gibbs_mole(mix_.set().species(s), t, kPressureRef) / (kRu * t) +
+             std::log(p / kPressureRef);
+  }
+
+  double b_scale = 0.0;
+  for (std::size_t e : active_elements_) b_scale = std::max(b_scale, b_[e]);
+  CAT_REQUIRE(b_scale > 0.0, "zero elemental abundance");
+
+  // Unknowns: pi[0..ne-1] (element potentials / RuT), u = ln(total moles/kg).
+  std::vector<double> pi(ne, 0.0);
+  double u = std::log(2.0 * b_scale);
+  if (warm_pi && warm_pi->size() == ne + 1) {
+    for (std::size_t i = 0; i < ne; ++i) pi[i] = (*warm_pi)[i];
+    u = (*warm_pi)[ne];
+  }
+
+  std::vector<double> x(ns), z(ns);
+  Matrix jac(ne + 1, ne + 1);
+  std::vector<double> res(ne + 1);
+  std::vector<double> best_x;
+  double best_rnorm = 1e300;
+
+  const int max_iter = 300;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    const double n_total = std::exp(u);
+    for (std::size_t s = 0; s < ns; ++s) {
+      if (!enabled_[s]) {
+        x[s] = 0.0;
+        continue;
+      }
+      double zz = -mu0[s];
+      const auto& acomp = mix_.set().species(s).composition;
+      for (std::size_t i = 0; i < ne; ++i)
+        zz += acomp[active_elements_[i]] * pi[i];
+      z[s] = std::min(zz, 200.0);  // overflow guard; step limiting keeps
+                                   // genuine solutions far below this
+      x[s] = std::exp(z[s]);
+    }
+
+    // Residuals.
+    double rnorm = 0.0;
+    for (std::size_t i = 0; i < ne; ++i) {
+      double acc = 0.0;
+      for (std::size_t s = 0; s < ns; ++s)
+        acc += mix_.set().species(s).composition[active_elements_[i]] * x[s];
+      res[i] = (n_total * acc - b_[active_elements_[i]]) / b_scale;
+      rnorm = std::max(rnorm, std::fabs(res[i]));
+    }
+    {
+      double sx = 0.0;
+      for (std::size_t s = 0; s < ns; ++s) sx += x[s];
+      res[ne] = sx - 1.0;
+      rnorm = std::max(rnorm, std::fabs(res[ne]));
+    }
+    if (rnorm < best_rnorm) {
+      best_rnorm = rnorm;
+      best_x = x;
+    }
+    if (rnorm < 1e-12) {
+      if (warm_pi) {
+        warm_pi->assign(pi.begin(), pi.end());
+        warm_pi->push_back(u);
+      }
+      // Normalize away residual drift and return mole fractions.
+      double sx = 0.0;
+      for (double v : x) sx += v;
+      for (double& v : x) v /= sx;
+      return x;
+    }
+
+    // Jacobian.
+    for (std::size_t i = 0; i < ne; ++i) {
+      for (std::size_t j = 0; j < ne; ++j) {
+        double acc = 0.0;
+        for (std::size_t s = 0; s < ns; ++s) {
+          const auto& acomp = mix_.set().species(s).composition;
+          acc += acomp[active_elements_[i]] * acomp[active_elements_[j]] * x[s];
+        }
+        jac(i, j) = n_total * acc / b_scale;
+      }
+      double acc = 0.0;
+      for (std::size_t s = 0; s < ns; ++s)
+        acc += mix_.set().species(s).composition[active_elements_[i]] * x[s];
+      jac(i, ne) = n_total * acc / b_scale;  // d/d(lnN)
+    }
+    for (std::size_t j = 0; j < ne; ++j) {
+      double acc = 0.0;
+      for (std::size_t s = 0; s < ns; ++s)
+        acc += mix_.set().species(s).composition[active_elements_[j]] * x[s];
+      jac(ne, j) = acc;
+    }
+    jac(ne, ne) = 0.0;
+
+    std::vector<double> step;
+    try {
+      step = LuFactor(jac).solve(res);
+    } catch (const SolverError&) {
+      // Singular Jacobian: at low temperature the trace species that pin
+      // individual element potentials underflow, leaving a null direction
+      // (only combinations like pi_C + 4 pi_H are determined). A ridge
+      // selects the minimum-norm Newton step in that case.
+      double dmax = 0.0;
+      for (std::size_t i = 0; i <= ne; ++i)
+        dmax = std::max(dmax, std::fabs(jac(i, i)));
+      Matrix ridged = jac;
+      for (std::size_t i = 0; i <= ne; ++i)
+        ridged(i, i) += 1e-10 * (dmax + 1e-30);
+      try {
+        step = LuFactor(ridged).solve(res);
+      } catch (const SolverError&) {
+        for (double& v : pi) v += 1e-3;
+        continue;
+      }
+    }
+    // Damped Newton: cap the step so exp() stays controlled.
+    double smax = 0.0;
+    for (double v : step) smax = std::max(smax, std::fabs(v));
+    const double damp = smax > 2.0 ? 2.0 / smax : 1.0;
+    for (std::size_t i = 0; i < ne; ++i) pi[i] -= damp * step[i];
+    u -= damp * step[ne];
+    u = std::clamp(u, std::log(b_scale * 1e-6), std::log(b_scale * 1e6));
+  }
+  // Newton stalled (typically a residual plateau along a numerically null
+  // potential direction at low temperature). Accept the best iterate when
+  // it already satisfies a slightly looser engineering tolerance.
+  if (best_rnorm < 1e-8) {
+    double sx = 0.0;
+    for (double v : best_x) sx += v;
+    for (double& v : best_x) v /= sx;
+    return best_x;
+  }
+  throw SolverError("EquilibriumSolver: Newton failed to converge");
+}
+
+EquilibriumResult EquilibriumSolver::package(double t, double p,
+                                             std::vector<double> x) const {
+  EquilibriumResult out;
+  out.t = t;
+  out.p = p;
+  out.x = std::move(x);
+  out.y = mix_.mass_fractions_from_moles(out.x);
+  out.molar_mass = 0.0;
+  for (std::size_t s = 0; s < mix_.n_species(); ++s)
+    out.molar_mass += out.x[s] * mix_.set().species(s).molar_mass;
+  const double r = kRu / out.molar_mass;
+  out.rho = p / (r * t);
+  out.h = mix_.enthalpy_mass(out.y, t);
+  out.e = out.h - r * t;
+  out.gamma_eff = out.e != 0.0 ? p / (out.rho * std::fabs(out.e)) + 1.0 : 0.0;
+  return out;
+}
+
+EquilibriumResult EquilibriumSolver::solve_tp(double t, double p) const {
+  try {
+    return package(t, p, solve_composition(t, p, nullptr));
+  } catch (const SolverError&) {
+    // Continuation in temperature: equilibrium at ~6000 K converges from a
+    // cold start for every CAT mixture; walk toward the target T reusing
+    // the element potentials as warm starts.
+    std::vector<double> warm;
+    double t_cur = 6000.0;
+    solve_composition(t_cur, p, &warm);
+    const int steps = 40;
+    for (int i = 1; i <= steps; ++i) {
+      const double frac = static_cast<double>(i) / steps;
+      const double tt = t_cur * std::pow(t / t_cur, frac);
+      solve_composition(tt, p, &warm);
+    }
+    return package(t, p, solve_composition(t, p, &warm));
+  }
+}
+
+EquilibriumResult EquilibriumSolver::solve_rho_e(double rho, double e) const {
+  CAT_REQUIRE(rho > 0.0, "density must be positive");
+  // For a trial temperature, pressure follows from rho and the converged
+  // molar mass: p = rho Ru T / Mbar(T, p). Mbar depends weakly on p, so a
+  // short fixed-point iteration suffices.
+  auto state_at = [&](double t) {
+    double mbar = 0.0288;  // air-like initial guess
+    EquilibriumResult st;
+    for (int k = 0; k < 40; ++k) {
+      const double p = rho * kRu * t / mbar;
+      st = solve_tp(t, p);
+      if (std::fabs(st.molar_mass - mbar) < 1e-12) break;
+      mbar = st.molar_mass;
+    }
+    return st;
+  };
+  auto resid = [&](double t) { return state_at(t).e - e; };
+
+  double lo = 150.0, hi = 40000.0;
+  // The residual is monotone in T; make sure the bracket straddles.
+  double flo = resid(lo);
+  if (flo > 0.0) lo = 50.0;
+  double fhi = resid(hi);
+  if (fhi < 0.0) {
+    return state_at(hi);  // energy beyond table: clamp at max temperature
+  }
+  (void)flo;
+  const double t_sol = numerics::brent(resid, lo, hi, {.tol = 1e-10});
+  return state_at(t_sol);
+}
+
+EquilibriumResult EquilibriumSolver::solve_ph(double p, double h) const {
+  auto resid = [&](double t) { return solve_tp(t, p).h - h; };
+  double lo = 150.0, hi = 40000.0;
+  if (resid(hi) < 0.0) return solve_tp(hi, p);
+  if (resid(lo) > 0.0) return solve_tp(lo, p);
+  const double t_sol = numerics::brent(resid, lo, hi, {.tol = 1e-10});
+  return solve_tp(t_sol, p);
+}
+
+double EquilibriumSolver::entropy(const EquilibriumResult& st) const {
+  double s_mix = 0.0;  // [J/(mol K)] per mole of mixture
+  for (std::size_t s = 0; s < mix_.n_species(); ++s) {
+    if (st.x[s] <= 0.0) continue;
+    s_mix += st.x[s] * entropy_mole(mix_.set().species(s), st.t,
+                                    st.p * st.x[s]);
+  }
+  return s_mix / st.molar_mass;
+}
+
+EquilibriumResult EquilibriumSolver::expand_isentropic(
+    const EquilibriumResult& from, double p) const {
+  CAT_REQUIRE(p > 0.0, "pressure must be positive");
+  const double s_target = entropy(from);
+  auto resid = [&](double t) {
+    return entropy(solve_tp(t, p)) - s_target;
+  };
+  // Entropy rises monotonically with T at fixed p.
+  double lo = 160.0, hi = 40000.0;
+  if (resid(lo) > 0.0) return solve_tp(lo, p);
+  if (resid(hi) < 0.0) return solve_tp(hi, p);
+  const double t_sol = numerics::brent(resid, lo, hi, {.tol = 1e-10});
+  return solve_tp(t_sol, p);
+}
+
+double EquilibriumSolver::sound_speed(const EquilibriumResult& st) const {
+  // a^2 = (dp/drho)_e + (p/rho^2)(dp/de)_rho, evaluated by centered
+  // differences of the equilibrium EOS.
+  const double drho = 1e-4 * st.rho;
+  const double de = 1e-4 * std::max(std::fabs(st.e), 1e5);
+  const EquilibriumResult r1 = solve_rho_e(st.rho + drho, st.e);
+  const EquilibriumResult r2 = solve_rho_e(st.rho - drho, st.e);
+  const EquilibriumResult e1 = solve_rho_e(st.rho, st.e + de);
+  const EquilibriumResult e2 = solve_rho_e(st.rho, st.e - de);
+  const double dp_drho = (r1.p - r2.p) / (2.0 * drho);
+  const double dp_de = (e1.p - e2.p) / (2.0 * de);
+  const double a2 = dp_drho + st.p / (st.rho * st.rho) * dp_de;
+  if (a2 <= 0.0) throw SolverError("equilibrium sound speed imaginary");
+  return std::sqrt(a2);
+}
+
+}  // namespace cat::gas

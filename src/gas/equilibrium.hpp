@@ -1,0 +1,95 @@
+#pragma once
+/// \file equilibrium.hpp
+/// Chemical-equilibrium composition by Gibbs free-energy minimization
+/// (element-potential / STANJAN-style formulation).
+///
+/// The paper: "Many flows can be adequately approximated by assuming an
+/// equilibrium real gas ... the thermochemical state of the gas can be
+/// defined solely by the local temperature and pressure." This solver is
+/// that definition: given (T, p) and the elemental makeup of the gas, it
+/// returns the composition minimizing total Gibbs energy. Density-energy
+/// inversions (rho, e) -> (T, p, composition) — the form finite-volume
+/// solvers need — are layered on top.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "gas/mixture.hpp"
+#include "gas/species.hpp"
+
+namespace cat::gas {
+
+/// Result of an equilibrium solve.
+struct EquilibriumResult {
+  double t;                       ///< [K]
+  double p;                       ///< [Pa]
+  double rho;                     ///< [kg/m^3]
+  std::vector<double> x;          ///< mole fractions (per SpeciesSet order)
+  std::vector<double> y;          ///< mass fractions
+  double molar_mass;              ///< mixture [kg/mol]
+  double h;                       ///< specific enthalpy [J/kg]
+  double e;                       ///< specific internal energy [J/kg]
+  double gamma_eff;               ///< p/(rho e_thermal)+1 effective exponent
+};
+
+/// Equilibrium solver for a fixed SpeciesSet and elemental abundance.
+class EquilibriumSolver {
+ public:
+  /// \p b_elements: elemental abundance [mol-element per kg mixture]
+  /// (see element_moles_per_kg). Elements absent from every species in the
+  /// set must have zero abundance.
+  EquilibriumSolver(SpeciesSet set,
+                    std::array<double, kNumElements> b_elements);
+
+  /// Convenience: cold-mixture definition by species mole fractions.
+  EquilibriumSolver(
+      SpeciesSet set,
+      const std::vector<std::pair<std::string, double>>& cold_mole_fractions);
+
+  const Mixture& mixture() const { return mix_; }
+
+  /// Composition at fixed temperature and pressure.
+  EquilibriumResult solve_tp(double t, double p) const;
+
+  /// Composition at fixed density and specific internal energy
+  /// (outer Newton on temperature; the natural query for FV solvers).
+  EquilibriumResult solve_rho_e(double rho, double e) const;
+
+  /// Composition at fixed pressure and specific enthalpy (the natural
+  /// query for stagnation-line/boundary-layer solvers).
+  EquilibriumResult solve_ph(double p, double h) const;
+
+  /// Equilibrium sound speed at a converged state via centered finite
+  /// differences of p(rho, s) along isentropes (numerical, but exact wrt
+  /// the model).
+  double sound_speed(const EquilibriumResult& state) const;
+
+  /// Mixture specific entropy [J/(kg K)] of a converged state, including
+  /// the entropy of mixing (each species at its partial pressure).
+  double entropy(const EquilibriumResult& state) const;
+
+  /// Isentropic expansion/compression: state at pressure \p p with the
+  /// same entropy as \p from (boundary-layer edge conditions for E+BL).
+  EquilibriumResult expand_isentropic(const EquilibriumResult& from,
+                                      double p) const;
+
+ private:
+  Mixture mix_;
+  std::array<double, kNumElements> b_;
+  std::vector<std::size_t> active_elements_;  // elements present in the set
+  /// Species whose every element has nonzero abundance; others are pinned
+  /// to zero mole fraction (an element with zero abundance would drive its
+  /// potential to -infinity otherwise).
+  std::vector<bool> enabled_;
+
+  /// Core Newton iteration on element potentials at fixed (T, p).
+  /// warm_pi may carry potentials from a neighbouring state.
+  std::vector<double> solve_composition(double t, double p,
+                                        std::vector<double>* warm_pi) const;
+
+  EquilibriumResult package(double t, double p,
+                            std::vector<double> mole_frac) const;
+};
+
+}  // namespace cat::gas

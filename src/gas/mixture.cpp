@@ -1,0 +1,150 @@
+#include "gas/mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+#include "gas/thermo.hpp"
+
+namespace cat::gas {
+
+using constants::kRu;
+
+Mixture::Mixture(SpeciesSet set) : set_(std::move(set)) {
+  CAT_REQUIRE(set_.size() > 0, "empty species set");
+}
+
+double Mixture::gas_constant(std::span<const double> y) const {
+  CAT_REQUIRE(y.size() == n_species(), "composition size mismatch");
+  double r = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s)
+    r += y[s] / set_.species(s).molar_mass;
+  return kRu * r;
+}
+
+double Mixture::molar_mass(std::span<const double> y) const {
+  return kRu / gas_constant(y);
+}
+
+std::vector<double> Mixture::mole_fractions(std::span<const double> y) const {
+  CAT_REQUIRE(y.size() == n_species(), "composition size mismatch");
+  std::vector<double> x(y.size());
+  double total = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    x[s] = y[s] / set_.species(s).molar_mass;
+    total += x[s];
+  }
+  CAT_REQUIRE(total > 0.0, "all-zero composition");
+  for (double& v : x) v /= total;
+  return x;
+}
+
+std::vector<double> Mixture::mass_fractions_from_moles(
+    std::span<const double> x) const {
+  CAT_REQUIRE(x.size() == n_species(), "composition size mismatch");
+  std::vector<double> y(x.size());
+  double total = 0.0;
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    y[s] = x[s] * set_.species(s).molar_mass;
+    total += y[s];
+  }
+  CAT_REQUIRE(total > 0.0, "all-zero composition");
+  for (double& v : y) v /= total;
+  return y;
+}
+
+double Mixture::cp_mass(std::span<const double> y, double t) const {
+  CAT_REQUIRE(y.size() == n_species(), "composition size mismatch");
+  double cp = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    if (y[s] == 0.0) continue;
+    cp += y[s] * gas::cp_mass(set_.species(s), t);
+  }
+  return cp;
+}
+
+double Mixture::enthalpy_mass(std::span<const double> y, double t) const {
+  CAT_REQUIRE(y.size() == n_species(), "composition size mismatch");
+  double h = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    if (y[s] == 0.0) continue;
+    h += y[s] * gas::enthalpy_mass(set_.species(s), t);
+  }
+  return h;
+}
+
+double Mixture::internal_energy_mass(std::span<const double> y,
+                                     double t) const {
+  return enthalpy_mass(y, t) - gas_constant(y) * t;
+}
+
+double Mixture::temperature_from_energy(std::span<const double> y, double e,
+                                        double t_guess, double t_min,
+                                        double t_max) const {
+  const double r = gas_constant(y);
+  double t = std::clamp(t_guess, t_min, t_max);
+  // Newton with cv = cp - R; the energy curve is monotone so safeguard by
+  // bisection bracket expansion only when Newton leaves [t_min, t_max].
+  for (int it = 0; it < 100; ++it) {
+    const double f = internal_energy_mass(y, t) - e;
+    const double cv = cp_mass(y, t) - r;
+    double tn = t - f / std::max(cv, 1e-3);
+    if (!(tn > t_min && tn < t_max)) tn = std::clamp(tn, t_min, t_max);
+    if (std::fabs(tn - t) < 1e-10 * std::max(1.0, t)) return tn;
+    t = tn;
+  }
+  // Newton cycling (can happen at vibrational turn-on): fall back to
+  // bisection on the monotone residual.
+  double lo = t_min, hi = t_max;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (internal_energy_mass(y, mid) > e) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (hi - lo < 1e-9 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Mixture::temperature_from_enthalpy(std::span<const double> y, double h,
+                                          double t_guess) const {
+  const double r = gas_constant(y);
+  double t = std::clamp(t_guess, 10.0, 60000.0);
+  for (int it = 0; it < 100; ++it) {
+    const double f = enthalpy_mass(y, t) - h;
+    const double cp = cp_mass(y, t);
+    double tn = t - f / std::max(cp, 1e-3);
+    tn = std::clamp(tn, 10.0, 60000.0);
+    if (std::fabs(tn - t) < 1e-10 * std::max(1.0, t)) return tn;
+    t = tn;
+  }
+  (void)r;
+  return t;
+}
+
+double Mixture::gamma_frozen(std::span<const double> y, double t) const {
+  const double cp = cp_mass(y, t);
+  const double r = gas_constant(y);
+  return cp / (cp - r);
+}
+
+double Mixture::frozen_sound_speed(std::span<const double> y, double t) const {
+  return std::sqrt(gamma_frozen(y, t) * gas_constant(y) * t);
+}
+
+void Mixture::clean_mass_fractions(std::span<double> y) {
+  double total = 0.0;
+  for (double& v : y) {
+    if (v < 0.0) v = 0.0;
+    total += v;
+  }
+  if (total <= 0.0) {
+    throw SolverError("clean_mass_fractions: composition collapsed to zero");
+  }
+  for (double& v : y) v /= total;
+}
+
+}  // namespace cat::gas

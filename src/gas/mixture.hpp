@@ -1,0 +1,74 @@
+#pragma once
+/// \file mixture.hpp
+/// Multi-species mixture state and frozen-mixture thermodynamics.
+///
+/// A `Mixture` binds a SpeciesSet to composition arrays and provides the
+/// frozen (fixed-composition) thermodynamic queries the flow solvers need:
+/// gas constant, enthalpy, internal energy, frozen sound speed, and the
+/// Newton inversion T(e) used by every conservative-variable decode.
+
+#include <span>
+#include <vector>
+
+#include "gas/species.hpp"
+
+namespace cat::gas {
+
+/// Composition/thermo helper for one SpeciesSet. Stateless w.r.t. the flow:
+/// all queries take composition and temperature explicitly so a single
+/// Mixture can serve a whole flow field.
+class Mixture {
+ public:
+  explicit Mixture(SpeciesSet set);
+
+  const SpeciesSet& set() const { return set_; }
+  std::size_t n_species() const { return set_.size(); }
+
+  /// Mixture gas constant R = Ru * sum(y_s / M_s) [J/(kg K)].
+  double gas_constant(std::span<const double> y) const;
+
+  /// Mean molar mass [kg/mol] from mass fractions.
+  double molar_mass(std::span<const double> y) const;
+
+  /// Mass fractions -> mole fractions.
+  std::vector<double> mole_fractions(std::span<const double> y) const;
+
+  /// Mole fractions -> mass fractions.
+  std::vector<double> mass_fractions_from_moles(
+      std::span<const double> x) const;
+
+  /// Frozen specific heat cp [J/(kg K)] at temperature t.
+  double cp_mass(std::span<const double> y, double t) const;
+
+  /// Mixture specific enthalpy [J/kg] (absolute, incl. formation).
+  double enthalpy_mass(std::span<const double> y, double t) const;
+
+  /// Mixture specific internal energy [J/kg]: e = h - R T.
+  double internal_energy_mass(std::span<const double> y, double t) const;
+
+  /// Invert e(T) for temperature by safeguarded Newton. \p t_guess seeds
+  /// the iteration; result clamped to [t_min, t_max].
+  double temperature_from_energy(std::span<const double> y, double e,
+                                 double t_guess = 1000.0,
+                                 double t_min = 10.0,
+                                 double t_max = 60000.0) const;
+
+  /// Same inversion from enthalpy h = e + R T.
+  double temperature_from_enthalpy(std::span<const double> y, double h,
+                                   double t_guess = 1000.0) const;
+
+  /// Frozen sound speed a^2 = gamma_frozen R T.
+  double frozen_sound_speed(std::span<const double> y, double t) const;
+
+  /// Frozen specific-heat ratio cp/(cp - R).
+  double gamma_frozen(std::span<const double> y, double t) const;
+
+  /// Validate and renormalize mass fractions in place (clip tiny negatives
+  /// from conservative updates, renormalize to sum 1).
+  static void clean_mass_fractions(std::span<double> y);
+
+ private:
+  SpeciesSet set_;
+};
+
+}  // namespace cat::gas

@@ -1,0 +1,169 @@
+#include "gas/thermo.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+
+namespace cat::gas {
+
+namespace {
+using constants::kAvogadro;
+using constants::kBoltzmann;
+using constants::kPlanck;
+using constants::kRu;
+
+/// Vibrational energy of one harmonic mode per mole [J/mol].
+double vib_energy_mode(double theta, double t) {
+  const double x = theta / t;
+  if (x > 500.0) return 0.0;  // fully frozen; avoids exp overflow
+  return kRu * theta / (std::exp(x) - 1.0);
+}
+
+/// d/dT of vib_energy_mode [J/(mol K)].
+double vib_cv_mode(double theta, double t) {
+  const double x = theta / t;
+  if (x > 500.0) return 0.0;
+  const double ex = std::exp(x);
+  const double denom = ex - 1.0;
+  return kRu * x * x * ex / (denom * denom);
+}
+
+/// Electronic partition function and its energy moment.
+struct ElectronicState {
+  double q;       ///< partition function
+  double e;       ///< energy [J/mol]
+  double cv;      ///< heat capacity [J/(mol K)]
+};
+
+ElectronicState electronic_state(const Species& s, double t) {
+  double q = 0.0, e1 = 0.0, e2 = 0.0;  // sums of g e^{-x}, g x e^{-x}, g x^2 e^{-x}
+  for (const auto& lvl : s.electronic) {
+    const double x = lvl.theta / t;
+    if (x > 500.0) continue;
+    const double w = lvl.g * std::exp(-x);
+    q += w;
+    e1 += w * x;
+    e2 += w * x * x;
+  }
+  if (q <= 0.0) {  // only the ground level survives numerically
+    return {static_cast<double>(s.electronic.front().g), 0.0, 0.0};
+  }
+  const double mean_x = e1 / q;
+  const double var_x = e2 / q - mean_x * mean_x;
+  return {q, kRu * t * mean_x, kRu * var_x};
+}
+}  // namespace
+
+double internal_energy_thermal(const Species& s, double t) {
+  CAT_REQUIRE(t > 0.0, "temperature must be positive");
+  double e = 1.5 * kRu * t;  // translation
+  if (s.rotor == RotorType::kLinear) {
+    e += kRu * t;
+  } else if (s.rotor == RotorType::kNonlinear) {
+    e += 1.5 * kRu * t;
+  }
+  for (const auto& mode : s.vib)
+    e += mode.degeneracy * vib_energy_mode(mode.theta, t);
+  e += electronic_state(s, t).e;
+  return e;
+}
+
+double cv_mole(const Species& s, double t) {
+  CAT_REQUIRE(t > 0.0, "temperature must be positive");
+  double cv = 1.5 * kRu;
+  if (s.rotor == RotorType::kLinear) {
+    cv += kRu;
+  } else if (s.rotor == RotorType::kNonlinear) {
+    cv += 1.5 * kRu;
+  }
+  for (const auto& mode : s.vib)
+    cv += mode.degeneracy * vib_cv_mode(mode.theta, t);
+  cv += electronic_state(s, t).cv;
+  return cv;
+}
+
+double cp_mole(const Species& s, double t) { return cv_mole(s, t) + kRu; }
+
+double enthalpy_mole(const Species& s, double t) {
+  const double t_ref = constants::kTemperatureRef;
+  const double h_th = internal_energy_thermal(s, t) + kRu * t;
+  const double h_th_ref = internal_energy_thermal(s, t_ref) + kRu * t_ref;
+  return s.h_formation_298 + (h_th - h_th_ref);
+}
+
+double entropy_mole(const Species& s, double t, double p) {
+  CAT_REQUIRE(t > 0.0 && p > 0.0, "state must be positive");
+  const double m = s.molar_mass / kAvogadro;  // particle mass [kg]
+  // Translational (Sackur-Tetrode).
+  const double lambda3 =
+      std::pow(2.0 * M_PI * m * kBoltzmann * t / (kPlanck * kPlanck), 1.5);
+  double entropy =
+      kRu * (std::log(lambda3 * kBoltzmann * t / p) + 2.5);
+  // Rotational.
+  if (s.rotor == RotorType::kLinear) {
+    entropy += kRu * (std::log(t / (s.symmetry * s.theta_rot[0])) + 1.0);
+  } else if (s.rotor == RotorType::kNonlinear) {
+    const double q_rot =
+        std::sqrt(M_PI * t * t * t /
+                  (s.theta_rot[0] * s.theta_rot[1] * s.theta_rot[2])) /
+        s.symmetry;
+    entropy += kRu * (std::log(q_rot) + 1.5);
+  }
+  // Vibrational.
+  for (const auto& mode : s.vib) {
+    const double x = mode.theta / t;
+    if (x > 500.0) continue;
+    const double em = std::exp(-x);
+    entropy += mode.degeneracy * kRu * (x * em / (1.0 - em) - std::log(1.0 - em));
+  }
+  // Electronic.
+  const ElectronicState el = electronic_state(s, t);
+  entropy += kRu * std::log(el.q) + el.e / t;
+  return entropy;
+}
+
+double gibbs_mole(const Species& s, double t, double p) {
+  return enthalpy_mole(s, t) - t * entropy_mole(s, t, p);
+}
+
+ThermoEval evaluate(const Species& s, double t, double p) {
+  ThermoEval out;
+  out.cp = cp_mole(s, t);
+  out.h = enthalpy_mole(s, t);
+  out.s = entropy_mole(s, t, p);
+  out.g = out.h - t * out.s;
+  return out;
+}
+
+double vibronic_energy_mole(const Species& s, double tv) {
+  CAT_REQUIRE(tv > 0.0, "temperature must be positive");
+  double e = 0.0;
+  for (const auto& mode : s.vib)
+    e += mode.degeneracy * vib_energy_mode(mode.theta, tv);
+  e += electronic_state(s, tv).e;
+  return e;
+}
+
+double vibronic_cv_mole(const Species& s, double tv) {
+  CAT_REQUIRE(tv > 0.0, "temperature must be positive");
+  double cv = 0.0;
+  for (const auto& mode : s.vib)
+    cv += mode.degeneracy * vib_cv_mode(mode.theta, tv);
+  cv += electronic_state(s, tv).cv;
+  return cv;
+}
+
+double enthalpy_mass(const Species& s, double t) {
+  return enthalpy_mole(s, t) / s.molar_mass;
+}
+
+double cp_mass(const Species& s, double t) {
+  return cp_mole(s, t) / s.molar_mass;
+}
+
+double vibronic_energy_mass(const Species& s, double tv) {
+  return vibronic_energy_mole(s, tv) / s.molar_mass;
+}
+
+}  // namespace cat::gas

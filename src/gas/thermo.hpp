@@ -1,0 +1,70 @@
+#pragma once
+/// \file thermo.hpp
+/// Rigid-rotor / harmonic-oscillator (RRHO) statistical thermodynamics.
+///
+/// Every thermodynamic function in the library — species enthalpies for the
+/// energy equation, Gibbs energies for the equilibrium solver, equilibrium
+/// constants for the finite-rate chemistry — is evaluated from one
+/// partition-function model so that chemistry and thermodynamics are
+/// mutually consistent (a requirement the paper stresses for coupling
+/// real-gas models to flow solvers).
+///
+/// Mode partition:
+///   translation  : classical, Sackur-Tetrode entropy
+///   rotation     : classical (theta_r << T in all CAT regimes)
+///   vibration    : quantum harmonic oscillators, one term per mode
+///   electronic   : explicit sum over tabulated low-lying levels
+///
+/// All per-mole quantities are J/mol (or J/(mol K)); per-mass helpers in
+/// J/kg are provided for flow-solver use.
+
+#include "gas/species.hpp"
+
+namespace cat::gas {
+
+/// Thermodynamic property bundle evaluated at one temperature.
+struct ThermoEval {
+  double cp;       ///< [J/(mol K)] at constant pressure
+  double h;        ///< [J/mol] absolute enthalpy incl. formation
+  double s;        ///< [J/(mol K)] at the evaluation pressure
+  double g;        ///< [J/mol] Gibbs = h - T s
+};
+
+/// Internal thermal energy (J/mol) measured from 0 K, *excluding* formation
+/// enthalpy: translation + rotation + vibration + electronic.
+double internal_energy_thermal(const Species& s, double t);
+
+/// Constant-volume heat capacity [J/(mol K)].
+double cv_mole(const Species& s, double t);
+
+/// Constant-pressure heat capacity [J/(mol K)] (= cv + Ru for ideal gas).
+double cp_mole(const Species& s, double t);
+
+/// Absolute enthalpy [J/mol]: formation enthalpy at 298.15 K plus thermal
+/// enthalpy difference h_th(T) - h_th(298.15).
+double enthalpy_mole(const Species& s, double t);
+
+/// Entropy [J/(mol K)] at temperature \p t and pressure \p p.
+double entropy_mole(const Species& s, double t, double p);
+
+/// Gibbs free energy [J/mol] at (t, p).
+double gibbs_mole(const Species& s, double t, double p);
+
+/// All properties at once (cheaper than separate calls).
+ThermoEval evaluate(const Species& s, double t, double p);
+
+/// --- vibrational-mode partial properties (two-temperature model) -------
+
+/// Vibrational + electronic energy content [J/mol] evaluated at its own
+/// temperature tv — the energy pool of the Park two-temperature model.
+double vibronic_energy_mole(const Species& s, double tv);
+
+/// d(vibronic energy)/dT [J/(mol K)] — vibronic heat capacity.
+double vibronic_cv_mole(const Species& s, double tv);
+
+/// --- per-mass helpers ---------------------------------------------------
+double enthalpy_mass(const Species& s, double t);        ///< [J/kg]
+double cp_mass(const Species& s, double t);              ///< [J/(kg K)]
+double vibronic_energy_mass(const Species& s, double tv);///< [J/kg]
+
+}  // namespace cat::gas

@@ -1,0 +1,202 @@
+#include "gas/two_temperature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+#include "gas/thermo.hpp"
+
+namespace cat::gas {
+
+using constants::kRu;
+
+namespace {
+/// Park's limiting collision cross section for vibrational relaxation [m^2].
+constexpr double kParkSigmaV = 3.0e-21;
+}  // namespace
+
+TwoTemperatureGas::TwoTemperatureGas(SpeciesSet set)
+    : mix_(std::move(set)), electron_index_(-1) {
+  is_molecule_.resize(mix_.n_species());
+  for (std::size_t s = 0; s < mix_.n_species(); ++s) {
+    const Species& sp = mix_.set().species(s);
+    is_molecule_[s] = sp.is_molecule();
+    if (sp.is_electron()) electron_index_ = static_cast<std::ptrdiff_t>(s);
+  }
+}
+
+double TwoTemperatureGas::species_e_tr_rot(std::size_t s, double t) const {
+  const Species& sp = mix_.set().species(s);
+  double e = 1.5 * kRu * t;
+  if (sp.rotor == RotorType::kLinear) e += kRu * t;
+  if (sp.rotor == RotorType::kNonlinear) e += 1.5 * kRu * t;
+  return e;
+}
+
+double TwoTemperatureGas::energy(std::span<const double> y, double t,
+                                 double tv) const {
+  CAT_REQUIRE(y.size() == n_species(), "composition size mismatch");
+  double e = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    if (y[s] == 0.0) continue;
+    const Species& sp = mix_.set().species(s);
+    const double t_ref = constants::kTemperatureRef;
+    const double h_th_ref =
+        internal_energy_thermal(sp, t_ref) + kRu * t_ref;
+    double e_mole;
+    if (sp.is_electron()) {
+      // Electron translation rides the vibronic pool.
+      e_mole = sp.h_formation_298 - h_th_ref + 1.5 * kRu * tv;
+    } else {
+      e_mole = sp.h_formation_298 - h_th_ref + species_e_tr_rot(s, t) +
+               vibronic_energy_mole(sp, tv);
+    }
+    e += y[s] * e_mole / sp.molar_mass;
+  }
+  return e;
+}
+
+double TwoTemperatureGas::vibronic_energy(std::span<const double> y,
+                                          double tv) const {
+  CAT_REQUIRE(y.size() == n_species(), "composition size mismatch");
+  double ev = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    if (y[s] == 0.0) continue;
+    const Species& sp = mix_.set().species(s);
+    if (sp.is_electron()) {
+      ev += y[s] * 1.5 * kRu * tv / sp.molar_mass;
+    } else {
+      ev += y[s] * vibronic_energy_mole(sp, tv) / sp.molar_mass;
+    }
+  }
+  return ev;
+}
+
+double TwoTemperatureGas::vibronic_cv(std::span<const double> y,
+                                      double tv) const {
+  double cv = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    if (y[s] == 0.0) continue;
+    const Species& sp = mix_.set().species(s);
+    if (sp.is_electron()) {
+      cv += y[s] * 1.5 * kRu / sp.molar_mass;
+    } else {
+      cv += y[s] * vibronic_cv_mole(sp, tv) / sp.molar_mass;
+    }
+  }
+  return cv;
+}
+
+double TwoTemperatureGas::trans_rot_cv(std::span<const double> y) const {
+  double cv = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    if (y[s] == 0.0) continue;
+    const Species& sp = mix_.set().species(s);
+    if (sp.is_electron()) continue;
+    double c = 1.5 * kRu;
+    if (sp.rotor == RotorType::kLinear) c += kRu;
+    if (sp.rotor == RotorType::kNonlinear) c += 1.5 * kRu;
+    cv += y[s] * c / sp.molar_mass;
+  }
+  return cv;
+}
+
+double TwoTemperatureGas::tv_from_vibronic_energy(std::span<const double> y,
+                                                  double ev,
+                                                  double tv_guess) const {
+  double tv = std::clamp(tv_guess, 20.0, 80000.0);
+  for (int it = 0; it < 120; ++it) {
+    const double f = vibronic_energy(y, tv) - ev;
+    const double cv = std::max(vibronic_cv(y, tv), 1e-8);
+    double tn = std::clamp(tv - f / cv, 20.0, 80000.0);
+    if (std::fabs(tn - tv) < 1e-9 * std::max(1.0, tv)) return tn;
+    tv = tn;
+  }
+  return tv;
+}
+
+double TwoTemperatureGas::t_from_energy(std::span<const double> y,
+                                        double e_total, double ev,
+                                        double t_guess) const {
+  // e_total - ev = chemical reference constants + cv_tr * T with constant
+  // cv_tr (translation and rotation are classical), so the inversion is
+  // algebraic: evaluate the reference part at a probe temperature and solve.
+  (void)t_guess;
+  const double cv_tr = std::max(trans_rot_cv(y), 1e-8);
+  const double t_probe = 1000.0;
+  const double e_ref = energy(y, t_probe, t_probe) -
+                       vibronic_energy(y, t_probe) - cv_tr * t_probe;
+  const double t = (e_total - ev - e_ref) / cv_tr;
+  return std::clamp(t, 20.0, 100000.0);
+}
+
+double TwoTemperatureGas::pressure(double rho, std::span<const double> y,
+                                   double t, double tv) const {
+  double p = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    if (y[s] == 0.0) continue;
+    const Species& sp = mix_.set().species(s);
+    const double temp = sp.is_electron() ? tv : t;
+    p += rho * y[s] * kRu * temp / sp.molar_mass;
+  }
+  return p;
+}
+
+double TwoTemperatureGas::relaxation_time(std::size_t s,
+                                          std::span<const double> x, double t,
+                                          double p, double nd) const {
+  CAT_REQUIRE(s < n_species(), "species index out of range");
+  const Species& sp = mix_.set().species(s);
+  CAT_REQUIRE(sp.is_molecule(), "relaxation time defined for molecules");
+  CAT_REQUIRE(t > 0.0 && p > 0.0 && nd > 0.0, "state must be positive");
+
+  const double theta_v = sp.vib.front().theta;
+  const double p_atm = p / 101325.0;
+
+  // Millikan-White, mole-fraction averaged over collision partners:
+  //   tau_MW = sum(x_m) / sum(x_m / tau_sm)
+  double num = 0.0, den = 0.0;
+  for (std::size_t m = 0; m < n_species(); ++m) {
+    if (x[m] <= 0.0) continue;
+    const Species& pm = mix_.set().species(m);
+    if (pm.is_electron()) continue;  // electron-vibration handled separately
+    const double mu_red =  // reduced mass in g/mol (Millikan-White units)
+        1.0e3 * sp.molar_mass * pm.molar_mass /
+        (sp.molar_mass + pm.molar_mass);
+    const double a = 1.16e-3 * std::sqrt(mu_red) * std::pow(theta_v, 4.0 / 3.0);
+    const double b = 0.015 * std::pow(mu_red, 0.25);
+    const double tau_sm =
+        std::exp(a * (std::pow(t, -1.0 / 3.0) - b) - 18.42) / p_atm;
+    num += x[m];
+    den += x[m] / tau_sm;
+  }
+  const double tau_mw = den > 0.0 ? num / den : 1.0;
+
+  // Park high-temperature correction: collision-limited relaxation.
+  const double cbar = std::sqrt(8.0 * kRu * t / (M_PI * sp.molar_mass));
+  const double tau_park = 1.0 / (kParkSigmaV * cbar * nd);
+
+  return tau_mw + tau_park;
+}
+
+double TwoTemperatureGas::landau_teller_source(double rho,
+                                               std::span<const double> y,
+                                               double t, double tv,
+                                               double p) const {
+  const std::vector<double> x = mix_.mole_fractions(y);
+  const double mbar = mix_.molar_mass(y);
+  const double nd = rho / mbar * constants::kAvogadro;
+  double q = 0.0;
+  for (std::size_t s = 0; s < n_species(); ++s) {
+    if (y[s] <= 0.0 || !is_molecule_[s]) continue;
+    const Species& sp = mix_.set().species(s);
+    const double tau = relaxation_time(s, x, t, p, nd);
+    const double ev_eq = vibronic_energy_mole(sp, t) / sp.molar_mass;
+    const double ev = vibronic_energy_mole(sp, tv) / sp.molar_mass;
+    q += rho * y[s] * (ev_eq - ev) / tau;
+  }
+  return q;
+}
+
+}  // namespace cat::gas

@@ -1,0 +1,111 @@
+#include "grid/grid.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cat::grid {
+
+double tanh_cluster(double u, double beta) {
+  CAT_REQUIRE(beta > 0.0, "cluster beta must be positive");
+  CAT_REQUIRE(u >= 0.0 && u <= 1.0, "u outside [0,1]");
+  // One-sided tanh stretching toward u = 0: t(0)=0, t(1)=1, dt/du smallest
+  // at the wall for larger beta.
+  return 1.0 + std::tanh(beta * (u - 1.0)) / std::tanh(beta);
+}
+
+StructuredGrid::StructuredGrid(std::size_t ni, std::size_t nj)
+    : ni_(ni), nj_(nj) {
+  CAT_REQUIRE(ni >= 2 && nj >= 2, "grid too small");
+  xn_.assign((ni + 1) * (nj + 1), 0.0);
+  rn_.assign((ni + 1) * (nj + 1), 0.0);
+}
+
+void StructuredGrid::compute_metrics(bool axisymmetric) {
+  axisymmetric_ = axisymmetric;
+  xc_.assign(ni_ * nj_, 0.0);
+  rc_.assign(ni_ * nj_, 0.0);
+  vol_.assign(ni_ * nj_, 0.0);
+  area_.assign(ni_ * nj_, 0.0);
+  ifnx_.assign((ni_ + 1) * nj_, 0.0);
+  ifnr_.assign((ni_ + 1) * nj_, 0.0);
+  jfnx_.assign(ni_ * (nj_ + 1), 0.0);
+  jfnr_.assign(ni_ * (nj_ + 1), 0.0);
+
+  for (std::size_t i = 0; i < ni_; ++i) {
+    for (std::size_t j = 0; j < nj_; ++j) {
+      // Quad corners counter-clockwise: (i,j), (i+1,j), (i+1,j+1), (i,j+1).
+      const double x1 = xn(i, j), r1 = rn(i, j);
+      const double x2 = xn(i + 1, j), r2 = rn(i + 1, j);
+      const double x3 = xn(i + 1, j + 1), r3 = rn(i + 1, j + 1);
+      const double x4 = xn(i, j + 1), r4 = rn(i, j + 1);
+      const double a = 0.5 * std::fabs((x3 - x1) * (r4 - r2) -
+                                       (x4 - x2) * (r3 - r1));
+      const double xcen = 0.25 * (x1 + x2 + x3 + x4);
+      const double rcen = 0.25 * (r1 + r2 + r3 + r4);
+      xc_[cidx(i, j)] = xcen;
+      rc_[cidx(i, j)] = rcen;
+      area_[cidx(i, j)] = a;
+      vol_[cidx(i, j)] = axisymmetric ? a * std::max(rcen, 1e-12) : a;
+      CAT_REQUIRE(a > 0.0, "degenerate cell");
+    }
+  }
+  // i-faces: the edge from node (i,j) to (i,j+1); +i normal = rotate edge.
+  for (std::size_t i = 0; i <= ni_; ++i) {
+    for (std::size_t j = 0; j < nj_; ++j) {
+      const double dx = xn(i, j + 1) - xn(i, j);
+      const double dr = rn(i, j + 1) - rn(i, j);
+      const double rmid = 0.5 * (rn(i, j + 1) + rn(i, j));
+      const double w = axisymmetric_ ? std::max(rmid, 1e-12) : 1.0;
+      // Outward (+i) normal of edge (dx,dr) is (dr,-dx); orientation
+      // verified by the generator (j increases away from the wall, i along
+      // the body): works for right-handed (i, j) meshes.
+      ifnx_[ifidx(i, j)] = dr * w;
+      ifnr_[ifidx(i, j)] = -dx * w;
+    }
+  }
+  // j-faces: the edge from node (i,j) to (i+1,j); +j normal = (-dr, dx).
+  for (std::size_t i = 0; i < ni_; ++i) {
+    for (std::size_t j = 0; j <= nj_; ++j) {
+      const double dx = xn(i + 1, j) - xn(i, j);
+      const double dr = rn(i + 1, j) - rn(i, j);
+      const double rmid = 0.5 * (rn(i + 1, j) + rn(i, j));
+      const double w = axisymmetric_ ? std::max(rmid, 1e-12) : 1.0;
+      jfnx_[jfidx(i, j)] = -dr * w;
+      jfnr_[jfidx(i, j)] = dx * w;
+    }
+  }
+}
+
+StructuredGrid make_normal_grid(const geometry::Body& body, double s_max,
+                                std::size_t ni, std::size_t nj,
+                                const StandoffProfile& standoff,
+                                double wall_cluster_beta, bool axisymmetric) {
+  CAT_REQUIRE(s_max > 0.0, "s_max must be positive");
+  StructuredGrid g(ni, nj);
+  for (std::size_t i = 0; i <= ni; ++i) {
+    const double s = s_max * static_cast<double>(i) / static_cast<double>(ni);
+    const geometry::SurfacePoint p = body.at(s);
+    const double delta = standoff(s);
+    CAT_REQUIRE(delta > 0.0, "standoff must be positive");
+    // Outward normal of the surface: surface tangent makes angle theta with
+    // the axis; outward normal = (-sin(theta), cos(theta)) rotated to point
+    // away from the body: for a convex forebody it is
+    // (cos(theta+90deg)) ... explicitly: n = (-sin? ) Choose
+    // n = ( -sin(theta), cos(theta) )? For the sphere nose (theta=pi/2):
+    // n = (-1, 0): points upstream along the stagnation ray. Correct.
+    const double nx = -std::sin(p.theta);
+    const double nr = std::cos(p.theta);
+    for (std::size_t j = 0; j <= nj; ++j) {
+      const double u = static_cast<double>(j) / static_cast<double>(nj);
+      const double d = delta * tanh_cluster(u, wall_cluster_beta);
+      g.xn(i, j) = p.x + nx * d;
+      g.rn(i, j) = p.r + nr * d;
+      if (g.rn(i, j) < 0.0) g.rn(i, j) = 0.0;
+    }
+  }
+  g.compute_metrics(axisymmetric);
+  return g;
+}
+
+}  // namespace cat::grid

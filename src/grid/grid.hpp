@@ -1,0 +1,107 @@
+#pragma once
+/// \file grid.hpp
+/// Structured body-fitted grids and axisymmetric finite-volume metrics.
+///
+/// The shock-capturing solvers (Euler/NS) use cell-centered finite volumes
+/// on a body-normal structured mesh: index i runs along the body surface
+/// from the stagnation ray, j runs from the wall (j=0) to the outer
+/// boundary. Wall clustering uses a tanh stretching so the NS solver
+/// resolves the boundary layer ("efficient grid-generation and
+/// solution-adaptive techniques" is one of the paper's listed challenges —
+/// this module provides the standard era answer).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "geometry/body.hpp"
+
+namespace cat::grid {
+
+/// One-sided tanh clustering: maps uniform u in [0,1] to [0,1] with points
+/// concentrated near 0 for beta > 1 (larger beta = milder clustering).
+double tanh_cluster(double u, double beta);
+
+/// Structured quadrilateral grid of an axisymmetric meridian plane.
+/// Node storage is (ni+1) x (nj+1), row-major over i.
+class StructuredGrid {
+ public:
+  StructuredGrid(std::size_t ni, std::size_t nj);
+
+  std::size_t ni() const { return ni_; }  ///< cells along the body
+  std::size_t nj() const { return nj_; }  ///< cells wall -> outer
+
+  double& xn(std::size_t i, std::size_t j) { return xn_[idx(i, j)]; }
+  double& rn(std::size_t i, std::size_t j) { return rn_[idx(i, j)]; }
+  double xn(std::size_t i, std::size_t j) const { return xn_[idx(i, j)]; }
+  double rn(std::size_t i, std::size_t j) const { return rn_[idx(i, j)]; }
+
+  /// Compute cell centers, volumes and face metrics from node coordinates.
+  /// Axisymmetric metrics per radian: face areas are length x mean radius,
+  /// volumes are quad area x centroid radius.
+  void compute_metrics(bool axisymmetric = true);
+
+  /// Cell-center coordinates and volume.
+  double xc(std::size_t i, std::size_t j) const { return xc_[cidx(i, j)]; }
+  double rc(std::size_t i, std::size_t j) const { return rc_[cidx(i, j)]; }
+  double volume(std::size_t i, std::size_t j) const {
+    return vol_[cidx(i, j)];
+  }
+  /// Planar cell area (no radius weighting) for the axisymmetric source.
+  double area(std::size_t i, std::size_t j) const { return area_[cidx(i, j)]; }
+
+  /// i-face between cell (i-1,j) and (i,j): outward normal times face area
+  /// (pointing in +i direction). Valid for i in [0, ni], j in [0, nj).
+  double iface_nx(std::size_t i, std::size_t j) const {
+    return ifnx_[ifidx(i, j)];
+  }
+  double iface_nr(std::size_t i, std::size_t j) const {
+    return ifnr_[ifidx(i, j)];
+  }
+  /// j-face between cell (i,j-1) and (i,j), normal pointing in +j.
+  double jface_nx(std::size_t i, std::size_t j) const {
+    return jfnx_[jfidx(i, j)];
+  }
+  double jface_nr(std::size_t i, std::size_t j) const {
+    return jfnr_[jfidx(i, j)];
+  }
+
+  bool axisymmetric() const { return axisymmetric_; }
+
+ private:
+  std::size_t ni_, nj_;
+  bool axisymmetric_ = true;
+  std::vector<double> xn_, rn_;          // nodes
+  std::vector<double> xc_, rc_, vol_, area_;  // cells
+  std::vector<double> ifnx_, ifnr_;      // i-face normals (area-weighted)
+  std::vector<double> jfnx_, jfnr_;      // j-face normals (area-weighted)
+
+  std::size_t idx(std::size_t i, std::size_t j) const {
+    return i * (nj_ + 1) + j;
+  }
+  std::size_t cidx(std::size_t i, std::size_t j) const {
+    return i * nj_ + j;
+  }
+  std::size_t ifidx(std::size_t i, std::size_t j) const {
+    return i * nj_ + j;
+  }
+  std::size_t jfidx(std::size_t i, std::size_t j) const {
+    return i * (nj_ + 1) + j;
+  }
+};
+
+/// Standoff-distance profile for the outer boundary, as a function of arc
+/// length along the body [m] -> distance along the outward normal [m].
+using StandoffProfile = std::function<double(double s)>;
+
+/// Generate a body-normal grid: i follows the body generator over
+/// [0, s_max]; each i-line extends from the surface along the local normal
+/// to the standoff profile, clustered toward the wall with tanh_cluster.
+/// The i=0 line lies on the stagnation ray (upstream axis).
+StructuredGrid make_normal_grid(const geometry::Body& body, double s_max,
+                                std::size_t ni, std::size_t nj,
+                                const StandoffProfile& standoff,
+                                double wall_cluster_beta = 1.15,
+                                bool axisymmetric = true);
+
+}  // namespace cat::grid

@@ -1,0 +1,83 @@
+#include "io/contour.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace cat::io {
+
+std::string ascii_contour(const std::vector<FieldPoint>& field,
+                          std::size_t cols, std::size_t rows, double vmin,
+                          double vmax) {
+  CAT_REQUIRE(!field.empty(), "empty field");
+  CAT_REQUIRE(cols >= 2 && rows >= 2, "raster too small");
+  CAT_REQUIRE(vmax > vmin, "bad contour range");
+  double xmin = std::numeric_limits<double>::max(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& p : field) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  const double dx = (xmax - xmin) / static_cast<double>(cols - 1);
+  const double dy = (ymax - ymin) / static_cast<double>(rows - 1);
+  // Nearest-sample raster with a capture radius of ~1.5 raster cells.
+  const double capture2 = 2.25 * (dx * dx + dy * dy);
+
+  std::ostringstream os;
+  for (std::size_t rrow = 0; rrow < rows; ++rrow) {
+    const double y = ymax - dy * static_cast<double>(rrow);  // top first
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double x = xmin + dx * static_cast<double>(c);
+      double best = capture2;
+      double val = std::numeric_limits<double>::quiet_NaN();
+      for (const auto& p : field) {
+        const double d2 = (p.x - x) * (p.x - x) + (p.y - y) * (p.y - y);
+        if (d2 < best) {
+          best = d2;
+          val = p.value;
+        }
+      }
+      if (std::isnan(val)) {
+        os << '.';
+      } else {
+        const int band = static_cast<int>(
+            std::clamp((val - vmin) / (vmax - vmin) * 10.0, 0.0, 9.0));
+        os << static_cast<char>('0' + band);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<std::vector<FieldPoint>> iso_contours(
+    const std::vector<FieldPoint>& field, std::size_t row_length,
+    const std::vector<double>& levels) {
+  CAT_REQUIRE(row_length >= 2, "row length too small");
+  CAT_REQUIRE(field.size() % row_length == 0, "field not rectangular");
+  std::vector<std::vector<FieldPoint>> out(levels.size());
+  const std::size_t nrows = field.size() / row_length;
+  for (std::size_t lev = 0; lev < levels.size(); ++lev) {
+    const double target = levels[lev];
+    for (std::size_t r = 0; r < nrows; ++r) {
+      for (std::size_t c = 0; c + 1 < row_length; ++c) {
+        const FieldPoint& a = field[r * row_length + c];
+        const FieldPoint& b = field[r * row_length + c + 1];
+        const double da = a.value - target, db = b.value - target;
+        if (da * db < 0.0) {
+          const double w = da / (da - db);
+          out[lev].push_back({a.x + w * (b.x - a.x), a.y + w * (b.y - a.y),
+                              target});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cat::io

@@ -1,0 +1,33 @@
+#pragma once
+/// \file contour.hpp
+/// ASCII contour rendering for field data — the terminal stand-in for the
+/// paper's contour plots (Fig. 9 N2 mole-fraction contours). Also exports
+/// point-cloud CSV so the field can be re-plotted exactly.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cat::io {
+
+/// Scattered field sample.
+struct FieldPoint {
+  double x, y, value;
+};
+
+/// Render scattered (x, y, value) samples to an ASCII raster. Each cell of
+/// the raster shows the contour-band index 0-9 between vmin and vmax
+/// (nearest-sample lookup), '.' for empty space.
+std::string ascii_contour(const std::vector<FieldPoint>& field,
+                          std::size_t cols, std::size_t rows, double vmin,
+                          double vmax);
+
+/// Extract iso-contour crossing locations along grid lines: for each
+/// requested level, returns the (x, y) points where consecutive samples in
+/// a logical row bracket the level (linear interpolation). `row_length` is
+/// the i-stride of the logical structure within `field`.
+std::vector<std::vector<FieldPoint>> iso_contours(
+    const std::vector<FieldPoint>& field, std::size_t row_length,
+    const std::vector<double>& levels);
+
+}  // namespace cat::io

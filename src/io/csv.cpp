@@ -1,0 +1,44 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace cat::io {
+
+void write_csv(const Table& table, const std::string& path) {
+  std::ofstream f(path);
+  CAT_REQUIRE(f.good(), "cannot open CSV output: " + path);
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    f << table.headers()[c];
+    f << (c + 1 < table.n_cols() ? ',' : '\n');
+  }
+  f.precision(10);
+  for (std::size_t r = 0; r < table.n_rows(); ++r) {
+    const auto& row = table.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      f << row[c];
+      f << (c + 1 < row.size() ? ',' : '\n');
+    }
+  }
+}
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& columns) {
+  CAT_REQUIRE(headers.size() == columns.size(), "header/column mismatch");
+  CAT_REQUIRE(!columns.empty(), "no columns");
+  const std::size_t n = columns.front().size();
+  for (const auto& col : columns)
+    CAT_REQUIRE(col.size() == n, "ragged columns");
+  std::ofstream f(path);
+  CAT_REQUIRE(f.good(), "cannot open CSV output: " + path);
+  for (std::size_t c = 0; c < headers.size(); ++c)
+    f << headers[c] << (c + 1 < headers.size() ? ',' : '\n');
+  f.precision(10);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      f << columns[c][r] << (c + 1 < columns.size() ? ',' : '\n');
+}
+
+}  // namespace cat::io

@@ -1,0 +1,21 @@
+#pragma once
+/// \file csv.hpp
+/// CSV writers so every figure bench leaves a machine-readable artifact
+/// next to its console output.
+
+#include <string>
+#include <vector>
+
+#include "io/table.hpp"
+
+namespace cat::io {
+
+/// Write a Table as CSV (header row + data rows). Throws on I/O failure.
+void write_csv(const Table& table, const std::string& path);
+
+/// Write parallel columns as CSV.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& columns);
+
+}  // namespace cat::io

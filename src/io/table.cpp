@@ -1,0 +1,46 @@
+#include "io/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace cat::io {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_columns(std::vector<std::string> headers) {
+  CAT_REQUIRE(!headers.empty(), "need at least one column");
+  headers_ = std::move(headers);
+}
+
+void Table::add_row(const std::vector<double>& values) {
+  CAT_REQUIRE(values.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(values);
+}
+
+std::string Table::str() const {
+  std::ostringstream os;
+  os << "# " << title_ << "\n";
+  constexpr int kWidth = 14;
+  for (const auto& h : headers_) {
+    std::string t = h;
+    if (t.size() > kWidth - 1) t.resize(kWidth - 1);
+    os << t;
+    for (std::size_t k = t.size(); k < kWidth; ++k) os << ' ';
+  }
+  os << "\n";
+  char buf[64];
+  for (const auto& row : rows_) {
+    for (double v : row) {
+      std::snprintf(buf, sizeof(buf), "%-13.5g ", v);
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace cat::io

@@ -1,0 +1,41 @@
+#pragma once
+/// \file table.hpp
+/// Console table formatting for the figure-regeneration benches: each bench
+/// prints the series the paper plots as aligned columns (plus CSV files via
+/// io/csv.hpp).
+
+#include <string>
+#include <vector>
+
+namespace cat::io {
+
+/// Column-oriented numeric table with a title and column headers.
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  /// Define columns (call once before adding rows).
+  void set_columns(std::vector<std::string> headers);
+
+  /// Append one row; size must match the headers.
+  void add_row(const std::vector<double>& values);
+
+  std::size_t n_rows() const { return rows_.size(); }
+  std::size_t n_cols() const { return headers_.size(); }
+  const std::vector<double>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::string& title() const { return title_; }
+
+  /// Render with aligned columns in engineering notation.
+  std::string str() const;
+
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace cat::io

@@ -1,0 +1,52 @@
+#pragma once
+/// \file limiters.hpp
+/// Slope limiters for MUSCL reconstruction in the shock-capturing
+/// finite-volume solvers (paper: "the upwind NS method used here allows the
+/// hypersonic bow shock to be captured"). Header-only; all functions take
+/// the left and right one-sided differences and return the limited slope.
+
+#include <algorithm>
+#include <cmath>
+
+namespace cat::numerics {
+
+/// Available limiter choices; `abl_limiters` sweeps these.
+enum class Limiter { kNone, kMinmod, kVanLeer, kVanAlbada, kSuperbee };
+
+inline double minmod(double a, double b) {
+  if (a * b <= 0.0) return 0.0;
+  return std::fabs(a) < std::fabs(b) ? a : b;
+}
+
+inline double van_leer(double a, double b) {
+  const double ab = a * b;
+  if (ab <= 0.0) return 0.0;
+  return 2.0 * ab / (a + b);
+}
+
+inline double van_albada(double a, double b) {
+  const double ab = a * b;
+  if (ab <= 0.0) return 0.0;
+  return ab * (a + b) / (a * a + b * b);
+}
+
+inline double superbee(double a, double b) {
+  if (a * b <= 0.0) return 0.0;
+  const double s = a > 0.0 ? 1.0 : -1.0;
+  const double aa = std::fabs(a), bb = std::fabs(b);
+  return s * std::max(std::min(2.0 * aa, bb), std::min(aa, 2.0 * bb));
+}
+
+/// Dispatch on the enum; `kNone` returns zero slope (1st-order scheme).
+inline double limited_slope(Limiter lim, double a, double b) {
+  switch (lim) {
+    case Limiter::kMinmod:    return minmod(a, b);
+    case Limiter::kVanLeer:   return van_leer(a, b);
+    case Limiter::kVanAlbada: return van_albada(a, b);
+    case Limiter::kSuperbee:  return superbee(a, b);
+    case Limiter::kNone:      break;
+  }
+  return 0.0;
+}
+
+}  // namespace cat::numerics

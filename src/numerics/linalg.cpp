@@ -1,0 +1,164 @@
+#include "numerics/linalg.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cat::numerics {
+
+Matrix::Matrix(std::size_t r, std::size_t c, double value)
+    : rows_(r), cols_(c), data_(r * c, value) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::axpy(double s, const Matrix& other) {
+  CAT_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+              "axpy shape mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += s * other.data_[k];
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  axpy(1.0, o);
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  axpy(-1.0, o);
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  CAT_REQUIRE(a.cols() == b.rows(), "matrix product shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> x) const {
+  CAT_REQUIRE(cols_ == x.size(), "matrix-vector shape mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+LuFactor::LuFactor(const Matrix& a) : n_(a.rows()), lu_(a), piv_(a.rows()) {
+  CAT_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k below row k.
+    std::size_t p = k;
+    double pmax = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    if (pmax < 1e-300) {
+      throw SolverError("LuFactor: matrix is numerically singular");
+    }
+    if (p != k) {
+      for (std::size_t j = 0; j < n_; ++j) std::swap(lu_(k, j), lu_(p, j));
+      std::swap(piv_[k], piv_[p]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double m = lu_(i, k) * inv_pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n_; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+void LuFactor::solve_inplace(std::span<double> b) const {
+  CAT_REQUIRE(b.size() == n_, "rhs size mismatch");
+  // Apply the row permutation, then forward/back substitution.
+  std::vector<double> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
+  for (std::size_t i = 1; i < n_; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  for (std::size_t i = 0; i < n_; ++i) b[i] = x[i];
+}
+
+std::vector<double> LuFactor::solve(std::span<const double> b) const {
+  std::vector<double> x(b.begin(), b.end());
+  solve_inplace(x);
+  return x;
+}
+
+Matrix LuFactor::solve(const Matrix& b) const {
+  CAT_REQUIRE(b.rows() == n_, "matrix rhs shape mismatch");
+  Matrix x(n_, b.cols());
+  std::vector<double> col(n_);
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < n_; ++i) col[i] = b(i, j);
+    solve_inplace(col);
+    for (std::size_t i = 0; i < n_; ++i) x(i, j) = col[i];
+  }
+  return x;
+}
+
+double LuFactor::determinant() const {
+  double d = pivot_sign_;
+  for (std::size_t i = 0; i < n_; ++i) d *= lu_(i, i);
+  return d;
+}
+
+std::vector<double> solve(const Matrix& a, std::span<const double> b) {
+  return LuFactor(a).solve(b);
+}
+
+Matrix inverse(const Matrix& a) {
+  return LuFactor(a).solve(Matrix::identity(a.rows()));
+}
+
+double norm2(std::span<const double> v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double norm_inf(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  CAT_REQUIRE(a.size() == b.size(), "dot size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace cat::numerics

@@ -1,0 +1,241 @@
+#include "numerics/ode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cat::numerics {
+
+void rk4_step(const OdeRhs& f, double t, double h, std::vector<double>& y) {
+  const std::size_t n = y.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  f(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k1[i];
+  f(t + 0.5 * h, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k2[i];
+  f(t + 0.5 * h, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * k3[i];
+  f(t + h, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+}
+
+void integrate_rk4(const OdeRhs& f, double t0, double t1, std::size_t nsteps,
+                   std::vector<double>& y) {
+  CAT_REQUIRE(nsteps > 0, "nsteps must be positive");
+  const double h = (t1 - t0) / static_cast<double>(nsteps);
+  double t = t0;
+  for (std::size_t s = 0; s < nsteps; ++s, t = t0 + (s * (t1 - t0)) / nsteps)
+    rk4_step(f, t, h, y);
+}
+
+namespace {
+// Fehlberg 4(5) tableau.
+constexpr double kA[6][5] = {
+    {0, 0, 0, 0, 0},
+    {1.0 / 4, 0, 0, 0, 0},
+    {3.0 / 32, 9.0 / 32, 0, 0, 0},
+    {1932.0 / 2197, -7200.0 / 2197, 7296.0 / 2197, 0, 0},
+    {439.0 / 216, -8.0, 3680.0 / 513, -845.0 / 4104, 0},
+    {-8.0 / 27, 2.0, -3544.0 / 2565, 1859.0 / 4104, -11.0 / 40}};
+constexpr double kC[6] = {0, 1.0 / 4, 3.0 / 8, 12.0 / 13, 1.0, 0.5};
+constexpr double kB5[6] = {16.0 / 135,      0, 6656.0 / 12825,
+                           28561.0 / 56430, -9.0 / 50, 2.0 / 55};
+constexpr double kB4[6] = {25.0 / 216, 0, 1408.0 / 2565, 2197.0 / 4104,
+                           -1.0 / 5, 0};
+}  // namespace
+
+std::size_t integrate_rkf45(const OdeRhs& f, double t0, double t1,
+                            std::vector<double>& y, const AdaptiveOptions& opt,
+                            const OdeObserver& observer) {
+  const std::size_t n = y.size();
+  const double span = t1 - t0;
+  CAT_REQUIRE(span != 0.0, "degenerate integration interval");
+  const double dir = span > 0 ? 1.0 : -1.0;
+  double h = opt.h_initial != 0.0 ? opt.h_initial : span / 100.0;
+  const double h_min =
+      opt.h_min != 0.0 ? opt.h_min : 1e-14 * std::fabs(span);
+
+  std::vector<std::vector<double>> k(6, std::vector<double>(n));
+  std::vector<double> ytmp(n), y5(n), y4(n);
+  double t = t0;
+  std::size_t accepted = 0;
+
+  for (std::size_t step = 0; step < opt.max_steps; ++step) {
+    if ((t - t1) * dir >= 0.0) return accepted;
+    if ((t + h - t1) * dir > 0.0) h = t1 - t;  // land exactly on t1
+
+    for (int s = 0; s < 6; ++s) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i];
+        for (int j = 0; j < s; ++j) acc += h * kA[s][j] * k[j][i];
+        ytmp[i] = acc;
+      }
+      f(t + kC[s] * h, ytmp, k[s]);
+    }
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double d5 = y[i], d4 = y[i];
+      for (int s = 0; s < 6; ++s) {
+        d5 += h * kB5[s] * k[s][i];
+        d4 += h * kB4[s] * k[s][i];
+      }
+      y5[i] = d5;
+      y4[i] = d4;
+      const double scale =
+          opt.abs_tol + opt.rel_tol * std::max(std::fabs(y[i]), std::fabs(d5));
+      const double e = (d5 - d4) / scale;
+      err += e * e;
+    }
+    err = std::sqrt(err / static_cast<double>(n));
+
+    if (err <= 1.0 || std::fabs(h) <= h_min) {
+      t += h;
+      y = y5;
+      ++accepted;
+      if (observer) observer(t, y);
+    }
+    const double safety = 0.9;
+    double factor =
+        err > 0.0 ? safety * std::pow(err, -0.2) : 5.0;
+    factor = std::clamp(factor, 0.2, 5.0);
+    h *= factor;
+    if (std::fabs(h) < h_min) h = h_min * dir;
+  }
+  throw SolverError("integrate_rkf45: max_steps exceeded");
+}
+
+StiffIntegrator::StiffIntegrator(OdeRhs f, OdeJacobian jac, Options opt)
+    : f_(std::move(f)), jac_(std::move(jac)), opt_(opt) {}
+
+void StiffIntegrator::numerical_jacobian(double t, std::span<const double> y,
+                                         Matrix& jac) const {
+  const std::size_t n = y.size();
+  std::vector<double> yp(y.begin(), y.end()), f0(n), f1(n);
+  f_(t, y, f0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double eps = 1e-7 * std::max(std::fabs(y[j]), 1e-20);
+    const double saved = yp[j];
+    yp[j] = saved + eps;
+    f_(t, yp, f1);
+    yp[j] = saved;
+    for (std::size_t i = 0; i < n; ++i) jac(i, j) = (f1[i] - f0[i]) / eps;
+  }
+}
+
+std::size_t StiffIntegrator::integrate(double t0, double t1,
+                                       std::vector<double>& y,
+                                       const OdeObserver& observer) const {
+  const std::size_t n = y.size();
+  CAT_REQUIRE(t1 > t0, "stiff integrator marches forward only");
+  double t = t0;
+  double h = opt_.h_initial;
+  const double h_max = opt_.h_max > 0.0 ? opt_.h_max : (t1 - t0);
+
+  std::vector<double> yprev(y);  // y_{n-1} for BDF2
+  bool have_prev = false;
+  double h_prev = 0.0;
+
+  Matrix jac(n, n), iter_matrix(n, n);
+  std::vector<double> fval(n), res(n), ynew(n);
+  std::size_t accepted = 0;
+
+  for (std::size_t step = 0; step < opt_.max_steps; ++step) {
+    if (t >= t1 * (1.0 - 1e-15)) return accepted;
+    h = std::min(h, t1 - t);
+    h = std::min(h, h_max);
+
+    const bool bdf2 = opt_.use_bdf2 && have_prev;
+    // BDF2 with variable step ratio r = h/h_prev:
+    //   y' = (alpha0 y + alpha1 y_n + alpha2 y_{n-1}) / h
+    double alpha0 = 1.0, alpha1 = -1.0, alpha2 = 0.0;
+    if (bdf2) {
+      const double r = h / h_prev;
+      alpha0 = (1.0 + 2.0 * r) / (1.0 + r);
+      alpha1 = -(1.0 + r);
+      alpha2 = r * r / (1.0 + r);
+    }
+
+    // Newton solve of  alpha0 y - h f(t+h, y) + alpha1 y_n + alpha2 y_{n-1} = 0
+    ynew = y;
+    bool converged = false;
+    if (jac_) {
+      jac_(t + h, ynew, jac);
+    } else {
+      numerical_jacobian(t + h, ynew, jac);
+    }
+    for (std::size_t it = 0; it < opt_.max_newton; ++it) {
+      f_(t + h, ynew, fval);
+      double rnorm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        res[i] = alpha0 * ynew[i] - h * fval[i] + alpha1 * y[i] +
+                 alpha2 * (bdf2 ? yprev[i] : 0.0);
+        const double scale =
+            opt_.abs_tol + opt_.rel_tol * std::fabs(ynew[i]);
+        rnorm = std::max(rnorm, std::fabs(res[i]) / scale);
+      }
+      if (rnorm < 1.0e-2) {  // residual small relative to tolerance scale
+        converged = true;
+        break;
+      }
+      // Iteration matrix M = alpha0 I - h J
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          iter_matrix(i, j) = (i == j ? alpha0 : 0.0) - h * jac(i, j);
+      try {
+        LuFactor lu(iter_matrix);
+        lu.solve_inplace(res);
+      } catch (const SolverError&) {
+        converged = false;
+        break;
+      }
+      for (std::size_t i = 0; i < n; ++i) ynew[i] -= res[i];
+      if (!std::all_of(ynew.begin(), ynew.end(),
+                       [](double v) { return std::isfinite(v); })) {
+        converged = false;
+        break;
+      }
+    }
+
+    if (converged) {
+      // Local-error control: the distance between the implicit solution
+      // and the explicit history predictor estimates the truncation error
+      // (standard BDF practice). Reject and shrink when it exceeds the
+      // tolerance scale.
+      double err = 0.0;
+      if (have_prev && h_prev > 0.0) {
+        const double r = h / h_prev;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double y_pred = y[i] + r * (y[i] - yprev[i]);
+          const double scale =
+              opt_.abs_tol + opt_.rel_tol * std::max(std::fabs(y[i]),
+                                                     std::fabs(ynew[i]));
+          err = std::max(err,
+                         std::fabs(ynew[i] - y_pred) / (scale * 8.0));
+        }
+      }
+      if (err > 1.0) {
+        h *= std::clamp(0.9 / std::cbrt(err), 0.1, 0.9);
+        if (h < 1e-30) throw SolverError("StiffIntegrator: step underflow");
+        continue;  // reject: retry with smaller step
+      }
+      yprev = y;
+      y = ynew;
+      h_prev = h;
+      have_prev = true;
+      t += h;
+      ++accepted;
+      if (observer) observer(t, y);
+      const double grow =
+          err > 1e-8 ? std::clamp(0.9 / std::cbrt(err), 0.3, 2.2) : 2.2;
+      h *= grow;
+    } else {
+      h *= 0.25;
+      if (h < 1e-30) throw SolverError("StiffIntegrator: step underflow");
+    }
+  }
+  throw SolverError("StiffIntegrator: max_steps exceeded");
+}
+
+}  // namespace cat::numerics

@@ -1,0 +1,90 @@
+#pragma once
+/// \file ode.hpp
+/// ODE integrators: explicit RK4, adaptive RKF45, and an implicit stiff
+/// integrator (backward Euler / BDF2 with damped Newton).
+///
+/// CAT needs all three regimes (paper, "STATUS OF CAT"): trajectories and
+/// inviscid relaxation are non-stiff; finite-rate chemistry spans rate
+/// scales "many orders of magnitude wider than the mean-flow time scale" —
+/// the single most complicating factor — and demands an implicit method.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "numerics/linalg.hpp"
+
+namespace cat::numerics {
+
+/// Right-hand side f(t, y, dy/dt). dydt is preallocated to y.size().
+using OdeRhs =
+    std::function<void(double t, std::span<const double> y, std::span<double> dydt)>;
+
+/// Analytic Jacobian J = df/dy (optional for the stiff integrator; a
+/// finite-difference Jacobian is used when absent).
+using OdeJacobian =
+    std::function<void(double t, std::span<const double> y, Matrix& jac)>;
+
+/// One classical 4th-order Runge-Kutta step from t to t+h (y updated).
+void rk4_step(const OdeRhs& f, double t, double h, std::vector<double>& y);
+
+/// Integrate from t0 to t1 with fixed-step RK4 (nsteps steps).
+void integrate_rk4(const OdeRhs& f, double t0, double t1, std::size_t nsteps,
+                   std::vector<double>& y);
+
+/// Options for the adaptive integrators.
+struct AdaptiveOptions {
+  double rel_tol = 1e-8;
+  double abs_tol = 1e-10;
+  double h_initial = 0.0;     ///< 0 => (t1-t0)/100
+  double h_min = 0.0;         ///< 0 => 1e-14 * |t1-t0|
+  std::size_t max_steps = 2'000'000;
+};
+
+/// Dense observer: called after every accepted step with (t, y).
+using OdeObserver = std::function<void(double t, std::span<const double> y)>;
+
+/// Adaptive Runge-Kutta-Fehlberg 4(5). Returns the number of accepted steps.
+/// Throws cat::SolverError when the step size underflows or max_steps is hit.
+std::size_t integrate_rkf45(const OdeRhs& f, double t0, double t1,
+                            std::vector<double>& y,
+                            const AdaptiveOptions& opt = {},
+                            const OdeObserver& observer = nullptr);
+
+/// Options for StiffIntegrator (namespace scope so it can serve as a
+/// default argument; GCC requires nested-class member initializers to be
+/// complete before such use).
+struct StiffOptions {
+  double rel_tol = 1e-6;
+  double abs_tol = 1e-12;
+  double h_initial = 1e-10;
+  double h_max = 0.0;          ///< 0 => no cap
+  std::size_t max_steps = 500'000;
+  std::size_t max_newton = 12;
+  bool use_bdf2 = true;        ///< second order after startup
+};
+
+/// Implicit stiff integrator: variable-step backward Euler (order 1) with a
+/// BDF2 finisher, damped-Newton inner iterations, and step-size control on
+/// the Newton convergence rate. Designed for chemical-kinetics source terms.
+class StiffIntegrator {
+ public:
+  using Options = StiffOptions;
+
+  StiffIntegrator(OdeRhs f, OdeJacobian jac = nullptr, Options opt = {});
+
+  /// Integrate y from t0 to t1. Returns accepted step count.
+  std::size_t integrate(double t0, double t1, std::vector<double>& y,
+                        const OdeObserver& observer = nullptr) const;
+
+ private:
+  OdeRhs f_;
+  OdeJacobian jac_;
+  Options opt_;
+
+  void numerical_jacobian(double t, std::span<const double> y,
+                          Matrix& jac) const;
+};
+
+}  // namespace cat::numerics

@@ -1,0 +1,103 @@
+#include "numerics/tridiag.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cat::numerics {
+
+std::vector<double> solve_tridiagonal(std::span<const double> a,
+                                      std::span<const double> b,
+                                      std::span<const double> c,
+                                      std::span<const double> d) {
+  const std::size_t n = b.size();
+  CAT_REQUIRE(n > 0, "empty system");
+  CAT_REQUIRE(a.size() == n && c.size() == n && d.size() == n,
+              "tridiagonal band size mismatch");
+  std::vector<double> cp(n), dp(n), x(n);
+  double beta = b[0];
+  if (std::fabs(beta) < 1e-300) throw SolverError("tridiag: zero pivot");
+  cp[0] = c[0] / beta;
+  dp[0] = d[0] / beta;
+  for (std::size_t i = 1; i < n; ++i) {
+    beta = b[i] - a[i] * cp[i - 1];
+    if (std::fabs(beta) < 1e-300) throw SolverError("tridiag: zero pivot");
+    cp[i] = c[i] / beta;
+    dp[i] = (d[i] - a[i] * dp[i - 1]) / beta;
+  }
+  x[n - 1] = dp[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) x[i] = dp[i] - cp[i] * x[i + 1];
+  return x;
+}
+
+BlockTridiagonal::BlockTridiagonal(std::size_t n, std::size_t m)
+    : n_(n), m_(m), d_(n * m, 0.0) {
+  CAT_REQUIRE(n > 0 && m > 0, "empty block system");
+  a_.assign(n, Matrix(m, m));
+  b_.assign(n, Matrix(m, m));
+  c_.assign(n, Matrix(m, m));
+}
+
+std::vector<double> BlockTridiagonal::solve() {
+  // Block Thomas: eliminate the sub-diagonal block row by row, factorizing
+  // the running diagonal block, then back-substitute.
+  std::vector<Matrix> gamma(n_);  // gamma[i] = B~[i]^{-1} C[i]
+  std::vector<std::vector<double>> g(n_);
+
+  LuFactor f0(b_[0]);
+  gamma[0] = f0.solve(c_[0]);
+  g[0] = f0.solve(rhs(0));
+
+  for (std::size_t i = 1; i < n_; ++i) {
+    // B~[i] = B[i] - A[i] gamma[i-1];  d~[i] = d[i] - A[i] g[i-1]
+    Matrix btilde = b_[i];
+    btilde -= a_[i] * gamma[i - 1];
+    std::vector<double> dtilde(rhs(i).begin(), rhs(i).end());
+    const std::vector<double> ag = a_[i] * std::span<const double>(g[i - 1]);
+    for (std::size_t k = 0; k < m_; ++k) dtilde[k] -= ag[k];
+    LuFactor f(btilde);
+    if (i + 1 < n_) gamma[i] = f.solve(c_[i]);
+    g[i] = f.solve(dtilde);
+  }
+
+  std::vector<double> x(n_ * m_);
+  for (std::size_t k = 0; k < m_; ++k) x[(n_ - 1) * m_ + k] = g[n_ - 1][k];
+  for (std::size_t i = n_ - 1; i-- > 0;) {
+    std::vector<double> xi = g[i];
+    const std::span<const double> xnext{x.data() + (i + 1) * m_, m_};
+    const std::vector<double> gx = gamma[i] * xnext;
+    for (std::size_t k = 0; k < m_; ++k) x[i * m_ + k] = xi[k] - gx[k];
+  }
+  return x;
+}
+
+std::vector<double> solve_periodic_tridiagonal(std::span<const double> a,
+                                               std::span<const double> b,
+                                               std::span<const double> c,
+                                               std::span<const double> d) {
+  const std::size_t n = b.size();
+  CAT_REQUIRE(n >= 3, "periodic system needs n >= 3");
+  CAT_REQUIRE(a.size() == n && c.size() == n && d.size() == n,
+              "periodic band size mismatch");
+  // Sherman-Morrison: write A_periodic = A_trunc + u v^T with
+  // u = (gamma, 0, ..., 0, c[n-1])^T, v = (1, 0, ..., 0, a[0]/gamma)^T.
+  const double gamma = -b[0];
+  std::vector<double> bb(b.begin(), b.end());
+  bb[0] -= gamma;
+  bb[n - 1] -= a[0] * c[n - 1] / gamma;
+
+  std::vector<double> x = solve_tridiagonal(a, bb, c, d);
+  std::vector<double> u(n, 0.0);
+  u[0] = gamma;
+  u[n - 1] = c[n - 1];
+  std::vector<double> z = solve_tridiagonal(a, bb, c, u);
+
+  const double vx = x[0] + a[0] / gamma * x[n - 1];
+  const double vz = 1.0 + z[0] + a[0] / gamma * z[n - 1];
+  if (std::fabs(vz) < 1e-300) throw SolverError("periodic tridiag breakdown");
+  const double factor = vx / vz;
+  for (std::size_t i = 0; i < n; ++i) x[i] -= factor * z[i];
+  return x;
+}
+
+}  // namespace cat::numerics

@@ -1,0 +1,66 @@
+#pragma once
+/// \file tridiag.hpp
+/// Scalar and block tridiagonal solvers (Thomas algorithm).
+///
+/// These are the workhorses of the marching solvers in this library: the
+/// VSL, PNS and boundary-layer codes all reduce each streamwise station to
+/// an implicit solve in the body-normal direction, which discretizes to a
+/// (block-)tridiagonal linear system.
+
+#include <span>
+#include <vector>
+
+#include "numerics/linalg.hpp"
+
+namespace cat::numerics {
+
+/// Solve the scalar tridiagonal system
+///   a[i] x[i-1] + b[i] x[i] + c[i] x[i+1] = d[i],   i = 0..n-1
+/// with a[0] and c[n-1] ignored. Returns x. Throws cat::SolverError when a
+/// pivot vanishes (the Thomas algorithm does not pivot; CAT's diagonally
+/// dominant systems never need it).
+std::vector<double> solve_tridiagonal(std::span<const double> a,
+                                      std::span<const double> b,
+                                      std::span<const double> c,
+                                      std::span<const double> d);
+
+/// Block tridiagonal system solver.
+///
+/// Solves A[i] X[i-1] + B[i] X[i] + C[i] X[i+1] = D[i] for square blocks of
+/// uniform dimension m. Uses block forward elimination with LU factorization
+/// of the modified diagonal blocks (no inter-block pivoting).
+class BlockTridiagonal {
+ public:
+  /// \p n  number of block rows, \p m  block dimension.
+  BlockTridiagonal(std::size_t n, std::size_t m);
+
+  std::size_t num_rows() const { return n_; }
+  std::size_t block_dim() const { return m_; }
+
+  Matrix& lower(std::size_t i) { return a_[i]; }
+  Matrix& diag(std::size_t i) { return b_[i]; }
+  Matrix& upper(std::size_t i) { return c_[i]; }
+  std::span<double> rhs(std::size_t i) {
+    return {d_.data() + i * m_, m_};
+  }
+
+  /// Solve the assembled system; returns the solution as n*m doubles,
+  /// row-block i occupying [i*m, (i+1)*m). The assembled coefficients are
+  /// destroyed (elimination happens in place).
+  std::vector<double> solve();
+
+ private:
+  std::size_t n_, m_;
+  std::vector<Matrix> a_, b_, c_;
+  std::vector<double> d_;
+};
+
+/// Solve a scalar *periodic* tridiagonal system (wrap-around coupling
+/// between first and last unknowns) via the Sherman-Morrison formula.
+/// Used by azimuthal sweeps on closed surfaces.
+std::vector<double> solve_periodic_tridiagonal(std::span<const double> a,
+                                               std::span<const double> b,
+                                               std::span<const double> c,
+                                               std::span<const double> d);
+
+}  // namespace cat::numerics

@@ -1,0 +1,80 @@
+#include "radiation/spectra.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "radiation/tangent_slab.hpp"
+
+namespace cat::radiation {
+
+Spectrum slab_radiance(const RadiationModel& model,
+                       const gas::SpeciesSet& set, const SpectralGrid& grid,
+                       std::span<const double> nd, double t, double tv,
+                       double depth) {
+  CAT_REQUIRE(depth > 0.0, "slab depth must be positive");
+  (void)set;
+  SlabLayer layer;
+  layer.thickness = depth;
+  layer.j.resize(grid.size());
+  layer.kappa.resize(grid.size());
+  model.emission(nd, t, tv, grid, layer.j);
+  model.absorption(layer.j, tv, grid, layer.kappa);
+  const SlabResult slab = solve_tangent_slab(grid, {&layer, 1});
+
+  Spectrum out;
+  out.lambda.assign(grid.wavelengths().begin(), grid.wavelengths().end());
+  out.intensity = slab.i_normal;
+  return out;
+}
+
+Spectrum synthetic_measured_spectrum(const RadiationModel& model,
+                                     const gas::SpeciesSet& set,
+                                     const SpectralGrid& grid,
+                                     std::span<const double> nd_eq,
+                                     double t_eq, double depth,
+                                     double noise_amplitude) {
+  Spectrum s = slab_radiance(model, set, grid, nd_eq, t_eq, t_eq, depth);
+  // Deterministic pseudo-noise: incommensurate sinusoids in bin index give
+  // the jitter of a digitized instrument trace without an RNG.
+  for (std::size_t k = 0; k < s.intensity.size(); ++k) {
+    const double kk = static_cast<double>(k);
+    const double wiggle = 0.6 * std::sin(12.9898 * kk) +
+                          0.4 * std::sin(78.233 * kk + 1.3);
+    s.intensity[k] *= 1.0 + noise_amplitude * wiggle;
+    if (s.intensity[k] < 0.0) s.intensity[k] = 0.0;
+  }
+  return s;
+}
+
+double spectral_correlation(const Spectrum& a, const Spectrum& b,
+                            double floor) {
+  CAT_REQUIRE(a.intensity.size() == b.intensity.size(),
+              "spectra must share a grid");
+  // Pearson correlation of log intensities over mutually lit bins.
+  std::vector<double> la, lb;
+  for (std::size_t k = 0; k < a.intensity.size(); ++k) {
+    if (a.intensity[k] > floor && b.intensity[k] > floor) {
+      la.push_back(std::log(a.intensity[k]));
+      lb.push_back(std::log(b.intensity[k]));
+    }
+  }
+  if (la.size() < 3) return 0.0;
+  const double n = static_cast<double>(la.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    ma += la[i];
+    mb += lb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    sab += (la[i] - ma) * (lb[i] - mb);
+    saa += (la[i] - ma) * (la[i] - ma);
+    sbb += (lb[i] - mb) * (lb[i] - mb);
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace cat::radiation

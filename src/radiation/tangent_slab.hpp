@@ -1,0 +1,44 @@
+#pragma once
+/// \file tangent_slab.hpp
+/// Plane-parallel ("tangent slab") radiative transport.
+///
+/// The paper lists "detailed spectral radiation transport (employing a
+/// plane-slab approximation)" among the VSL codes' capabilities; this is
+/// that approximation. The shock layer is treated as a 1-D slab of
+/// emitting/absorbing cells between the wall (z = 0) and the shock
+/// (z = L); the wall-directed spectral flux follows from the formal
+/// solution with exponential-integral angular moments:
+///   q_lambda(0) = 2 pi  \int_0^{tau_L} S_lambda(t) E_2(t) dt
+/// with source function S = j/kappa, reducing to the optically thin limit
+/// 2 pi \int j dz when kappa -> 0.
+
+#include <span>
+#include <vector>
+
+#include "radiation/bands.hpp"
+
+namespace cat::radiation {
+
+/// One homogeneous layer of the slab, ordered wall -> shock.
+struct SlabLayer {
+  double thickness;              ///< [m]
+  std::vector<double> j;         ///< emission [W/(m^3 sr m)] per bin
+  std::vector<double> kappa;     ///< absorption [1/m] per bin
+};
+
+/// Result of a slab integration.
+struct SlabResult {
+  double q_wall;                  ///< wall-directed total flux [W/m^2]
+  std::vector<double> q_lambda;   ///< spectral flux [W/(m^2 m)]
+  std::vector<double> i_normal;   ///< normal-ray radiance [W/(m^2 sr m)]
+};
+
+/// Integrate the slab. \p grid must match the layer spectra.
+SlabResult solve_tangent_slab(const SpectralGrid& grid,
+                              std::span<const SlabLayer> layers);
+
+/// Optically thin shortcut: q = 2 pi sum_k sum_z j dz dlambda.
+double optically_thin_wall_flux(const SpectralGrid& grid,
+                                std::span<const SlabLayer> layers);
+
+}  // namespace cat::radiation

@@ -1,0 +1,491 @@
+#include "solvers/euler/euler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "transport/transport.hpp"
+
+namespace cat::solvers {
+
+using numerics::limited_slope;
+
+EulerSolver::EulerSolver(const grid::StructuredGrid& grid,
+                         std::shared_ptr<const core::GasModel> gas,
+                         FvOptions opt)
+    : grid_(grid), gas_(std::move(gas)), opt_(opt) {
+  CAT_REQUIRE(gas_ != nullptr, "gas model required");
+  const std::size_t n = grid_.ni() * grid_.nj();
+  u_.assign(n, Conservative{});
+  w_.assign(n, Primitive{});
+  p_.assign(n, 0.0);
+  res_.assign(n, Conservative{});
+}
+
+void EulerSolver::initialize(const FreeStream& fs) {
+  CAT_REQUIRE(fs.rho > 0.0 && fs.p > 0.0, "bad freestream");
+  fs_ = fs;
+  const double e_fs = gas_->energy(fs.rho, fs.p);
+  const Primitive w0{fs.rho, fs.u, fs.v, e_fs};
+  const Conservative c0 = encode(w0);
+  std::fill(u_.begin(), u_.end(), c0);
+  std::fill(w_.begin(), w_.end(), w0);
+  std::fill(p_.begin(), p_.end(), fs.p);
+  residual0_ = -1.0;
+  residual_ = 1.0;
+  iter_count_ = 0;
+}
+
+Primitive EulerSolver::decode(const Conservative& c) const {
+  const double rho = std::max(c[0], 1e-12);
+  const double u = c[1] / rho;
+  const double v = c[2] / rho;
+  const double e = c[3] / rho - 0.5 * (u * u + v * v);
+  return {rho, u, v, e};
+}
+
+Conservative EulerSolver::encode(const Primitive& w) const {
+  return {w[0], w[0] * w[1], w[0] * w[2],
+          w[0] * (w[3] + 0.5 * (w[1] * w[1] + w[2] * w[2]))};
+}
+
+void EulerSolver::decode_all() {
+  // Positivity repair: an impulsive hypersonic start can transiently drive
+  // a cell's internal energy negative or evacuate it. Clip to floors and
+  // rewrite the conservative state so U and w stay consistent (local
+  // conservation error accepted during the transient; converged steady
+  // states never trip the floors).
+  const double e_fs = gas_->energy(fs_.rho, fs_.p);
+  const double a_fs = gas_->sound_speed(fs_.rho, e_fs);
+  const double v_cap = 4.0 * (std::fabs(fs_.u) + std::fabs(fs_.v) + a_fs);
+#ifdef CATAERO_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(u_.size());
+       ++k) {
+    Conservative& c = u_[k];
+    c[0] = std::max(c[0], 1e-4 * fs_.rho);
+    const double rho = c[0];
+    double u = c[1] / rho, v = c[2] / rho;
+    const double speed = std::sqrt(u * u + v * v);
+    if (speed > v_cap) {
+      const double scale = v_cap / speed;
+      u *= scale;
+      v *= scale;
+      c[1] = rho * u;
+      c[2] = rho * v;
+      c[3] = std::min(c[3], rho * (std::fabs(e_fs) * 2.0 +
+                                   0.5 * (u * u + v * v)));
+    }
+    const double e = c[3] / rho - 0.5 * (u * u + v * v);
+    // Floor: just above the gas model's validity edge (ideal gas: e > 0;
+    // tabulated EOS: the table's lower energy bound).
+    const double e_min =
+        gas_->min_energy() + 1e-3 * std::fabs(e_fs - gas_->min_energy());
+    if (e < e_min) {
+      c[3] = rho * (e_min + 0.5 * (u * u + v * v));
+    }
+    w_[k] = decode(c);
+    p_[k] = gas_->pressure(w_[k][0], w_[k][3]);
+  }
+}
+
+double EulerSolver::temperature(std::size_t i, std::size_t j) const {
+  const Primitive& w = w_[cidx(i, j)];
+  return gas_->temperature(w[0], w[3]);
+}
+
+double EulerSolver::mach(std::size_t i, std::size_t j) const {
+  const Primitive& w = w_[cidx(i, j)];
+  const double a = gas_->sound_speed(w[0], w[3]);
+  return std::sqrt(w[1] * w[1] + w[2] * w[2]) / a;
+}
+
+Conservative EulerSolver::hlle_flux(const Primitive& wl, const Primitive& wr,
+                                    double nx, double nr) const {
+  const double area = std::sqrt(nx * nx + nr * nr);
+  if (area < 1e-14) return {0.0, 0.0, 0.0, 0.0};
+  const double nxh = nx / area, nrh = nr / area;
+
+  auto pack = [&](const Primitive& w, Conservative& cons, Conservative& flux,
+                  double& un, double& a) {
+    const double rho = w[0], u = w[1], v = w[2], e = w[3];
+    const double p = gas_->pressure(rho, e);
+    const double et = e + 0.5 * (u * u + v * v);
+    un = u * nxh + v * nrh;
+    a = gas_->sound_speed(rho, e);
+    cons = {rho, rho * u, rho * v, rho * et};
+    flux = {rho * un, rho * u * un + p * nxh, rho * v * un + p * nrh,
+            (rho * et + p) * un};
+  };
+  Conservative ul, fl, ur, fr;
+  double unl, al, unr, ar;
+  pack(wl, ul, fl, unl, al);
+  pack(wr, ur, fr, unr, ar);
+
+  const double sl = std::min(std::min(unl - al, unr - ar), 0.0);
+  const double sr = std::max(std::max(unl + al, unr + ar), 0.0);
+  Conservative f;
+  const double inv = 1.0 / std::max(sr - sl, 1e-12);
+  for (int k = 0; k < 4; ++k)
+    f[k] = area *
+           ((sr * fl[k] - sl * fr[k] + sl * sr * (ur[k] - ul[k])) * inv);
+  return f;
+}
+
+Primitive EulerSolver::wall_ghost(const Primitive& w, double nx,
+                                  double nr) const {
+  const double area = std::sqrt(nx * nx + nr * nr);
+  const double nxh = nx / area, nrh = nr / area;
+  if (!opt_.viscous) {
+    // Slip: reflect the normal velocity component.
+    const double un = w[1] * nxh + w[2] * nrh;
+    return {w[0], w[1] - 2.0 * un * nxh, w[2] - 2.0 * un * nrh, w[3]};
+  }
+  // No-slip isothermal: reflect velocity; caloric scaling of (rho, e) keeps
+  // the ghost near the wall pressure at T -> 2 T_wall - T_in.
+  const double t_in = gas_->temperature(w[0], w[3]);
+  const double t_ghost = std::max(2.0 * opt_.wall_temperature - t_in,
+                                  0.2 * opt_.wall_temperature);
+  const double ratio = t_ghost / std::max(t_in, 1.0);
+  return {w[0] / ratio, -w[1], -w[2], w[3] * ratio};
+}
+
+Primitive EulerSolver::axis_ghost(const Primitive& w) const {
+  return {w[0], w[1], -w[2], w[3]};
+}
+
+void EulerSolver::accumulate_fluxes() {
+  const std::size_t ni = grid_.ni(), nj = grid_.nj();
+  const auto lim = opt_.limiter;
+
+  // Reconstruction helper: face states from cell values along a line.
+  auto face_states = [&](const Primitive& wm2, const Primitive& wm1,
+                         const Primitive& wp1, const Primitive& wp2,
+                         bool have_m2, bool have_p2, Primitive& wl,
+                         Primitive& wr) {
+    wl = wm1;
+    wr = wp1;
+    if (!second_order_now_) return;
+    for (int k = 0; k < 4; ++k) {
+      if (have_m2) {
+        const double s = limited_slope(lim, wm1[k] - wm2[k], wp1[k] - wm1[k]);
+        wl[k] = wm1[k] + 0.5 * s;
+      }
+      if (have_p2) {
+        const double s = limited_slope(lim, wp1[k] - wm1[k], wp2[k] - wp1[k]);
+        wr[k] = wp1[k] - 0.5 * s;
+      }
+    }
+    // Guard reconstructed states (density and energy positivity).
+    wl[0] = std::max(wl[0], 1e-12);
+    wr[0] = std::max(wr[0], 1e-12);
+    const double e_guard = 1e-4 * std::fabs(wm1[3]) + 1e2;
+    if (wl[3] < e_guard) wl[3] = wm1[3];
+    if (wr[3] < e_guard) wr[3] = wp1[3];
+  };
+
+  // ---- i-direction sweeps ----
+#ifdef CATAERO_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t jj = 0; jj < static_cast<std::ptrdiff_t>(nj); ++jj) {
+    const auto j = static_cast<std::size_t>(jj);
+    for (std::size_t i = 0; i <= ni; ++i) {
+      const double nx = grid_.iface_nx(i, j);
+      const double nr = grid_.iface_nr(i, j);
+      Primitive wl, wr;
+      if (i == 0) {
+        // Axis/symmetry boundary: mirrored ghost.
+        wl = axis_ghost(w_[cidx(0, j)]);
+        wr = w_[cidx(0, j)];
+      } else if (i == ni) {
+        // Outflow: zero-gradient ghost.
+        wl = w_[cidx(ni - 1, j)];
+        wr = wl;
+      } else {
+        const bool have_m2 = i >= 2;
+        const bool have_p2 = i + 1 < ni;
+        face_states(have_m2 ? w_[cidx(i - 2, j)] : w_[cidx(i - 1, j)],
+                    w_[cidx(i - 1, j)], w_[cidx(i, j)],
+                    have_p2 ? w_[cidx(i + 1, j)] : w_[cidx(i, j)], have_m2,
+                    have_p2, wl, wr);
+      }
+      const Conservative f = hlle_flux(wl, wr, nx, nr);
+      // res accumulates net outflux; update is U -= dt/V res.
+      if (i > 0)
+        for (int k = 0; k < 4; ++k) res_[cidx(i - 1, j)][k] += f[k];
+      if (i < ni)
+        for (int k = 0; k < 4; ++k) res_[cidx(i, j)][k] -= f[k];
+    }
+  }
+
+  // ---- j-direction sweeps ----
+  const double e_fs = gas_->energy(fs_.rho, fs_.p);
+#ifdef CATAERO_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(ni); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    for (std::size_t j = 0; j <= nj; ++j) {
+      const double nx = grid_.jface_nx(i, j);
+      const double nr = grid_.jface_nr(i, j);
+      Primitive wl, wr;
+      if (j == 0) {
+        // Wall: ghost below.
+        wr = w_[cidx(i, 0)];
+        wl = wall_ghost(wr, nx, nr);
+      } else if (j == nj) {
+        // Outer boundary: freestream (supersonic inflow).
+        wl = w_[cidx(i, nj - 1)];
+        wr = {fs_.rho, fs_.u, fs_.v, e_fs};
+      } else {
+        const bool have_m2 = j >= 2;
+        const bool have_p2 = j + 1 < nj;
+        face_states(have_m2 ? w_[cidx(i, j - 2)] : w_[cidx(i, j - 1)],
+                    w_[cidx(i, j - 1)], w_[cidx(i, j)],
+                    have_p2 ? w_[cidx(i, j + 1)] : w_[cidx(i, j)], have_m2,
+                    have_p2, wl, wr);
+      }
+      const Conservative f = hlle_flux(wl, wr, nx, nr);
+      if (j > 0)
+        for (int k = 0; k < 4; ++k) res_[cidx(i, j - 1)][k] += f[k];
+      if (j < nj)
+        for (int k = 0; k < 4; ++k) res_[cidx(i, j)][k] -= f[k];
+    }
+  }
+
+  // ---- axisymmetric pressure source (update is U -= dt/V res) ----
+  if (grid_.axisymmetric()) {
+#ifdef CATAERO_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(u_.size());
+         ++k) {
+      const std::size_t i = static_cast<std::size_t>(k) / nj;
+      const std::size_t j = static_cast<std::size_t>(k) % nj;
+      res_[k][2] -= p_[k] * grid_.area(i, j);
+    }
+  }
+
+  if (opt_.viscous) accumulate_viscous();
+}
+
+void EulerSolver::accumulate_viscous() {
+  // Laminar constant-Prandtl viscous model with Sutherland viscosity.
+  // Thin-layer: only wall-normal (j) gradients are retained; axisymmetric
+  // curvature stresses neglected (adequate for the thin hypersonic
+  // boundary layers of the target cases; documented in DESIGN.md).
+  const std::size_t ni = grid_.ni(), nj = grid_.nj();
+
+  auto add_face = [&](std::size_t ia, std::size_t ja, std::size_t ib,
+                      std::size_t jb, double nx, double nr, bool wall_face,
+                      bool outer_face) {
+    const double area = std::sqrt(nx * nx + nr * nr);
+    if (area < 1e-14) return;
+    const double nxh = nx / area, nrh = nr / area;
+
+    const Primitive wa = wall_face ? wall_ghost(w_[cidx(ib, jb)], nx, nr)
+                                   : w_[cidx(ia, ja)];
+    const Primitive wb = outer_face
+                             ? Primitive{fs_.rho, fs_.u, fs_.v,
+                                         gas_->energy(fs_.rho, fs_.p)}
+                             : w_[cidx(ib, jb)];
+    const double ta = gas_->temperature(wa[0], wa[3]);
+    const double tb = gas_->temperature(wb[0], wb[3]);
+
+    double dn;
+    if (wall_face) {
+      const double xw = 0.5 * (grid_.xn(ib, 0) + grid_.xn(ib + 1, 0));
+      const double rw = 0.5 * (grid_.rn(ib, 0) + grid_.rn(ib + 1, 0));
+      dn = 2.0 * std::sqrt(
+                     (grid_.xc(ib, 0) - xw) * (grid_.xc(ib, 0) - xw) +
+                     (grid_.rc(ib, 0) - rw) * (grid_.rc(ib, 0) - rw));
+    } else {
+      const double xa = grid_.xc(ia, ja), ra = grid_.rc(ia, ja);
+      const double xb = grid_.xc(ib, jb), rb = grid_.rc(ib, jb);
+      dn = std::sqrt((xb - xa) * (xb - xa) + (rb - ra) * (rb - ra));
+    }
+    if (dn < 1e-14) return;
+
+    const double t_face = std::clamp(0.5 * (ta + tb), 50.0, 30000.0);
+    const double mu = transport::sutherland_viscosity(t_face);
+    const Primitive& wn = wall_face || outer_face ? wb : wa;
+    const double p_loc = gas_->pressure(wn[0], wn[3]);
+    const double gamma_eff =
+        std::clamp(p_loc / (wn[0] * std::max(wn[3], 1e3)) + 1.0, 1.05, 1.67);
+    const double cp = gamma_eff / (gamma_eff - 1.0) * p_loc /
+                      (wn[0] * std::max(t_face, 50.0));
+    const double k_cond = mu * cp / opt_.prandtl;
+
+    const double dudn = (wb[1] - wa[1]) / dn;
+    const double dvdn = (wb[2] - wa[2]) / dn;
+    const double dtdn = (tb - ta) / dn;
+    const double u_face = 0.5 * (wa[1] + wb[1]);
+    const double v_face = 0.5 * (wa[2] + wb[2]);
+
+    const double tau_xx = mu * (4.0 / 3.0) * dudn * nxh;
+    const double tau_xr = mu * (dudn * nrh + dvdn * nxh);
+    const double tau_rr = mu * (4.0 / 3.0) * dvdn * nrh;
+    const double fx = tau_xx * nxh + tau_xr * nrh;
+    const double fr = tau_xr * nxh + tau_rr * nrh;
+    const double fe = fx * u_face + fr * v_face + k_cond * dtdn;
+
+    // res accumulates net outflux of (F_conv - F_visc): viscous enters with
+    // the opposite sign to the convective accumulation.
+    if (!wall_face && !outer_face) {
+      res_[cidx(ia, ja)][1] -= fx * area;
+      res_[cidx(ia, ja)][2] -= fr * area;
+      res_[cidx(ia, ja)][3] -= fe * area;
+    }
+    if (!outer_face) {
+      res_[cidx(ib, jb)][1] += fx * area;
+      res_[cidx(ib, jb)][2] += fr * area;
+      res_[cidx(ib, jb)][3] += fe * area;
+    }
+  };
+
+#ifdef CATAERO_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(ni); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    for (std::size_t j = 0; j <= nj; ++j) {
+      const double nx = grid_.jface_nx(i, j);
+      const double nr = grid_.jface_nr(i, j);
+      if (j == 0) {
+        add_face(i, 0, i, 0, nx, nr, /*wall=*/true, false);
+      } else if (j == nj) {
+        add_face(i, nj - 1, i, nj - 1, nx, nr, false, /*outer=*/true);
+      } else {
+        add_face(i, j - 1, i, j, nx, nr, false, false);
+      }
+    }
+  }
+}
+
+double EulerSolver::local_dt(std::size_t i, std::size_t j) const {
+  const Primitive& w = w_[cidx(i, j)];
+  const double a = gas_->sound_speed(w[0], w[3]);
+  double sum = 0.0;
+  for (std::size_t f = 0; f < 2; ++f) {
+    const double nx = grid_.iface_nx(i + f, j);
+    const double nr = grid_.iface_nr(i + f, j);
+    const double area = std::sqrt(nx * nx + nr * nr);
+    if (area < 1e-14) continue;
+    const double un = (w[1] * nx + w[2] * nr) / area;
+    sum += 0.5 * (std::fabs(un) + a) * area;
+  }
+  for (std::size_t f = 0; f < 2; ++f) {
+    const double nx = grid_.jface_nx(i, j + f);
+    const double nr = grid_.jface_nr(i, j + f);
+    const double area = std::sqrt(nx * nx + nr * nr);
+    const double un = (w[1] * nx + w[2] * nr) / area;
+    sum += 0.5 * (std::fabs(un) + a) * area;
+  }
+  return cfl_now_ * grid_.volume(i, j) / std::max(sum, 1e-12);
+}
+
+double EulerSolver::advance(std::size_t n) {
+  const std::size_t cells = u_.size();
+  std::vector<Conservative> u0(cells);
+  for (std::size_t it = 0; it < n; ++it) {
+    // Startup phase: first-order, half CFL (impulsive-start robustness).
+    const bool startup = iter_count_ < opt_.startup_iters;
+    second_order_now_ = opt_.muscl && !startup;
+    cfl_now_ = startup ? 0.5 * opt_.cfl : opt_.cfl;
+    ++iter_count_;
+    // Reference residual for the convergence test: the first iteration
+    // after startup (the impulsive transient would make the relative drop
+    // meaningless and trigger spurious early exits).
+    if (iter_count_ == opt_.startup_iters + 2) residual0_ = -1.0;
+    u0 = u_;
+    std::vector<double> dts(cells);
+    for (std::size_t k = 0; k < cells; ++k)
+      dts[k] = local_dt(k / grid_.nj(), k % grid_.nj());
+
+    double rnorm = 0.0;
+    for (int stage = 0; stage < 2; ++stage) {
+      std::fill(res_.begin(), res_.end(), Conservative{});
+      accumulate_fluxes();
+      if (stage == 0) {
+        for (std::size_t k = 0; k < cells; ++k) {
+          const double s =
+              dts[k] / grid_.volume(k / grid_.nj(), k % grid_.nj());
+          for (int q = 0; q < 4; ++q) u_[k][q] = u0[k][q] - s * res_[k][q];
+        }
+      } else {
+        rnorm = 0.0;
+        for (std::size_t k = 0; k < cells; ++k) {
+          const double s =
+              dts[k] / grid_.volume(k / grid_.nj(), k % grid_.nj());
+          for (int q = 0; q < 4; ++q)
+            u_[k][q] = 0.5 * (u0[k][q] + u_[k][q] - s * res_[k][q]);
+          const double dr = (u_[k][0] - u0[k][0]) / std::max(u0[k][0], 1e-12);
+          rnorm += dr * dr;
+        }
+        rnorm = std::sqrt(rnorm / static_cast<double>(cells));
+      }
+      decode_all();
+    }
+    residual_ = rnorm;
+    if (residual0_ < 0.0 && rnorm > 0.0) residual0_ = rnorm;
+  }
+  return residual0_ > 0.0 ? residual_ / residual0_ : residual_;
+}
+
+std::size_t EulerSolver::solve() {
+  std::size_t done = 0;
+  const std::size_t chunk = 50;
+  while (done < opt_.max_iter) {
+    const double rel = advance(std::min(chunk, opt_.max_iter - done));
+    done += chunk;
+    if (rel < opt_.residual_tol) break;
+    if (!std::isfinite(residual_))
+      throw SolverError("EulerSolver: residual diverged");
+  }
+  return done;
+}
+
+std::vector<EulerSolver::ShockPoint> EulerSolver::shock_locations() const {
+  std::vector<ShockPoint> pts;
+  pts.reserve(grid_.ni());
+  for (std::size_t i = 0; i < grid_.ni(); ++i) {
+    double best = 0.0;
+    std::size_t jbest = grid_.nj() - 1;
+    for (std::size_t j = grid_.nj() - 1; j-- > 0;) {
+      const double dp = p_[cidx(i, j)] - p_[cidx(i, j + 1)];
+      if (dp > best) {
+        best = dp;
+        jbest = j;
+      }
+    }
+    pts.push_back({grid_.xc(i, jbest), grid_.rc(i, jbest), jbest});
+  }
+  return pts;
+}
+
+std::vector<double> EulerSolver::wall_heat_flux() const {
+  std::vector<double> q(grid_.ni(), 0.0);
+  if (!opt_.viscous) return q;
+  for (std::size_t i = 0; i < grid_.ni(); ++i) {
+    const double t_in = temperature(i, 0);
+    const double xw = 0.5 * (grid_.xn(i, 0) + grid_.xn(i + 1, 0));
+    const double rw = 0.5 * (grid_.rn(i, 0) + grid_.rn(i + 1, 0));
+    const double dn =
+        std::sqrt((grid_.xc(i, 0) - xw) * (grid_.xc(i, 0) - xw) +
+                  (grid_.rc(i, 0) - rw) * (grid_.rc(i, 0) - rw));
+    const double t_face =
+        std::clamp(0.5 * (t_in + opt_.wall_temperature), 50.0, 30000.0);
+    const double mu = transport::sutherland_viscosity(t_face);
+    const Primitive& w = w_[cidx(i, 0)];
+    const double gamma_eff = std::clamp(
+        p_[cidx(i, 0)] / (w[0] * std::max(w[3], 1e3)) + 1.0, 1.05, 1.67);
+    const double cp = gamma_eff / (gamma_eff - 1.0) * p_[cidx(i, 0)] /
+                      (w[0] * std::max(t_face, 50.0));
+    q[i] = mu * cp / opt_.prandtl * (t_in - opt_.wall_temperature) / dn;
+  }
+  return q;
+}
+
+}  // namespace cat::solvers

@@ -1,0 +1,28 @@
+#include "solvers/ns/ns.hpp"
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace cat::solvers {
+
+std::vector<double> species_mole_fraction_field(
+    const EulerSolver& solver, const core::EquilibriumGasModel& gas_model,
+    const gas::Mixture& mixture, std::size_t species_local_index) {
+  const auto& g = solver.grid();
+  const std::size_t ns = mixture.n_species();
+  CAT_REQUIRE(species_local_index < ns, "species index out of range");
+  std::vector<double> field(g.ni() * g.nj());
+  std::vector<double> y(ns);
+  for (std::size_t i = 0; i < g.ni(); ++i) {
+    for (std::size_t j = 0; j < g.nj(); ++j) {
+      const auto& w = solver.primitive(i, j);
+      gas_model.table().mass_fractions(w[0], w[3], y);
+      const auto x = mixture.mole_fractions(y);
+      field[i * g.nj() + j] = x[species_local_index];
+    }
+  }
+  return field;
+}
+
+}  // namespace cat::solvers

@@ -1,0 +1,33 @@
+#pragma once
+/// \file ns.hpp
+/// Axisymmetric Navier-Stokes solver: the shock-capturing Euler core of
+/// euler.hpp with laminar viscous fluxes and a no-slip isothermal wall —
+/// the solver class behind the paper's Fig. 9 (Mach-20 hemisphere,
+/// equilibrium air, captured bow shock).
+
+#include "solvers/euler/euler.hpp"
+
+namespace cat::solvers {
+
+/// Navier-Stokes configuration of the finite-volume solver.
+class NavierStokesSolver : public EulerSolver {
+ public:
+  NavierStokesSolver(const grid::StructuredGrid& grid,
+                     std::shared_ptr<const core::GasModel> gas,
+                     FvOptions opt = {})
+      : EulerSolver(grid, std::move(gas), viscous_options(opt)) {}
+
+ private:
+  static FvOptions viscous_options(FvOptions opt) {
+    opt.viscous = true;
+    return opt;
+  }
+};
+
+/// Convenience field extraction for Fig. 9: mole fraction of a species on
+/// every cell of a converged equilibrium-gas solution.
+std::vector<double> species_mole_fraction_field(
+    const EulerSolver& solver, const core::EquilibriumGasModel& gas_model,
+    const gas::Mixture& mixture, std::size_t species_local_index);
+
+}  // namespace cat::solvers

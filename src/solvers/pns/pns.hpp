@@ -1,0 +1,59 @@
+#pragma once
+/// \file pns.hpp
+/// Parabolized Navier-Stokes space-marching solver for windward-plane
+/// heating (the paper's Fig. 6: Shuttle Orbiter windward centerline,
+/// STS-3 condition, equilibrium air vs "ideal gas gamma = 1.2").
+///
+/// Formulation: the windward symmetry plane at angle of attack is treated
+/// with the axisymmetric analog (equivalent hyperboloid body — the
+/// era-standard treatment used by Refs. 16-21). The marching core is the
+/// shared parabolic solver of vsl.hpp; the PNS character comes from
+/// (a) the full thin-layer marching of the nonsimilar profile equations
+/// and (b) the Vigneron splitting, which admits only the well-posed
+/// fraction omega = gamma M^2/(1+(gamma-1)M^2) of the streamwise pressure
+/// gradient where the layer is subsonic.
+
+#include "gas/equilibrium.hpp"
+#include "geometry/body.hpp"
+#include "solvers/vsl/vsl.hpp"
+
+namespace cat::solvers {
+
+/// Windward-ray PNS solution at one station, in Fig. 6's coordinates.
+struct PnsStation {
+  double x_over_l;  ///< axial station normalized by body length
+  double q_w;       ///< wall heat flux [W/m^2]
+  double p_e;       ///< surface pressure [Pa]
+  double ue;        ///< edge velocity [m/s]
+};
+
+/// PNS front end over an Orbiter-like windward plane.
+class PnsSolver {
+ public:
+  /// Equilibrium-air marching (the "EQUILIBRIUM AIR" curve of Fig. 6).
+  PnsSolver(const gas::EquilibriumSolver& eq, MarchOptions opt = {});
+
+  /// March over the equivalent body for freestream \p fs at angle of
+  /// attack \p alpha_rad; returns stations over x/L in (0, 1].
+  std::vector<PnsStation> solve_equilibrium(
+      const geometry::OrbiterGeometry& orbiter, const MarchFreestream& fs,
+      double alpha_rad, std::size_t n_stations) const;
+
+  /// Calorically perfect comparison gas (Fig. 6's "IDEAL GAS
+  /// (gamma = 1.2)" curve): same marching, ideal-gas properties.
+  std::vector<PnsStation> solve_ideal(
+      const geometry::OrbiterGeometry& orbiter, const MarchFreestream& fs,
+      double alpha_rad, double gamma, std::size_t n_stations) const;
+
+ private:
+  const gas::EquilibriumSolver& eq_;
+  MarchOptions opt_;
+
+  std::vector<PnsStation> run(const geometry::OrbiterGeometry& orbiter,
+                              const MarchFreestream& fs, double alpha_rad,
+                              std::size_t n_stations,
+                              const PropertyProvider& props,
+                              double gamma_for_edges) const;
+};
+
+}  // namespace cat::solvers

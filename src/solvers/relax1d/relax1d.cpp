@@ -1,0 +1,235 @@
+#include "solvers/relax1d/relax1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+#include "gas/thermo.hpp"
+#include "numerics/ode.hpp"
+#include "numerics/roots.hpp"
+
+namespace cat::solvers {
+
+using gas::constants::kRu;
+
+PostShockRelaxation::PostShockRelaxation(const chemistry::Mechanism& mech,
+                                         Options opt)
+    : mech_(mech), ttg_(mech.species_set()), opt_(opt) {
+  CAT_REQUIRE(opt_.x_max > 0.0 && opt_.n_samples >= 8, "bad options");
+}
+
+namespace {
+/// Gas constants of the heavy-particle and electron partial mixtures.
+struct SplitR {
+  double r_heavy, r_electron;
+};
+SplitR split_gas_constant(const gas::SpeciesSet& set,
+                          std::span<const double> y) {
+  SplitR r{0.0, 0.0};
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    const gas::Species& sp = set.species(s);
+    const double rs = y[s] * kRu / sp.molar_mass;
+    if (sp.is_electron()) {
+      r.r_electron += rs;
+    } else {
+      r.r_heavy += rs;
+    }
+  }
+  return r;
+}
+}  // namespace
+
+FrozenJump PostShockRelaxation::frozen_jump(
+    const ShockTubeFreestream& fs, std::span<const double> y) const {
+  CAT_REQUIRE(fs.pressure > 0.0 && fs.temperature > 0.0, "bad freestream");
+  const auto [rh, re] = split_gas_constant(mech_.species_set(), y);
+  const double t1 = fs.temperature;
+  const double rho1 = fs.pressure / (rh * t1 + re * t1);
+  const double u1 = fs.velocity;
+  const double h1 = ttg_.energy(y, t1, t1) + fs.pressure / rho1;
+
+  // Unknown density ratio r: momentum and energy give (p2, h2); the
+  // temperature follows algebraically (frozen vibronic pool), and the
+  // equation of state closes the residual.
+  const double cv_tr = ttg_.trans_rot_cv(y);
+  auto t2_of = [&](double h2) {
+    // h = e_ref + cv_tr T + ev(T1) + (rh T + re T1): linear in T.
+    const double t_probe = 1000.0;
+    const double h_probe =
+        ttg_.energy(y, t_probe, t1) + rh * t_probe + re * t1;
+    return t_probe + (h2 - h_probe) / (cv_tr + rh);
+  };
+  auto resid = [&](double r) {
+    const double u2 = u1 / r;
+    const double p2 = fs.pressure + rho1 * u1 * u1 * (1.0 - 1.0 / r);
+    const double h2 = h1 + 0.5 * (u1 * u1 - u2 * u2);
+    const double t2 = t2_of(h2);
+    const double p_eos = rho1 * r * (rh * t2 + re * t1);
+    return p_eos - p2;
+  };
+  const double r_sol = numerics::brent(resid, 1.05, 60.0, {.tol = 1e-13});
+  FrozenJump j;
+  j.density_ratio = r_sol;
+  j.rho = rho1 * r_sol;
+  j.u = u1 / r_sol;
+  j.p = fs.pressure + rho1 * u1 * u1 * (1.0 - 1.0 / r_sol);
+  j.t = t2_of(h1 + 0.5 * (u1 * u1 - j.u * j.u));
+  return j;
+}
+
+PostShockRelaxation::FlowState PostShockRelaxation::recover_state(
+    double m_flux, double p_flux, double h_total, std::span<const double> y,
+    double tv, double rho_guess) const {
+  const auto [rh, re] = split_gas_constant(mech_.species_set(), y);
+  const double cv_tr = ttg_.trans_rot_cv(y);
+
+  auto t_of_h = [&](double h_target) {
+    if (tv > 0.0) {
+      // Two-temperature: vibronic pool frozen at tv -> h linear in T.
+      const double t_probe = 1000.0;
+      const double h_probe =
+          ttg_.energy(y, t_probe, tv) + rh * t_probe + re * tv;
+      return std::clamp(t_probe + (h_target - h_probe) / (cv_tr + rh),
+                        50.0, 100000.0);
+    }
+    // One-temperature: h(T, T) nonlinear (vibration at T) -> Newton.
+    double t = 5000.0;
+    for (int it = 0; it < 80; ++it) {
+      const double h = ttg_.energy(y, t, t) + (rh + re) * t;
+      const double cp = cv_tr + ttg_.vibronic_cv(y, t) + rh + re;
+      const double tn = std::clamp(t - (h - h_target) / cp, 50.0, 100000.0);
+      if (std::fabs(tn - t) < 1e-10 * t) return tn;
+      t = tn;
+    }
+    return t;
+  };
+
+  auto resid = [&](double rho) {
+    const double u = m_flux / rho;
+    const double p_mom = p_flux - m_flux * u;
+    const double h_tgt = h_total - 0.5 * u * u;
+    const double t = t_of_h(h_tgt);
+    const double tve = tv > 0.0 ? tv : t;
+    const double p_eos = rho * (rh * t + re * tve);
+    return p_eos - p_mom;
+  };
+
+  // Bracket around the guess (subsonic post-shock branch is locally
+  // monotone); expand until a sign change is found.
+  double lo = rho_guess * 0.7, hi = rho_guess * 1.4;
+  double flo = resid(lo), fhi = resid(hi);
+  for (int k = 0; k < 60 && flo * fhi > 0.0; ++k) {
+    lo *= 0.9;
+    hi *= 1.1;
+    flo = resid(lo);
+    fhi = resid(hi);
+  }
+  if (flo * fhi > 0.0)
+    throw SolverError("relax1d: state recovery lost its bracket");
+  const double rho = numerics::brent(resid, lo, hi, {.tol = 1e-13});
+
+  FlowState st;
+  st.rho = rho;
+  st.u = m_flux / rho;
+  st.p = p_flux - m_flux * st.u;
+  st.t = t_of_h(h_total - 0.5 * st.u * st.u);
+  return st;
+}
+
+RelaxationProfile PostShockRelaxation::solve(
+    const ShockTubeFreestream& fs, std::span<const double> y1) const {
+  const std::size_t ns = mech_.n_species();
+  CAT_REQUIRE(y1.size() == ns, "composition size mismatch");
+
+  const FrozenJump jump = frozen_jump(fs, y1);
+  const auto [rh1, re1] = split_gas_constant(mech_.species_set(), y1);
+  const double rho1 = fs.pressure / ((rh1 + re1) * fs.temperature);
+  const double m_flux = rho1 * fs.velocity;
+  const double p_flux = fs.pressure + rho1 * fs.velocity * fs.velocity;
+  const double h_total = ttg_.energy(y1, fs.temperature, fs.temperature) +
+                         fs.pressure / rho1 +
+                         0.5 * fs.velocity * fs.velocity;
+
+  const bool two_t = opt_.two_temperature;
+  const double tv0 = fs.temperature;
+
+  // Marching state: [y_0..y_{ns-1}, ev]; ev tracked even in 1-T mode (then
+  // slaved, derivative unused).
+  double rho_prev = jump.rho;  // warm start for the algebraic recovery
+  numerics::OdeRhs rhs = [&](double, std::span<const double> u,
+                             std::span<double> du) {
+    std::vector<double> y(u.begin(), u.begin() + ns);
+    gas::Mixture::clean_mass_fractions(y);
+    double tv = -1.0;
+    if (two_t) tv = ttg_.tv_from_vibronic_energy(y, u[ns], 5000.0);
+    const FlowState st =
+        recover_state(m_flux, p_flux, h_total, y, tv, rho_prev);
+    rho_prev = st.rho;
+    const double t_eff = st.t;
+    const double tv_eff = two_t ? tv : st.t;
+    // Ablation hook: disable Park's sqrt(T Tv) by feeding Tv = T to the
+    // kinetics while keeping the true Tv in the relaxation source.
+    const double tv_chem = opt_.park_sqrt_ttv ? tv_eff : t_eff;
+
+    std::vector<double> wdot(ns), c(ns);
+    mech_.mass_production_rates(st.rho, y, t_eff, tv_chem, wdot);
+    for (std::size_t s = 0; s < ns; ++s) {
+      du[s] = wdot[s] / m_flux;
+      c[s] = st.rho * y[s] / mech_.species_set().species(s).molar_mass;
+    }
+    if (two_t) {
+      const double q_lt =
+          ttg_.landau_teller_source(st.rho, y, t_eff, tv_eff, st.p);
+      const double q_chem =
+          mech_.chemistry_vibronic_source(c, t_eff, tv_chem);
+      du[ns] = (q_lt + q_chem) / m_flux;
+    } else {
+      du[ns] = 0.0;
+    }
+  };
+
+  std::vector<double> state(ns + 1);
+  std::copy(y1.begin(), y1.end(), state.begin());
+  state[ns] = ttg_.vibronic_energy(y1, tv0);
+
+  RelaxationProfile prof;
+  prof.n_species = ns;
+  prof.y.assign(ns, {});
+  auto store = [&](double x, std::span<const double> u) {
+    std::vector<double> y(u.begin(), u.begin() + ns);
+    gas::Mixture::clean_mass_fractions(y);
+    double tv = -1.0;
+    if (two_t) tv = ttg_.tv_from_vibronic_energy(y, u[ns], 5000.0);
+    const FlowState st =
+        recover_state(m_flux, p_flux, h_total, y, tv, rho_prev);
+    prof.x.push_back(x);
+    prof.t.push_back(st.t);
+    prof.tv.push_back(two_t ? tv : st.t);
+    prof.rho.push_back(st.rho);
+    prof.u.push_back(st.u);
+    prof.p.push_back(st.p);
+    for (std::size_t s = 0; s < ns; ++s) prof.y[s].push_back(y[s]);
+  };
+
+  store(0.0, state);
+  numerics::StiffIntegrator integ(rhs, nullptr,
+                                  {.rel_tol = 1e-7,
+                                   .abs_tol = 1e-13,
+                                   .h_initial = opt_.x_first * 1e-3,
+                                   .max_steps = 4'000'000});
+  double x_prev = 0.0;
+  for (std::size_t k = 0; k < opt_.n_samples; ++k) {
+    const double frac =
+        static_cast<double>(k) / static_cast<double>(opt_.n_samples - 1);
+    const double x_next =
+        opt_.x_first * std::pow(opt_.x_max / opt_.x_first, frac);
+    if (x_next <= x_prev) continue;
+    integ.integrate(x_prev, x_next, state);
+    store(x_next, state);
+    x_prev = x_next;
+  }
+  return prof;
+}
+
+}  // namespace cat::solvers

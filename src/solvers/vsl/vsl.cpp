@@ -1,0 +1,348 @@
+#include "solvers/vsl/vsl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/error.hpp"
+#include "numerics/interp.hpp"
+#include "numerics/tridiag.hpp"
+#include "transport/transport.hpp"
+
+namespace cat::solvers {
+
+PropertyProvider make_equilibrium_props(const gas::EquilibriumSolver& eq) {
+  // The transport evaluator must outlive the returned closure.
+  auto trans = std::make_shared<transport::MixtureTransport>(eq.mixture());
+  return [&eq, trans](double p, double h) {
+    const auto st = eq.solve_ph(p, h);
+    PhState out;
+    out.rho = st.rho;
+    out.t = st.t;
+    out.mu = trans->viscosity(st.y, st.t);
+    out.pr = trans->prandtl(st.y, st.t);
+    out.h = st.h;
+    return out;
+  };
+}
+
+PropertyProvider make_ideal_props(double gamma, double r_gas,
+                                  double prandtl) {
+  CAT_REQUIRE(gamma > 1.0 && r_gas > 0.0, "bad ideal gas");
+  const double cp = gamma * r_gas / (gamma - 1.0);
+  return [=](double p, double h) {
+    PhState out;
+    out.t = std::max(h / cp, 50.0);
+    out.rho = p / (r_gas * out.t);
+    out.mu = transport::sutherland_viscosity(std::min(out.t, 30000.0));
+    out.pr = prandtl;
+    out.h = h;
+    return out;
+  };
+}
+
+ParabolicMarcher::ParabolicMarcher(PropertyProvider props, MarchOptions opt)
+    : props_(std::move(props)), opt_(opt) {
+  CAT_REQUIRE(opt_.n_eta >= 30, "eta grid too small");
+  CAT_REQUIRE(props_ != nullptr, "property provider required");
+}
+
+std::vector<MarchStationResult> ParabolicMarcher::march(
+    const std::vector<MarchEdge>& edges, double h_total) const {
+  CAT_REQUIRE(edges.size() >= 2, "need at least two stations");
+  CAT_REQUIRE(edges.front().s > 0.0, "first station must have s > 0");
+
+  const std::size_t n = edges.size();
+  const std::size_t ne = opt_.n_eta;
+  const double d_eta = opt_.eta_max / static_cast<double>(ne - 1);
+
+  // Streamwise similarity coordinate.
+  std::vector<double> xi(n);
+  {
+    const double f0 = edges[0].rho_e * edges[0].mu_e * edges[0].ue *
+                      edges[0].r * edges[0].r;
+    xi[0] = 0.25 * f0 * edges[0].s;
+    for (std::size_t i = 1; i < n; ++i) {
+      const double fi = edges[i].rho_e * edges[i].mu_e * edges[i].ue *
+                        edges[i].r * edges[i].r;
+      const double fim = edges[i - 1].rho_e * edges[i - 1].mu_e *
+                         edges[i - 1].ue * edges[i - 1].r * edges[i - 1].r;
+      xi[i] = xi[i - 1] + 0.5 * (fi + fim) * (edges[i].s - edges[i - 1].s);
+    }
+  }
+
+  // Profiles F = u/ue and g = H/He on the eta grid; initialized with a
+  // smooth ramp and refined by the station-0 similarity solve.
+  std::vector<double> F(ne), g(ne), F_prev(ne), g_prev(ne);
+
+  std::vector<MarchStationResult> out;
+  out.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const MarchEdge& ed = edges[i];
+
+    // Property tables vs static enthalpy at this station's pressure.
+    // Wall enthalpy by bisection on T through the provider.
+    double h_wall_state;
+    {
+      double lo = 60.0, hi = 40000.0;
+      // Provider maps (p, h) -> t monotonically; find h giving T_wall.
+      auto t_of_h = [&](double h) { return props_(ed.p_e, h).t; };
+      double hlo = -5e6, hhi = 5e7;
+      for (int k = 0; k < 70; ++k) {
+        const double mid = 0.5 * (hlo + hhi);
+        if (t_of_h(mid) > opt_.wall_temperature) {
+          hhi = mid;
+        } else {
+          hlo = mid;
+        }
+      }
+      h_wall_state = 0.5 * (hlo + hhi);
+      (void)lo;
+      (void)hi;
+    }
+    const double g_w = h_wall_state / h_total;
+    const double h_lo =
+        std::min(h_wall_state, ed.h_e) - 0.02 * std::fabs(h_total);
+    const double h_hi = h_total * 1.02;
+    const std::size_t nt = opt_.n_table;
+    std::vector<double> h_nodes(nt), c_tab(nt), cpr_tab(nt), rho_tab(nt);
+    const double reme = ed.rho_e * ed.mu_e;
+    for (std::size_t k = 0; k < nt; ++k) {
+      const double h = h_lo + (h_hi - h_lo) * static_cast<double>(k) /
+                                  static_cast<double>(nt - 1);
+      const PhState st = props_(ed.p_e, h);
+      h_nodes[k] = h;
+      rho_tab[k] = st.rho;
+      c_tab[k] = st.rho * st.mu / reme;
+      cpr_tab[k] = c_tab[k] / st.pr;
+    }
+    numerics::Pchip C_of_h(h_nodes, c_tab);
+    numerics::Pchip CPr_of_h(h_nodes, cpr_tab);
+    numerics::Pchip rho_of_h(h_nodes, rho_tab);
+    const double rho_edge = rho_of_h(ed.h_e);
+    const double d_kin = 0.5 * ed.ue * ed.ue / h_total;
+
+    // Pressure-gradient parameter with the Vigneron fraction applied
+    // (PNS splitting: only omega of the streamwise gradient is admitted).
+    double beta;
+    if (i == 0) {
+      beta = 0.5;
+      for (std::size_t j = 0; j < ne; ++j) {
+        const double z = static_cast<double>(j) / static_cast<double>(ne - 1);
+        F[j] = std::min(1.0, 1.5 * z);
+        g[j] = g_w + (1.0 - g_w) * std::min(1.0, 1.5 * z);
+      }
+    } else {
+      const double due = edges[i].ue - edges[i - 1].ue;
+      const double dxi = std::max(xi[i] - xi[i - 1], 1e-30);
+      beta = std::clamp(2.0 * xi[i] / ed.ue * due / dxi, -0.15, 1.0);
+      beta *= ed.vigneron_omega;
+    }
+    const double two_xi_dxi =
+        i == 0 ? 0.0
+               : 2.0 * xi[i] / std::max(xi[i] - xi[i - 1], 1e-30);
+
+    F_prev = F;  // upstream station profiles (history terms)
+    g_prev = g;
+
+    // Picard iterations at this station.
+    std::vector<double> f_int(ne), a(ne), b(ne), c(ne), d(ne);
+    for (std::size_t pic = 0; pic < opt_.picard_iters; ++pic) {
+      // Stream function from F.
+      f_int[0] = 0.0;
+      for (std::size_t j = 1; j < ne; ++j)
+        f_int[j] = f_int[j - 1] + 0.5 * (F[j] + F[j - 1]) * d_eta;
+      // Streamwise derivative of f (history term).
+      std::vector<double> fx(ne, 0.0);
+      if (i > 0) {
+        // f at the upstream station from F_prev.
+        double acc = 0.0;
+        for (std::size_t j = 0; j < ne; ++j) {
+          if (j > 0) acc += 0.5 * (F_prev[j] + F_prev[j - 1]) * d_eta;
+          fx[j] = two_xi_dxi * (f_int[j] - acc) / 2.0;
+          // (2xi/dxi)(f - f_im)/2 == 2 xi fx / 2: carried as the advective
+          // addition to the f coefficient below (factor folded here).
+        }
+      }
+
+      // Properties per node.
+      std::vector<double> Cn(ne), CPrn(ne), rrn(ne);
+      for (std::size_t j = 0; j < ne; ++j) {
+        const double h = std::clamp(
+            h_total * (g[j] - d_kin * F[j] * F[j]), h_lo, h_hi);
+        Cn[j] = std::max(C_of_h(h), 1e-4);
+        CPrn[j] = std::max(CPr_of_h(h), 1e-4);
+        rrn[j] = rho_edge / std::max(rho_of_h(h), 1e-12);
+      }
+
+      // ---- momentum tridiagonal for F ----
+      for (std::size_t j = 0; j < ne; ++j) {
+        if (j == 0) {
+          a[j] = 0.0;
+          b[j] = 1.0;
+          c[j] = 0.0;
+          d[j] = 0.0;  // no slip
+          continue;
+        }
+        if (j == ne - 1) {
+          a[j] = 0.0;
+          b[j] = 1.0;
+          c[j] = 0.0;
+          d[j] = 1.0;  // edge
+          continue;
+        }
+        const double Cm = 0.5 * (Cn[j] + Cn[j - 1]);
+        const double Cp = 0.5 * (Cn[j] + Cn[j + 1]);
+        const double conv = f_int[j] + (i > 0 ? fx[j] : 0.0);
+        const double upwind = conv / (2.0 * d_eta);
+        a[j] = Cm / (d_eta * d_eta) - upwind;
+        c[j] = Cp / (d_eta * d_eta) + upwind;
+        b[j] = -(Cm + Cp) / (d_eta * d_eta) - beta * F[j] -
+               two_xi_dxi * F[j];
+        d[j] = -beta * rrn[j] - two_xi_dxi * F[j] * F_prev[j];
+      }
+      std::vector<double> F_new = numerics::solve_tridiagonal(a, b, c, d);
+
+      // ---- energy tridiagonal for g ----
+      for (std::size_t j = 0; j < ne; ++j) {
+        if (j == 0) {
+          a[j] = 0.0;
+          b[j] = 1.0;
+          c[j] = 0.0;
+          d[j] = g_w;
+          continue;
+        }
+        if (j == ne - 1) {
+          a[j] = 0.0;
+          b[j] = 1.0;
+          c[j] = 0.0;
+          d[j] = 1.0;
+          continue;
+        }
+        const double Km = 0.5 * (CPrn[j] + CPrn[j - 1]);
+        const double Kp = 0.5 * (CPrn[j] + CPrn[j + 1]);
+        const double conv = f_int[j] + (i > 0 ? fx[j] : 0.0);
+        const double upwind = conv / (2.0 * d_eta);
+        a[j] = Km / (d_eta * d_eta) - upwind;
+        c[j] = Kp / (d_eta * d_eta) + upwind;
+        b[j] = -(Km + Kp) / (d_eta * d_eta) - two_xi_dxi * F[j];
+        // Viscous dissipation transport (Pr != 1): d/deta[ C(1-1/Pr)
+        // d_kin d(F^2)/deta ] with lagged profiles.
+        const double pr_j = Cn[j] / CPrn[j];
+        const double diss_p = Cn[j] * (1.0 - 1.0 / pr_j) * d_kin *
+                              (F[j + 1] * F[j + 1] - F[j] * F[j]) / d_eta;
+        const double pr_m = Cn[j - 1] / CPrn[j - 1];
+        const double diss_m = Cn[j - 1] * (1.0 - 1.0 / pr_m) * d_kin *
+                              (F[j] * F[j] - F[j - 1] * F[j - 1]) / d_eta;
+        d[j] = -two_xi_dxi * F[j] * g_prev[j] - (diss_p - diss_m) / d_eta;
+      }
+      std::vector<double> g_new = numerics::solve_tridiagonal(a, b, c, d);
+
+      double change = 0.0;
+      for (std::size_t j = 0; j < ne; ++j) {
+        change = std::max(change, std::fabs(F_new[j] - F[j]));
+        change = std::max(change, std::fabs(g_new[j] - g[j]));
+        // Under-relax for robustness at strongly nonsimilar stations.
+        F[j] = 0.7 * F_new[j] + 0.3 * F[j];
+        g[j] = 0.7 * g_new[j] + 0.3 * g[j];
+      }
+      if (change < 1e-10) break;
+    }
+
+    // Wall outputs: q = (C/Pr)(h_w) g'(0) He (ue r / sqrt(2 xi)) rho_e mu_e.
+    const double metric =
+        ed.ue * ed.r / std::sqrt(2.0 * std::max(xi[i], 1e-30));
+    const double gp0 = (g[1] - g[0]) / d_eta;
+    const double fp0 = (F[1] - F[0]) / d_eta;
+    const double h_wall = std::clamp(g_w * h_total, h_lo, h_hi);
+    MarchStationResult r;
+    r.s = ed.s;
+    r.q_w = CPr_of_h(h_wall) * gp0 * h_total * metric * reme;
+    r.cf = C_of_h(h_wall) * fp0 * ed.ue * metric * reme /
+           (0.5 * ed.rho_e * ed.ue * ed.ue);
+    r.p_e = ed.p_e;
+    r.ue = ed.ue;
+    r.t_e = ed.t_e;
+    r.theta = std::sqrt(2.0 * std::max(xi[i], 1e-30)) /
+              (ed.rho_e * ed.ue * ed.r);
+    out.push_back(r);
+  }
+  return out;
+}
+
+VslSolver::VslSolver(const gas::EquilibriumSolver& eq, MarchOptions opt)
+    : eq_(eq), opt_(opt) {}
+
+std::vector<MarchEdge> VslSolver::build_edges(const geometry::Body& body,
+                                              const MarchFreestream& fs,
+                                              double s_min, double s_max,
+                                              std::size_t n, bool vigneron) const {
+  CAT_REQUIRE(n >= 2 && s_max > s_min && s_min > 0.0, "bad station range");
+  transport::MixtureTransport trans(eq_.mixture());
+  const auto cold = eq_.solve_tp(std::max(fs.t, 160.0), fs.p);
+  const double h_total = cold.h + 0.5 * fs.velocity * fs.velocity;
+  const double q_dyn = 0.5 * fs.rho * fs.velocity * fs.velocity;
+
+  // Stagnation pressure coefficient from the equilibrium normal shock
+  // (fixed point on the density ratio, as in the stagnation solver).
+  double eps = 0.1;
+  for (int it = 0; it < 40; ++it) {
+    const double p2 = fs.p + fs.rho * fs.velocity * fs.velocity * (1.0 - eps);
+    const double h2 =
+        cold.h + 0.5 * fs.velocity * fs.velocity * (1.0 - eps * eps);
+    const auto post = eq_.solve_ph(p2, h2);
+    const double eps_new = fs.rho / post.rho;
+    if (std::fabs(eps_new - eps) < 1e-12) break;
+    eps = 0.5 * (eps + eps_new);
+  }
+  const double p_stag = fs.p + fs.rho * fs.velocity * fs.velocity *
+                                   (1.0 - eps) * (1.0 + 0.5 * eps);
+  const double cp_max = (p_stag - fs.p) / q_dyn;
+
+  std::vector<MarchEdge> edges;
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = s_min + (s_max - s_min) * static_cast<double>(i) /
+                                 static_cast<double>(n - 1);
+    const geometry::SurfacePoint pt = body.at(s);
+    // Modified-Newtonian surface pressure at local incidence theta.
+    const double sth = std::sin(std::clamp(pt.theta, 0.02, 0.5 * M_PI));
+    MarchEdge e;
+    e.s = s;
+    e.r = std::max(pt.r, 1e-6);
+    e.p_e = fs.p + cp_max * q_dyn * sth * sth;
+    // Thin shock layer: tangential velocity preserved across the shock.
+    e.ue = std::max(fs.velocity * std::cos(pt.theta), 30.0);
+    e.h_e = h_total - 0.5 * e.ue * e.ue;
+    const auto st = eq_.solve_ph(e.p_e, e.h_e);
+    e.rho_e = st.rho;
+    e.t_e = st.t;
+    e.mu_e = trans.viscosity(st.y, st.t);
+    e.vigneron_omega = 1.0;
+    if (vigneron) {
+      // Vigneron splitting: fraction of dp/ds admitted in subsonic layers,
+      // omega = gamma M^2 / (1 + (gamma-1) M^2), capped at 1.
+      const double a_e = eq_.mixture().frozen_sound_speed(st.y, st.t);
+      const double m_e = e.ue / a_e;
+      const double gam = eq_.mixture().gamma_frozen(st.y, st.t);
+      e.vigneron_omega = std::min(
+          1.0, gam * m_e * m_e / (1.0 + (gam - 1.0) * m_e * m_e));
+    }
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<MarchStationResult> VslSolver::solve(
+    const geometry::Body& body, const MarchFreestream& fs, double s_min,
+    double s_max, std::size_t n_stations) const {
+  const auto edges =
+      build_edges(body, fs, s_min, s_max, n_stations, /*vigneron=*/false);
+  const auto cold = eq_.solve_tp(std::max(fs.t, 160.0), fs.p);
+  const double h_total = cold.h + 0.5 * fs.velocity * fs.velocity;
+  ParabolicMarcher marcher(make_equilibrium_props(eq_), opt_);
+  return marcher.march(edges, h_total);
+}
+
+}  // namespace cat::solvers

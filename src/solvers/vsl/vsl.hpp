@@ -1,0 +1,121 @@
+#pragma once
+/// \file vsl.hpp
+/// Viscous shock-layer (VSL) marching solver for axisymmetric windward
+/// forebodies with equilibrium chemistry.
+///
+/// The VSL equations are the steady shock-layer equations retained to
+/// second order in 1/sqrt(Re); they are hyperbolic-parabolic in the
+/// streamwise direction and are solved by marching from the stagnation
+/// region (paper: "VSL codes have been the major tools for providing
+/// aerothermal flowfield environments for the windward forebody...").
+/// Implementation: nonsimilar Lees-Dorodnitsyn marching — at each
+/// streamwise station the normal-direction momentum and total-enthalpy
+/// equations are solved implicitly (scalar tridiagonal sweeps with Picard
+/// linearization), with backward-difference streamwise history terms.
+/// Edge conditions come from the local equilibrium oblique-shock state
+/// (thin-shock-layer closure) with a modified-Newtonian surface pressure.
+///
+/// The same marching core drives the PNS solver (solvers/pns), which adds
+/// the Vigneron streamwise-pressure-gradient splitting.
+
+#include <functional>
+#include <vector>
+
+#include "gas/equilibrium.hpp"
+#include "geometry/body.hpp"
+
+namespace cat::solvers {
+
+/// Edge (outer boundary) state at one marching station.
+struct MarchEdge {
+  double s;       ///< arc length [m]
+  double r;       ///< body radius [m]
+  double p_e;     ///< edge pressure [Pa]
+  double h_e;     ///< edge static enthalpy [J/kg]
+  double ue;      ///< edge velocity [m/s]
+  double rho_e;   ///< edge density [kg/m^3]
+  double mu_e;    ///< edge viscosity [Pa s]
+  double t_e;     ///< edge temperature [K]
+  /// Vigneron fraction of the streamwise pressure gradient admitted by the
+  /// marching scheme (1 = full, used by VSL; PNS reduces it when the edge
+  /// flow is subsonic to keep the march well posed).
+  double vigneron_omega = 1.0;
+};
+
+/// Station output of the marching solver.
+struct MarchStationResult {
+  double s, q_w, cf, p_e, ue, t_e;
+  double theta;  ///< boundary/viscous-layer thickness scale [m]
+};
+
+/// Options for the marching core.
+struct MarchOptions {
+  double wall_temperature = 1200.0;
+  std::size_t n_eta = 120;
+  double eta_max = 8.0;
+  std::size_t n_table = 36;
+  std::size_t picard_iters = 10;
+};
+
+/// Thermophysical state at (p, h) as the marching core needs it.
+struct PhState {
+  double rho, t, mu, pr, h;
+};
+
+/// Property provider: (p, h) -> state. Adapters exist for the equilibrium
+/// solver and for calorically perfect gas (the "ideal gas gamma = 1.2"
+/// comparison model of Fig. 6).
+using PropertyProvider = std::function<PhState(double p, double h)>;
+
+/// Equilibrium-gas properties through the Gibbs solver + mixture transport.
+PropertyProvider make_equilibrium_props(const gas::EquilibriumSolver& eq);
+
+/// Calorically perfect gas with Sutherland viscosity and constant Prandtl.
+PropertyProvider make_ideal_props(double gamma, double r_gas,
+                                  double prandtl = 0.72);
+
+/// Nonsimilar parabolic marching core shared by the VSL and PNS solvers.
+class ParabolicMarcher {
+ public:
+  ParabolicMarcher(PropertyProvider props, MarchOptions opt = {});
+
+  /// March over the given edge stations (s strictly increasing, s[0] > 0).
+  /// \p h_total is the freestream total enthalpy.
+  std::vector<MarchStationResult> march(
+      const std::vector<MarchEdge>& edges, double h_total) const;
+
+ private:
+  PropertyProvider props_;
+  MarchOptions opt_;
+};
+
+/// Freestream description shared by the marching front ends.
+struct MarchFreestream {
+  double velocity, rho, p, t;
+};
+
+/// VSL solver over an axisymmetric body: builds thin-shock-layer edge
+/// conditions (equilibrium oblique shock + modified Newtonian pressure)
+/// from the body geometry and marches the shock layer.
+class VslSolver {
+ public:
+  VslSolver(const gas::EquilibriumSolver& eq, MarchOptions opt = {});
+
+  /// March over body arc [s_min, s_max] with n stations.
+  std::vector<MarchStationResult> solve(const geometry::Body& body,
+                                        const MarchFreestream& fs,
+                                        double s_min, double s_max,
+                                        std::size_t n_stations) const;
+
+  /// Edge construction exposed for tests and for the PNS front end.
+  std::vector<MarchEdge> build_edges(const geometry::Body& body,
+                                     const MarchFreestream& fs, double s_min,
+                                     double s_max, std::size_t n_stations,
+                                     bool vigneron) const;
+
+ private:
+  const gas::EquilibriumSolver& eq_;
+  MarchOptions opt_;
+};
+
+}  // namespace cat::solvers

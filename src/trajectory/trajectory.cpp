@@ -1,0 +1,108 @@
+#include "trajectory/trajectory.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "numerics/ode.hpp"
+#include "transport/transport.hpp"
+
+namespace cat::trajectory {
+
+std::vector<TrajectoryPoint> integrate_entry(
+    const Vehicle& vehicle, const EntryState& entry,
+    const atmosphere::Atmosphere& atmo, double planet_radius, double g0,
+    const TrajectoryOptions& opt) {
+  CAT_REQUIRE(vehicle.mass > 0.0 && vehicle.reference_area > 0.0,
+              "vehicle must have positive mass and area");
+  CAT_REQUIRE(entry.velocity > 0.0, "entry velocity must be positive");
+
+  // State: [V, gamma, h, s]; planar equations over a non-rotating sphere:
+  //   dV/dt     = -D/m - g sin(gamma)
+  //   dgamma/dt = L/(m V) + (V/(R+h) - g/V) cos(gamma)
+  //   dh/dt     = V sin(gamma)
+  //   ds/dt     = V cos(gamma) R/(R+h)
+  numerics::OdeRhs rhs = [&](double t, std::span<const double> u,
+                             std::span<double> du) {
+    const double v = std::max(u[0], 1.0);
+    const double gamma = u[1];
+    const double h = std::max(u[2], 0.0);
+    const atmosphere::AtmoState a = atmo.at(h);
+    const double q = 0.5 * a.density * v * v;
+    const double drag = q * vehicle.cd * vehicle.reference_area;
+    const double ld = vehicle.lift_to_drag *
+                      (opt.lift_modulation ? opt.lift_modulation(t) : 1.0);
+    const double lift = drag * ld;
+    const double r = planet_radius + h;
+    const double g = g0 * (planet_radius / r) * (planet_radius / r);
+    du[0] = -drag / vehicle.mass - g * std::sin(gamma);
+    du[1] = lift / (vehicle.mass * v) +
+            (v / r - g / v) * std::cos(gamma);
+    du[2] = v * std::sin(gamma);
+    du[3] = v * std::cos(gamma) * planet_radius / r;
+  };
+
+  std::vector<TrajectoryPoint> out;
+  auto sample = [&](double t, std::span<const double> u) {
+    const atmosphere::AtmoState a = atmo.at(std::max(u[2], 0.0));
+    TrajectoryPoint p;
+    p.time = t;
+    p.velocity = u[0];
+    p.gamma = u[1];
+    p.altitude = u[2];
+    p.range = u[3];
+    p.density = a.density;
+    p.pressure = a.pressure;
+    p.temperature = a.temperature;
+    p.mach = u[0] / a.sound_speed;
+    const double mu = transport::sutherland_viscosity(a.temperature);
+    p.reynolds = a.density * u[0] * (2.0 * vehicle.nose_radius) / mu;
+    p.q_dyn = 0.5 * a.density * u[0] * u[0];
+    out.push_back(p);
+  };
+
+  std::vector<double> u{entry.velocity, entry.flight_path_angle,
+                        entry.altitude, 0.0};
+  double t = 0.0;
+  sample(t, u);
+  const double dt = opt.dt_sample;
+  while (t < opt.t_max) {
+    // Fixed sampling cadence; RKF45 adapts internally between samples.
+    numerics::integrate_rkf45(rhs, t, t + dt, u,
+                              {.rel_tol = 1e-9, .abs_tol = 1e-9});
+    t += dt;
+    sample(t, u);
+    if (u[0] < opt.end_velocity) break;
+    if (u[2] < opt.end_altitude) break;
+    if (u[2] > 1.5 * entry.altitude) break;  // skipped back out
+  }
+  return out;
+}
+
+std::vector<DomainPoint> flight_domain(
+    const std::vector<TrajectoryPoint>& traj) {
+  std::vector<DomainPoint> d;
+  d.reserve(traj.size());
+  for (const auto& p : traj)
+    d.push_back({p.mach, p.reynolds, p.altitude, p.velocity});
+  return d;
+}
+
+Vehicle shuttle_orbiter() {
+  return {"Shuttle-Orbiter", 79000.0, 250.0, 0.84, 1.1, 1.30};
+}
+
+Vehicle aotv() { return {"AOTV", 6000.0, 40.0, 1.5, 0.3, 2.0}; }
+
+Vehicle tav() { return {"TAV", 20000.0, 120.0, 0.12, 3.0, 0.5}; }
+
+Vehicle galileo_class_probe() {
+  return {"Galileo-class-probe", 335.0, 1.0, 1.05, 0.0, 0.222};
+}
+
+Vehicle titan_probe() {
+  // Ref. 15: blunt 60-deg half-angle sphere-cone probe with deployable
+  // decelerator; representative mass/geometry.
+  return {"Titan-probe", 250.0, 2.27, 1.5, 0.0, 0.60};
+}
+
+}  // namespace cat::trajectory

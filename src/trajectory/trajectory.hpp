@@ -1,0 +1,83 @@
+#pragma once
+/// \file trajectory.hpp
+/// Three-degree-of-freedom planar entry dynamics over a spherical planet.
+///
+/// Drives the Fig. 1 flight-domain map (Mach/Reynolds envelopes of the
+/// Shuttle, AOTV, TAV and probe missions) and the Fig. 2 Titan heating
+/// pulse (trajectory x stagnation-point solver). Equations are the
+/// standard planar entry set in (V, gamma, h, s) with constant-or-modulated
+/// L/D and exponential-atmosphere drag.
+
+#include <functional>
+#include <vector>
+
+#include "atmosphere/atmosphere.hpp"
+
+namespace cat::trajectory {
+
+/// Vehicle aerodynamic/mass description.
+struct Vehicle {
+  std::string name;
+  double mass;            ///< [kg]
+  double reference_area;  ///< [m^2]
+  double cd;              ///< drag coefficient (hypersonic, constant)
+  double lift_to_drag;    ///< L/D (0 for ballistic probes)
+  double nose_radius;     ///< [m] for stagnation heating correlations
+
+  double ballistic_coefficient() const { return mass / (cd * reference_area); }
+};
+
+/// Entry interface state.
+struct EntryState {
+  double velocity;           ///< [m/s]
+  double flight_path_angle;  ///< [rad], negative = descending
+  double altitude;           ///< [m]
+};
+
+/// One sample along a trajectory.
+struct TrajectoryPoint {
+  double time;       ///< [s]
+  double velocity;   ///< [m/s]
+  double gamma;      ///< flight-path angle [rad]
+  double altitude;   ///< [m]
+  double range;      ///< downrange [m]
+  double density;    ///< freestream [kg/m^3]
+  double pressure;   ///< [Pa]
+  double temperature;///< [K]
+  double mach;       ///< V/a_inf
+  double reynolds;   ///< rho V L / mu, L = nose diameter
+  double q_dyn;      ///< dynamic pressure [Pa]
+};
+
+struct TrajectoryOptions {
+  double dt_sample = 1.0;       ///< output sampling interval [s]
+  double t_max = 4000.0;        ///< [s]
+  double end_velocity = 200.0;  ///< stop when V drops below [m/s]
+  double end_altitude = 0.0;    ///< stop on surface [m]
+  /// Optional bank/lift modulation: multiplies L/D as f(time).
+  std::function<double(double)> lift_modulation;
+};
+
+/// Integrate a planar entry trajectory with RKF45.
+/// \p planet_radius and \p g0 select the planet (Earth/Titan constants in
+/// gas::constants).
+std::vector<TrajectoryPoint> integrate_entry(
+    const Vehicle& vehicle, const EntryState& entry,
+    const atmosphere::Atmosphere& atmo, double planet_radius, double g0,
+    const TrajectoryOptions& opt = {});
+
+/// The flight-domain envelope of a trajectory: (Mach, Reynolds) pairs.
+struct DomainPoint {
+  double mach, reynolds, altitude, velocity;
+};
+std::vector<DomainPoint> flight_domain(
+    const std::vector<TrajectoryPoint>& traj);
+
+/// Reference vehicles for the Fig. 1 map (era-representative parameters).
+Vehicle shuttle_orbiter();
+Vehicle aotv();                ///< aeroassisted orbital transfer vehicle
+Vehicle tav();                 ///< transatmospheric vehicle (slender)
+Vehicle galileo_class_probe(); ///< blunt high-beta entry probe
+Vehicle titan_probe();         ///< Ref. 15 Titan probe (60-deg sphere-cone)
+
+}  // namespace cat::trajectory

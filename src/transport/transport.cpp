@@ -1,0 +1,120 @@
+#include "transport/transport.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+#include "gas/thermo.hpp"
+
+namespace cat::transport {
+
+using gas::constants::kAvogadro;
+using gas::constants::kBoltzmann;
+using gas::constants::kRu;
+
+double sutherland_viscosity(double t) {
+  CAT_REQUIRE(t > 0.0, "temperature must be positive");
+  constexpr double mu_ref = 1.716e-5, t_ref = 273.15, s = 110.4;
+  return mu_ref * std::pow(t / t_ref, 1.5) * (t_ref + s) / (t + s);
+}
+
+double species_viscosity(const gas::Species& s, double t) {
+  CAT_REQUIRE(t > 0.0, "temperature must be positive");
+  if (s.is_electron()) {
+    // Electrons carry negligible momentum; tiny finite value keeps Wilke
+    // denominators benign.
+    return 1e-12;
+  }
+  if (s.blottner) {
+    const double lt = std::log(t);
+    return 0.1 * std::exp((s.blottner->a * lt + s.blottner->b) * lt +
+                          s.blottner->c);
+  }
+  // Hard-sphere Chapman-Enskog first approximation:
+  //   mu = 5/16 sqrt(pi m kB T) / (pi d^2)
+  const double m = s.molar_mass / kAvogadro;
+  return 5.0 / 16.0 * std::sqrt(M_PI * m * kBoltzmann * t) /
+         (M_PI * s.hs_diameter * s.hs_diameter);
+}
+
+double species_conductivity(const gas::Species& s, double t) {
+  const double mu = species_viscosity(s, t);
+  const double r_s = kRu / s.molar_mass;
+  // Modified Eucken: translational part with factor 5/2, internal modes
+  // (rotation + vibration + electronic) with factor 1 (diffusive).
+  const double cv_trans = 1.5 * r_s;
+  const double cv_total = (gas::cp_mole(s, t) - kRu) / s.molar_mass;
+  const double cv_int = std::max(cv_total - cv_trans, 0.0);
+  return mu * (2.5 * cv_trans + 1.2 * cv_int);
+}
+
+MixtureTransport::MixtureTransport(const gas::Mixture& mix, double lewis)
+    : mix_(mix), lewis_(lewis) {
+  CAT_REQUIRE(lewis > 0.0, "Lewis number must be positive");
+}
+
+namespace {
+/// Wilke's mixing rule applied to any per-species property phi.
+/// Free electrons are excluded: their vanishing mass/viscosity poisons the
+/// phi_ij denominators while their true momentum contribution is nil.
+double wilke_mix(const gas::Mixture& mix, std::span<const double> x,
+                 std::span<const double> phi,
+                 std::span<const double> mu, double /*t*/) {
+  const std::size_t ns = mix.n_species();
+  double total = 0.0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    if (x[i] <= 0.0 || mix.set().species(i).is_electron()) continue;
+    double denom = 0.0;
+    const double mi = mix.set().species(i).molar_mass;
+    for (std::size_t j = 0; j < ns; ++j) {
+      if (x[j] <= 0.0 || mix.set().species(j).is_electron()) continue;
+      const double mj = mix.set().species(j).molar_mass;
+      const double ratio_mu = mu[i] / mu[j];
+      const double ratio_m = mj / mi;
+      const double num =
+          1.0 + std::sqrt(ratio_mu) * std::pow(ratio_m, 0.25);
+      const double phi_ij =
+          num * num / std::sqrt(8.0 * (1.0 + mi / mj));
+      denom += x[j] * phi_ij;
+    }
+    total += x[i] * phi[i] / denom;
+  }
+  return total;
+}
+}  // namespace
+
+double MixtureTransport::viscosity(std::span<const double> y,
+                                   double t) const {
+  const std::vector<double> x = mix_.mole_fractions(y);
+  const std::size_t ns = mix_.n_species();
+  std::vector<double> mu(ns);
+  for (std::size_t s = 0; s < ns; ++s)
+    mu[s] = species_viscosity(mix_.set().species(s), t);
+  return wilke_mix(mix_, x, mu, mu, t);
+}
+
+double MixtureTransport::conductivity(std::span<const double> y,
+                                      double t) const {
+  const std::vector<double> x = mix_.mole_fractions(y);
+  const std::size_t ns = mix_.n_species();
+  std::vector<double> mu(ns), k(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
+    mu[s] = species_viscosity(mix_.set().species(s), t);
+    k[s] = species_conductivity(mix_.set().species(s), t);
+  }
+  return wilke_mix(mix_, x, k, mu, t);
+}
+
+double MixtureTransport::diffusivity(std::span<const double> y, double t,
+                                     double rho) const {
+  CAT_REQUIRE(rho > 0.0, "density must be positive");
+  const double k = conductivity(y, t);
+  const double cp = mix_.cp_mass(y, t);
+  return lewis_ * k / (rho * cp);
+}
+
+double MixtureTransport::prandtl(std::span<const double> y, double t) const {
+  return viscosity(y, t) * mix_.cp_mass(y, t) / conductivity(y, t);
+}
+
+}  // namespace cat::transport

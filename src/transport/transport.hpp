@@ -1,0 +1,57 @@
+#pragma once
+/// \file transport.hpp
+/// Mixture transport properties for the viscous solvers.
+///
+/// Species viscosities come from Blottner curve fits where published (air
+/// species) and from hard-sphere kinetic theory otherwise (Titan species);
+/// species conductivities from the Eucken relation; mixture values from
+/// Wilke's semi-empirical mixing rule. Mass diffusion uses the
+/// constant-Lewis-number model standard in shock-layer codes of the era
+/// (binary and multicomponent diffusion is listed by the paper among the
+/// VSL codes' physics — the constant-Le model is its leading-order form).
+
+#include <span>
+#include <vector>
+
+#include "gas/mixture.hpp"
+
+namespace cat::transport {
+
+/// Sutherland viscosity for ideal-gas air (baseline CFD path).
+double sutherland_viscosity(double t);
+
+/// Single-species viscosity [Pa s]: Blottner fit when available, otherwise
+/// hard-sphere kinetic theory with the species' tabulated diameter.
+double species_viscosity(const gas::Species& s, double t);
+
+/// Single-species thermal conductivity [W/(m K)] via modified Eucken:
+/// k = mu (cp_trans_rot * 5/2-ish split): k = mu (15/4 R/M) for atoms,
+/// k = mu (cv_t 5/2 + cv_r + cv_v) / M form for molecules.
+double species_conductivity(const gas::Species& s, double t);
+
+/// Transport evaluator bound to a Mixture.
+class MixtureTransport {
+ public:
+  explicit MixtureTransport(const gas::Mixture& mix, double lewis = 1.4);
+
+  /// Wilke-mixed viscosity [Pa s] from mass fractions.
+  double viscosity(std::span<const double> y, double t) const;
+
+  /// Wilke-mixed (frozen) thermal conductivity [W/(m K)].
+  double conductivity(std::span<const double> y, double t) const;
+
+  /// Effective mass diffusivity [m^2/s] from the constant Lewis number:
+  /// D = Le k / (rho cp).
+  double diffusivity(std::span<const double> y, double t, double rho) const;
+
+  /// Frozen Prandtl number mu cp / k.
+  double prandtl(std::span<const double> y, double t) const;
+
+  double lewis_number() const { return lewis_; }
+
+ private:
+  const gas::Mixture& mix_;
+  double lewis_;
+};
+
+}  // namespace cat::transport

@@ -1,0 +1,157 @@
+// Atmosphere + trajectory tests: USSA-1976 anchors, Titan model sanity,
+// entry dynamics invariants (deceleration, peak dynamic pressure, skip
+// protection), flight-domain extraction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atmosphere/atmosphere.hpp"
+#include "gas/constants.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace {
+
+using namespace cat;
+using atmosphere::EarthAtmosphere;
+using atmosphere::TitanAtmosphere;
+
+TEST(Atmosphere, SeaLevelAnchors) {
+  EarthAtmosphere atmo;
+  const auto s = atmo.at(0.0);
+  EXPECT_NEAR(s.temperature, 288.15, 1e-6);
+  EXPECT_NEAR(s.pressure, 101325.0, 1e-3);
+  EXPECT_NEAR(s.density, 1.225, 0.001);
+  EXPECT_NEAR(s.sound_speed, 340.3, 0.3);
+}
+
+TEST(Atmosphere, TropopauseAnchor) {
+  EarthAtmosphere atmo;
+  const auto s = atmo.at(11000.0);
+  EXPECT_NEAR(s.temperature, 216.65, 0.01);
+  EXPECT_NEAR(s.pressure, 22632.0, 60.0);  // USSA value
+}
+
+TEST(Atmosphere, StratopauseAnchor) {
+  EarthAtmosphere atmo;
+  const auto s = atmo.at(47000.0);
+  EXPECT_NEAR(s.temperature, 270.65, 0.01);
+  EXPECT_NEAR(s.pressure, 110.9, 3.0);
+}
+
+TEST(Atmosphere, MonotonePressureDecay) {
+  EarthAtmosphere atmo;
+  double prev = 2e5;
+  for (double z = 0.0; z <= 120000.0; z += 2000.0) {
+    const auto s = atmo.at(z);
+    EXPECT_LT(s.pressure, prev) << z;
+    EXPECT_GT(s.density, 0.0) << z;
+    prev = s.pressure;
+  }
+}
+
+TEST(Atmosphere, TitanSurfaceAnchors) {
+  TitanAtmosphere atmo;
+  const auto s = atmo.at(0.0);
+  EXPECT_NEAR(s.temperature, 94.0, 0.5);
+  EXPECT_NEAR(s.pressure, 1.5e5, 1e3);
+  // Titan surface density ~ 5.3 kg/m^3 (denser than Earth!).
+  EXPECT_NEAR(s.density, 5.3, 0.5);
+}
+
+TEST(Atmosphere, TitanColderAndDeeperThanEarth) {
+  TitanAtmosphere titan;
+  EarthAtmosphere earth;
+  // Titan's atmosphere has a much larger scale height/extent: pressure at
+  // 200 km on Titan far exceeds Earth's.
+  EXPECT_GT(titan.at(200000.0).pressure, 100.0 * earth.at(200000.0).pressure);
+}
+
+TEST(Trajectory, BallisticProbeDecelerates) {
+  EarthAtmosphere atmo;
+  const auto probe = trajectory::galileo_class_probe();
+  const trajectory::EntryState entry{12000.0, -8.0 * M_PI / 180.0, 120000.0};
+  const auto traj = trajectory::integrate_entry(
+      probe, entry, atmo, gas::constants::kEarthRadius,
+      gas::constants::kEarthG0);
+  ASSERT_GT(traj.size(), 10u);
+  EXPECT_LT(traj.back().velocity, 0.2 * entry.velocity);
+  // Altitude monotonically decreasing for a steep ballistic entry.
+  for (std::size_t k = 1; k < traj.size(); ++k)
+    EXPECT_LE(traj[k].altitude, traj[k - 1].altitude + 1.0);
+}
+
+TEST(Trajectory, PeakDynamicPressureInteriorPoint) {
+  EarthAtmosphere atmo;
+  const auto probe = trajectory::galileo_class_probe();
+  const trajectory::EntryState entry{11000.0, -10.0 * M_PI / 180.0,
+                                     120000.0};
+  const auto traj = trajectory::integrate_entry(
+      probe, entry, atmo, gas::constants::kEarthRadius,
+      gas::constants::kEarthG0);
+  std::size_t k_peak = 0;
+  for (std::size_t k = 0; k < traj.size(); ++k)
+    if (traj[k].q_dyn > traj[k_peak].q_dyn) k_peak = k;
+  EXPECT_GT(k_peak, 0u);
+  EXPECT_LT(k_peak, traj.size() - 1);
+  EXPECT_GT(traj[k_peak].q_dyn, 1e5);  // serious entry loads
+}
+
+TEST(Trajectory, LiftingVehicleFliesLonger) {
+  EarthAtmosphere atmo;
+  const trajectory::EntryState entry{7500.0, -1.2 * M_PI / 180.0, 120000.0};
+  auto shuttle = trajectory::shuttle_orbiter();
+  auto ballistic = shuttle;
+  ballistic.lift_to_drag = 0.0;
+  ballistic.name = "ballistic-shuttle";
+  const auto lift = trajectory::integrate_entry(
+      shuttle, entry, atmo, gas::constants::kEarthRadius,
+      gas::constants::kEarthG0);
+  const auto ball = trajectory::integrate_entry(
+      ballistic, entry, atmo, gas::constants::kEarthRadius,
+      gas::constants::kEarthG0);
+  EXPECT_GT(lift.back().time, ball.back().time);
+}
+
+TEST(Trajectory, FlightDomainCoversHypersonicRegime) {
+  EarthAtmosphere atmo;
+  const auto traj = trajectory::integrate_entry(
+      trajectory::shuttle_orbiter(), {7500.0, -1.2 * M_PI / 180.0, 120000.0},
+      atmo, gas::constants::kEarthRadius, gas::constants::kEarthG0);
+  const auto dom = trajectory::flight_domain(traj);
+  double m_max = 0.0, re_max = 0.0;
+  for (const auto& d : dom) {
+    m_max = std::max(m_max, d.mach);
+    re_max = std::max(re_max, d.reynolds);
+  }
+  EXPECT_GT(m_max, 20.0);   // hypervelocity portion
+  EXPECT_GT(re_max, 1e6);   // continuum portion near entry end
+}
+
+TEST(Trajectory, TitanEntrySlowsInUpperAtmosphere) {
+  TitanAtmosphere atmo;
+  const auto probe = trajectory::titan_probe();
+  const trajectory::EntryState entry{12000.0, -24.0 * M_PI / 180.0,
+                                     600000.0};
+  trajectory::TrajectoryOptions opt;
+  opt.end_velocity = 1000.0;
+  const auto traj = trajectory::integrate_entry(
+      probe, entry, atmo, gas::constants::kTitanRadius,
+      gas::constants::kTitanG0, opt);
+  // Hypersonic deceleration is finished (descent to terminal velocity in
+  // the thick lower atmosphere continues for much longer).
+  EXPECT_LT(traj.back().velocity, 0.35 * entry.velocity);
+  // And it happened high: peak dynamic pressure well above 100 km.
+  std::size_t k_peak = 0;
+  for (std::size_t k = 0; k < traj.size(); ++k)
+    if (traj[k].q_dyn > traj[k_peak].q_dyn) k_peak = k;
+  EXPECT_GT(traj[k_peak].altitude, 100000.0);
+}
+
+TEST(Vehicle, BallisticCoefficient) {
+  const auto v = trajectory::titan_probe();
+  EXPECT_NEAR(v.ballistic_coefficient(), v.mass / (v.cd * v.reference_area),
+              1e-12);
+}
+
+}  // namespace

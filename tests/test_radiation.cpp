@@ -1,0 +1,141 @@
+// Radiation tests: Planck function anchors, band-model behavior,
+// tangent-slab limits (optically thin and thick), spectra utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gas/constants.hpp"
+#include "radiation/spectra.hpp"
+#include "radiation/tangent_slab.hpp"
+
+namespace {
+
+using namespace cat;
+using namespace cat::radiation;
+
+TEST(Radiation, PlanckPeakWienDisplacement) {
+  const double t = 6000.0;
+  double best_l = 0.0, best = -1.0;
+  for (double l = 0.1e-6; l < 2e-6; l += 1e-9) {
+    const double b = planck(l, t);
+    if (b > best) {
+      best = b;
+      best_l = l;
+    }
+  }
+  EXPECT_NEAR(best_l, 2.897771955e-3 / t, 2e-9);
+}
+
+TEST(Radiation, PlanckIntegralStefanBoltzmann) {
+  const double t = 8000.0;
+  double acc = 0.0;
+  const double dl = 1e-9;
+  for (double l = 0.05e-6; l < 30e-6; l += dl) acc += planck(l, t) * dl;
+  EXPECT_NEAR(M_PI * acc, gas::constants::kStefanBoltzmann * t * t * t * t,
+              0.02 * gas::constants::kStefanBoltzmann * t * t * t * t);
+}
+
+TEST(Radiation, EmissionScalesLinearlyWithDensity) {
+  const auto set = gas::make_air11();
+  RadiationModel model(set);
+  SpectralGrid grid(0.3e-6, 0.9e-6, 64);
+  std::vector<double> nd(set.size(), 1e20), nd2(set.size(), 2e20);
+  // Kill the continuum (quadratic in density) for this linearity check.
+  nd[set.local_index("e-")] = 0.0;
+  nd2[set.local_index("e-")] = 0.0;
+  const double e1 = model.total_emission(nd, 9000.0, 9000.0, grid);
+  const double e2 = model.total_emission(nd2, 9000.0, 9000.0, grid);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-10);
+}
+
+TEST(Radiation, EmissionGrowsSteeplyWithExcitationTemperature) {
+  const auto set = gas::make_air11();
+  RadiationModel model(set);
+  SpectralGrid grid(0.3e-6, 0.9e-6, 64);
+  std::vector<double> nd(set.size(), 1e20);
+  const double cold = model.total_emission(nd, 8000.0, 4000.0, grid);
+  const double hot = model.total_emission(nd, 8000.0, 12000.0, grid);
+  EXPECT_GT(hot, 30.0 * cold);
+}
+
+TEST(Radiation, TitanModelPicksUpCN) {
+  // The Titan set must register the CN radiators that dominate Titan entry.
+  RadiationModel model(gas::make_titan());
+  bool has_cn = false;
+  for (const auto& sys : model.systems())
+    has_cn |= (sys.species == "CN");
+  EXPECT_TRUE(has_cn);
+}
+
+TEST(TangentSlab, ThinLimitMatchesAnalytic) {
+  // kappa -> 0: q = 2 pi j L per unit wavelength.
+  SpectralGrid grid(0.4e-6, 0.6e-6, 16);
+  SlabLayer layer;
+  layer.thickness = 0.02;
+  layer.j.assign(grid.size(), 1.0e3);
+  layer.kappa.assign(grid.size(), 0.0);
+  const auto r = solve_tangent_slab(grid, {&layer, 1});
+  const double expected_ql = 2.0 * M_PI * 1.0e3 * 0.02;
+  EXPECT_NEAR(r.q_lambda[5], expected_ql, 1e-9 * expected_ql);
+  EXPECT_NEAR(r.q_wall, expected_ql * (grid.size()) * grid.d_lambda(),
+              0.05 * r.q_wall);
+  EXPECT_NEAR(optically_thin_wall_flux(grid, {&layer, 1}), r.q_wall,
+              1e-9 * r.q_wall);
+}
+
+TEST(TangentSlab, ThickLimitSaturatesBelowBlackbody) {
+  // Strong self-absorption: wall flux approaches pi*B (one-sided blackbody)
+  // and cannot exceed it.
+  SpectralGrid grid(0.5e-6, 0.7e-6, 8);
+  const double t = 9000.0;
+  SlabLayer layer;
+  layer.thickness = 10.0;
+  layer.j.resize(grid.size());
+  layer.kappa.resize(grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    layer.kappa[k] = 50.0;  // tau = 500
+    layer.j[k] = layer.kappa[k] * planck(grid.lambda(k), t);  // LTE source
+  }
+  const auto r = solve_tangent_slab(grid, {&layer, 1});
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    const double bb = M_PI * planck(grid.lambda(k), t);
+    EXPECT_LT(r.q_lambda[k], 1.05 * bb);
+    EXPECT_GT(r.q_lambda[k], 0.80 * bb);
+  }
+}
+
+TEST(TangentSlab, MoreLayersMoreFlux) {
+  SpectralGrid grid(0.4e-6, 0.8e-6, 16);
+  auto make_layer = [&](double thick) {
+    SlabLayer l;
+    l.thickness = thick;
+    l.j.assign(grid.size(), 500.0);
+    l.kappa.assign(grid.size(), 1e-4);
+    return l;
+  };
+  std::vector<SlabLayer> one{make_layer(0.01)};
+  std::vector<SlabLayer> two{make_layer(0.01), make_layer(0.01)};
+  EXPECT_GT(solve_tangent_slab(grid, two).q_wall,
+            solve_tangent_slab(grid, one).q_wall);
+}
+
+TEST(Spectra, CorrelationOfIdenticalSpectraIsOne) {
+  Spectrum a;
+  a.lambda = {1, 2, 3, 4, 5};
+  a.intensity = {1.0, 5.0, 2.0, 8.0, 3.0};
+  EXPECT_NEAR(spectral_correlation(a, a, 1e-6), 1.0, 1e-12);
+}
+
+TEST(Spectra, SyntheticMeasuredTracksModel) {
+  const auto set = gas::make_air11();
+  RadiationModel model(set);
+  SpectralGrid grid(0.3e-6, 0.9e-6, 128);
+  std::vector<double> nd(set.size(), 1e21);
+  const auto clean = slab_radiance(model, set, grid, nd, 9000.0, 9000.0, 0.05);
+  const auto noisy =
+      synthetic_measured_spectrum(model, set, grid, nd, 9000.0, 0.05, 0.15);
+  EXPECT_GT(spectral_correlation(clean, noisy), 0.95);
+}
+
+}  // namespace

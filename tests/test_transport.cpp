@@ -1,0 +1,117 @@
+// Transport-property tests: Blottner/Sutherland anchors, Wilke mixing
+// sanity, Eucken conductivity, Prandtl and Lewis behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gas/constants.hpp"
+#include "gas/equilibrium.hpp"
+#include "transport/transport.hpp"
+
+namespace {
+
+using namespace cat;
+using namespace cat::transport;
+
+TEST(Transport, SutherlandAnchors) {
+  // Air at 273.15 K: mu = 1.716e-5; at 300 K about 1.846e-5.
+  EXPECT_NEAR(sutherland_viscosity(273.15), 1.716e-5, 1e-8);
+  EXPECT_NEAR(sutherland_viscosity(300.0), 1.846e-5, 2e-7);
+}
+
+TEST(Transport, BlottnerMatchesSutherlandNearAmbient) {
+  // Blottner N2 fit should sit near Sutherland air at low temperature.
+  const auto& n2 = gas::SpeciesDatabase::instance().find("N2");
+  EXPECT_NEAR(species_viscosity(n2, 300.0), sutherland_viscosity(300.0),
+              0.15 * sutherland_viscosity(300.0));
+}
+
+TEST(Transport, ViscosityIncreasesWithTemperature) {
+  for (const char* name : {"N2", "O2", "N", "O", "CN", "H2"}) {
+    const auto& s = gas::SpeciesDatabase::instance().find(name);
+    double prev = 0.0;
+    for (double t = 300.0; t < 12000.0; t *= 1.7) {
+      const double mu = species_viscosity(s, t);
+      EXPECT_GT(mu, prev) << name << " @ " << t;
+      prev = mu;
+    }
+  }
+}
+
+TEST(Transport, WilkeReducesToPureSpecies) {
+  gas::Mixture mix(gas::make_air5());
+  MixtureTransport trans(mix);
+  std::vector<double> y(5, 0.0);
+  y[0] = 1.0;  // pure N2
+  const auto& n2 = gas::SpeciesDatabase::instance().find("N2");
+  EXPECT_NEAR(trans.viscosity(y, 2000.0), species_viscosity(n2, 2000.0),
+              1e-12);
+}
+
+TEST(Transport, MixtureViscosityBetweenPureValues) {
+  gas::Mixture mix(gas::make_air5());
+  MixtureTransport trans(mix);
+  std::vector<double> y(5, 0.0);
+  y[3] = 0.5;  // N
+  y[4] = 0.5;  // O
+  const double mu = trans.viscosity(y, 6000.0);
+  const double mu_n =
+      species_viscosity(gas::SpeciesDatabase::instance().find("N"), 6000.0);
+  const double mu_o =
+      species_viscosity(gas::SpeciesDatabase::instance().find("O"), 6000.0);
+  EXPECT_GT(mu, 0.8 * std::min(mu_n, mu_o));
+  EXPECT_LT(mu, 1.2 * std::max(mu_n, mu_o));
+}
+
+TEST(Transport, ElectronsDoNotPoisonMixing) {
+  // Adding a trace of electrons must not change mu materially (the bug
+  // class this guards: phi_ij ~ 1e3 amplification by the tiny electron
+  // mass/viscosity).
+  gas::Mixture mix(gas::make_air9());
+  MixtureTransport trans(mix);
+  std::vector<double> y(9, 0.0);
+  y[0] = 0.7;
+  y[3] = 0.2;
+  y[4] = 0.1;
+  const double mu0 = trans.viscosity(y, 7000.0);
+  y[8] = 1e-6;  // electrons
+  y[0] -= 1e-6;
+  const double mu1 = trans.viscosity(y, 7000.0);
+  EXPECT_NEAR(mu1, mu0, 1e-3 * mu0);
+}
+
+TEST(Transport, PrandtlNearSevenTenths) {
+  gas::Mixture mix(gas::make_air5());
+  MixtureTransport trans(mix);
+  std::vector<double> y{0.767, 0.233, 0.0, 0.0, 0.0};
+  for (double t : {300.0, 1000.0, 3000.0}) {
+    const double pr = trans.prandtl(y, t);
+    EXPECT_GT(pr, 0.55) << t;
+    EXPECT_LT(pr, 0.95) << t;
+  }
+}
+
+TEST(Transport, DiffusivityFollowsLewisNumber) {
+  gas::Mixture mix(gas::make_air5());
+  MixtureTransport trans(mix, 1.4);
+  std::vector<double> y{0.767, 0.233, 0.0, 0.0, 0.0};
+  const double t = 2000.0, rho = 0.1;
+  const double d = trans.diffusivity(y, t, rho);
+  const double expected =
+      1.4 * trans.conductivity(y, t) / (rho * mix.cp_mass(y, t));
+  EXPECT_NEAR(d, expected, 1e-12);
+}
+
+TEST(Transport, ConductivityExceedsMonatomicEucken) {
+  // Molecules carry internal energy -> conductivity above the pure
+  // translational 15/4 R mu / M value.
+  const auto& n2 = gas::SpeciesDatabase::instance().find("N2");
+  const double t = 3000.0;
+  const double k = species_conductivity(n2, t);
+  const double k_mono = species_viscosity(n2, t) * 2.5 * 1.5 *
+                        gas::constants::kRu / n2.molar_mass;
+  EXPECT_GT(k, k_mono);
+}
+
+}  // namespace

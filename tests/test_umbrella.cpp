@@ -1,0 +1,20 @@
+// Compile-and-link test of the umbrella header: every public interface is
+// reachable through core/cat.hpp with no collisions.
+
+#include <gtest/gtest.h>
+
+#include "core/cat.hpp"
+
+namespace {
+
+TEST(Umbrella, PublicTypesVisible) {
+  cat::gas::IdealGas ideal;
+  EXPECT_NEAR(ideal.gamma(), 1.4, 1e-12);
+  cat::atmosphere::EarthAtmosphere atmo;
+  EXPECT_GT(atmo.at(10000.0).density, 0.0);
+  cat::geometry::Sphere body(1.0);
+  EXPECT_NEAR(body.nose_radius(), 1.0, 1e-14);
+  EXPECT_EQ(cat::gas::make_air9().size(), 9u);
+}
+
+}  // namespace
