@@ -1,0 +1,1 @@
+#include "bench_main.hpp"

@@ -1,0 +1,40 @@
+#pragma once
+/// \file bench_main.hpp
+/// Shared main() for the perf_* benchmarks: runs Google Benchmark with a
+/// machine-readable JSON timing record written to BENCH_<program>.json in
+/// the working directory (console output is unchanged). Pass any
+/// --benchmark_out= flag to override the destination. Exactly one
+/// translation unit per binary may include this header (bench_main.cpp).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::string prog = argc > 0 ? argv[0] : "bench";
+  const auto slash = prog.find_last_of('/');
+  if (slash != std::string::npos) prog = prog.substr(slash + 1);
+  const std::string out_flag = "--benchmark_out=BENCH_" + prog + ".json";
+  const std::string fmt_flag = "--benchmark_out_format=json";
+
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) user_out = true;
+  }
+
+  std::vector<char*> args(argv, argv + argc);
+  if (!user_out) {
+    args.push_back(const_cast<char*>(out_flag.c_str()));
+    args.push_back(const_cast<char*>(fmt_flag.c_str()));
+  }
+  int n = static_cast<int>(args.size());
+  args.push_back(nullptr);
+
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -95,7 +95,6 @@ EquilibriumEosTable::EquilibriumEosTable(const EquilibriumSolver& solver,
   for (std::size_t ir = 0; ir < range.n_rho; ++ir) {
     for (std::size_t je = 0; je < range.n_e; ++je) {
       const double rho = std::exp(lr0 + dlr * static_cast<double>(ir));
-      const double e = std::exp(le0 + dle * static_cast<double>(je)) - e_shift_;
       const double p = std::exp(log_p_.at(ir, je));
 
       const std::size_t irm = ir > 0 ? ir - 1 : ir;

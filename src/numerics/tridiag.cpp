@@ -1,10 +1,27 @@
 #include "numerics/tridiag.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "core/error.hpp"
 
 namespace cat::numerics {
+
+namespace {
+
+/// Scale-invariant singularity test: a pivot is usable only when it is not
+/// negligible against the magnitude of its own row. An absolute cutoff
+/// (the old `fabs(beta) < 1e-300`) accepted pivots that were pure rounding
+/// noise in well-scaled rows — returning garbage for near-singular
+/// boundary-layer systems — while a healthy system scaled by ~1e-305 would
+/// have been rejected. Rejects NaN pivots too (the comparison is false).
+constexpr double kPivotRelTol = 100.0 * std::numeric_limits<double>::epsilon();
+
+bool pivot_usable(double pivot, double row_scale) {
+  return std::fabs(pivot) > kPivotRelTol * row_scale;
+}
+
+}  // namespace
 
 std::vector<double> solve_tridiagonal(std::span<const double> a,
                                       std::span<const double> b,
@@ -16,12 +33,18 @@ std::vector<double> solve_tridiagonal(std::span<const double> a,
               "tridiagonal band size mismatch");
   std::vector<double> cp(n), dp(n), x(n);
   double beta = b[0];
-  if (std::fabs(beta) < 1e-300) throw SolverError("tridiag: zero pivot");
+  if (!pivot_usable(beta, std::fabs(b[0]) + std::fabs(c[0]))) {
+    throw SolverError("tridiag: singular pivot in row 0");
+  }
   cp[0] = c[0] / beta;
   dp[0] = d[0] / beta;
   for (std::size_t i = 1; i < n; ++i) {
     beta = b[i] - a[i] * cp[i - 1];
-    if (std::fabs(beta) < 1e-300) throw SolverError("tridiag: zero pivot");
+    const double row_scale =
+        std::fabs(a[i]) + std::fabs(b[i]) + std::fabs(c[i]);
+    if (!pivot_usable(beta, row_scale)) {
+      throw SolverError("tridiag: singular pivot in row " + std::to_string(i));
+    }
     cp[i] = c[i] / beta;
     dp[i] = (d[i] - a[i] * dp[i - 1]) / beta;
   }
@@ -94,7 +117,11 @@ std::vector<double> solve_periodic_tridiagonal(std::span<const double> a,
 
   const double vx = x[0] + a[0] / gamma * x[n - 1];
   const double vz = 1.0 + z[0] + a[0] / gamma * z[n - 1];
-  if (std::fabs(vz) < 1e-300) throw SolverError("periodic tridiag breakdown");
+  const double vz_scale =
+      1.0 + std::fabs(z[0]) + std::fabs(a[0] / gamma * z[n - 1]);
+  if (!pivot_usable(vz, vz_scale)) {
+    throw SolverError("periodic tridiag: Sherman-Morrison breakdown");
+  }
   const double factor = vx / vz;
   for (std::size_t i = 0; i < n; ++i) x[i] -= factor * z[i];
   return x;

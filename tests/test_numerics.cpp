@@ -105,6 +105,37 @@ TEST(Tridiag, BlockMatchesScalarWhenDiagonalBlocks) {
       EXPECT_NEAR(xb[i * m + k], xs[i], 1e-12);
 }
 
+TEST(Tridiag, NearSingularSystemThrowsInsteadOfReturningGarbage) {
+  // Rows 0 and 1 are linearly dependent up to a 1e-14 perturbation:
+  // elimination leaves a pivot of order 1e-14, far above the old absolute
+  // 1e-300 cutoff, which silently produced O(1e14) garbage. The
+  // scale-relative guard must reject it.
+  const std::vector<double> a{0.0, 1.0, 0.0};
+  const std::vector<double> b{1.0, 1.0 + 1e-14, 2.0};
+  const std::vector<double> c{1.0, 0.0, 0.0};
+  const std::vector<double> d{1.0, 2.0, 3.0};
+  EXPECT_THROW(solve_tridiagonal(a, b, c, d), cat::SolverError);
+}
+
+TEST(Tridiag, IllScaledButWellConditionedSystemSolves) {
+  // A diagonally dominant system scaled down to ~1e-305 (near the subnormal
+  // range) is perfectly well-conditioned; the singularity check must be
+  // invariant to the scaling. With a fixed absolute threshold, scale choices
+  // like this either trip the guard spuriously or sail past it when singular.
+  const std::size_t n = 6;
+  const double scale = 1e-305;
+  std::vector<double> a(n, -1.0 * scale), b(n, 2.5 * scale),
+      c(n, -1.0 * scale), d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = scale * std::sin(0.3 * i);
+  const auto x = solve_tridiagonal(a, b, c, d);
+  const auto x_ref = [&] {
+    std::vector<double> au(n, -1.0), bu(n, 2.5), cu(n, -1.0), du(n);
+    for (std::size_t i = 0; i < n; ++i) du[i] = std::sin(0.3 * i);
+    return solve_tridiagonal(au, bu, cu, du);
+  }();
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-9);
+}
+
 TEST(Tridiag, PeriodicResidual) {
   const std::size_t n = 10;
   std::vector<double> a(n, -1.0), b(n, 3.0), c(n, -1.0), d(n);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/cat.hpp"
 
 namespace {
@@ -15,6 +17,54 @@ TEST(Umbrella, PublicTypesVisible) {
   cat::geometry::Sphere body(1.0);
   EXPECT_NEAR(body.nose_radius(), 1.0, 1e-14);
   EXPECT_EQ(cat::gas::make_air9().size(), 9u);
+}
+
+// One reference per header newly covered by the umbrella: core/error.hpp,
+// gas/{mixture,species,thermo}.hpp, and all of numerics/.
+TEST(Umbrella, ErrorAndGasHeadersVisible) {
+  const cat::SolverError err("diverged");
+  EXPECT_STREQ(err.what(), "diverged");
+
+  const cat::gas::SpeciesSet set = cat::gas::make_air5();
+  const cat::gas::Species& n2 = set.species(set.local_index("N2"));
+  EXPECT_GT(n2.molar_mass, 0.0);
+
+  const cat::gas::Mixture mix(set);
+  EXPECT_EQ(mix.n_species(), 5u);
+
+  const cat::gas::ThermoEval eval =
+      cat::gas::evaluate(n2, 300.0, 101325.0);
+  EXPECT_GT(eval.cp, 0.0);
+}
+
+TEST(Umbrella, NumericsHeadersVisible) {
+  const cat::numerics::LinearInterp interp({0.0, 1.0}, {0.0, 2.0});
+  EXPECT_NEAR(interp(0.5), 1.0, 1e-14);
+
+  constexpr cat::numerics::Limiter lim = cat::numerics::Limiter::kMinmod;
+  EXPECT_NE(lim, cat::numerics::Limiter::kNone);
+  EXPECT_NEAR(cat::numerics::minmod(1.0, 2.0), 1.0, 1e-14);
+
+  cat::numerics::Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = 1.0;
+  const auto x = cat::numerics::solve(m, std::vector<double>{3.0, 4.0});
+  EXPECT_NEAR(x[1], 4.0, 1e-14);
+
+  const cat::numerics::AdaptiveOptions ode_opt;
+  EXPECT_GT(ode_opt.rel_tol, 0.0);
+
+  const std::vector<double> xs{0.0, 1.0}, ys{1.0, 1.0};
+  EXPECT_NEAR(cat::numerics::trapz(xs, ys), 1.0, 1e-14);
+
+  const cat::numerics::RootOptions root_opt;
+  EXPECT_GT(root_opt.max_iter, 0u);
+
+  const std::vector<double> a{0.0, 0.0}, b{2.0, 2.0}, c{0.0, 0.0},
+      d{4.0, 6.0};
+  const auto t = cat::numerics::solve_tridiagonal(a, b, c, d);
+  EXPECT_NEAR(t[0], 2.0, 1e-14);
+  EXPECT_NEAR(t[1], 3.0, 1e-14);
 }
 
 }  // namespace
