@@ -1,0 +1,83 @@
+// Performance: end-to-end reactor advances through the stiff integrator —
+// the path the other perf benches miss. Each iteration re-initializes the
+// state and integrates a short adiabatic relaxation, exercising the full
+// workspace stack: zero-allocation RHS closures, temperature-keyed rate
+// caches, finite-difference Jacobians, and the in-place Newton/LU loop.
+
+#include <benchmark/benchmark.h>
+
+#include "chemistry/reaction.hpp"
+#include "chemistry/source.hpp"
+
+using namespace cat;
+
+namespace {
+
+void isochoric_coupled_air5(benchmark::State& state) {
+  const auto mech = chemistry::park_air5();
+  const chemistry::IsochoricReactor reactor(mech);
+  chemistry::IsochoricReactor::State s;
+  for (auto _ : state) {
+    s.y.assign(mech.n_species(), 0.0);
+    s.y[mech.species_set().local_index("N2")] = 0.767;
+    s.y[mech.species_set().local_index("O2")] = 0.233;
+    s.t = 6500.0;
+    reactor.advance_coupled(s, 0.05, 2e-6);
+    benchmark::DoNotOptimize(s.t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void isochoric_split_air5(benchmark::State& state) {
+  const auto mech = chemistry::park_air5();
+  const chemistry::IsochoricReactor reactor(mech);
+  chemistry::IsochoricReactor::State s;
+  for (auto _ : state) {
+    s.y.assign(mech.n_species(), 0.0);
+    s.y[mech.species_set().local_index("N2")] = 0.767;
+    s.y[mech.species_set().local_index("O2")] = 0.233;
+    s.t = 6500.0;
+    reactor.advance_split(s, 0.05, 2e-6);
+    benchmark::DoNotOptimize(s.t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void twotemp_air5(benchmark::State& state) {
+  const auto mech = chemistry::park_air5();
+  const chemistry::TwoTemperatureReactor reactor(mech);
+  chemistry::TwoTemperatureReactor::State s;
+  for (auto _ : state) {
+    s.y.assign(mech.n_species(), 0.0);
+    s.y[mech.species_set().local_index("N2")] = 0.767;
+    s.y[mech.species_set().local_index("O2")] = 0.233;
+    s.t = 9000.0;
+    s.tv = 3000.0;
+    reactor.advance(s, 0.02, 1e-6);
+    benchmark::DoNotOptimize(s.t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void twotemp_air11(benchmark::State& state) {
+  const auto mech = chemistry::park_air11();
+  const chemistry::TwoTemperatureReactor reactor(mech);
+  chemistry::TwoTemperatureReactor::State s;
+  for (auto _ : state) {
+    s.y.assign(mech.n_species(), 0.0);
+    s.y[mech.species_set().local_index("N2")] = 0.767;
+    s.y[mech.species_set().local_index("O2")] = 0.233;
+    s.t = 9000.0;
+    s.tv = 3000.0;
+    reactor.advance(s, 0.02, 1e-6);
+    benchmark::DoNotOptimize(s.t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(isochoric_coupled_air5)->Unit(benchmark::kMicrosecond);
+BENCHMARK(isochoric_split_air5)->Unit(benchmark::kMicrosecond);
+BENCHMARK(twotemp_air5)->Unit(benchmark::kMicrosecond);
+BENCHMARK(twotemp_air11)->Unit(benchmark::kMicrosecond);

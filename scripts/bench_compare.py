@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Diff two Google Benchmark JSON records (BENCH_*.json) and flag regressions.
+
+Usage:
+  bench_compare.py BEFORE.json AFTER.json [--threshold PCT]
+                   [--min-speedup NAME:FACTOR ...]
+
+Compares per-benchmark real_time between matching benchmark names. Exits
+non-zero when any benchmark regresses by more than --threshold percent
+(default 10), or when a --min-speedup requirement is not met. Benchmarks
+present in only one record are reported but not fatal (new benchmarks have
+no baseline).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """Map benchmark name -> (real_time, time_unit) from a benchmark JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregates (mean/median/stddev)
+        times[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return times
+
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value, unit):
+    return value * UNIT_NS.get(unit, 1.0)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("before", help="baseline BENCH_*.json")
+    ap.add_argument("after", help="candidate BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--min-speedup", action="append", default=[],
+                    metavar="NAME:FACTOR",
+                    help="require AFTER to be at least FACTOR x faster than "
+                         "BEFORE for benchmark NAME (repeatable)")
+    args = ap.parse_args()
+
+    before = load_times(args.before)
+    after = load_times(args.after)
+
+    common = sorted(set(before) & set(after))
+    only_before = sorted(set(before) - set(after))
+    only_after = sorted(set(after) - set(before))
+
+    if not common:
+        print("error: no common benchmarks between the two records",
+              file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'before':>12}  {'after':>12}  "
+          f"{'speedup':>8}  verdict")
+    failures = []
+    for name in common:
+        b_ns = to_ns(*before[name])
+        a_ns = to_ns(*after[name])
+        speedup = b_ns / a_ns if a_ns > 0 else float("inf")
+        change_pct = (a_ns - b_ns) / b_ns * 100.0
+        if change_pct > args.threshold:
+            verdict = f"REGRESSION (+{change_pct:.1f}%)"
+            failures.append(f"{name}: {change_pct:+.1f}% slower")
+        else:
+            verdict = "ok"
+        print(f"{name:<{width}}  {b_ns:>10.1f}ns  {a_ns:>10.1f}ns  "
+              f"{speedup:>7.2f}x  {verdict}")
+
+    for spec in args.min_speedup:
+        try:
+            name, factor = spec.rsplit(":", 1)
+            factor = float(factor)
+        except ValueError:
+            print(f"error: bad --min-speedup spec '{spec}'", file=sys.stderr)
+            return 2
+        if name not in common:
+            failures.append(f"{name}: required by --min-speedup but absent")
+            continue
+        after_ns = to_ns(*after[name])
+        speedup = to_ns(*before[name]) / after_ns if after_ns > 0 \
+            else float("inf")
+        if speedup < factor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below required {factor}x")
+        else:
+            print(f"min-speedup ok: {name} {speedup:.2f}x >= {factor}x")
+
+    for name in only_before:
+        print(f"note: '{name}' only in baseline (removed?)")
+    for name in only_after:
+        print(f"note: '{name}' only in candidate (new benchmark, no baseline)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nPASS: no regression beyond "
+          f"{args.threshold:.0f}% across {len(common)} benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,8 +99,15 @@ struct Builder {
   }
 };
 
-std::vector<Reaction> neutral_air_reactions(const Builder& b) {
-  return {
+/// Ionization level of the shared air-mechanism construction path.
+enum class AirLevel { kNeutral, kIonizing9, kIonizing11 };
+
+/// One construction path for every Park air mechanism: the neutral
+/// dissociation/exchange core, optionally extended with the ionizing set
+/// (associative ionization, electron impact, charge exchange) and, at the
+/// 11-species level, the molecular-ion channels.
+std::vector<Reaction> air_reactions(const Builder& b, AirLevel level) {
+  std::vector<Reaction> rx = {
       // Park-type dissociation set (A in cm^3/mol/s).
       b.dissociation("N2+M<=>2N+M", "N2", "N", "N", 7.0e21, -1.6, 113200.0,
                      30.0e21 / 7.0e21),
@@ -112,52 +119,51 @@ std::vector<Reaction> neutral_air_reactions(const Builder& b) {
       b.exchange("N2+O<=>NO+N", "N2", "O", "NO", "N", 6.4e17, -1.0, 38400.0),
       b.exchange("NO+O<=>O2+N", "NO", "O", "O2", "N", 8.4e12, 0.0, 19450.0),
   };
+  if (level == AirLevel::kNeutral) return rx;
+
+  rx.push_back(b.assoc_ion("N+O<=>NO++e-", "N", "O", "NO+", 8.8e8, 1.0,
+                           31900.0));
+  if (level == AirLevel::kIonizing11) {
+    rx.push_back(b.assoc_ion("O+O<=>O2++e-", "O", "O", "O2+", 7.1e2, 2.7,
+                             80600.0));
+    rx.push_back(b.assoc_ion("N+N<=>N2++e-", "N", "N", "N2+", 4.4e7, 1.5,
+                             67500.0));
+  }
+  rx.push_back(b.electron_impact("N+e-<=>N++2e-", "N", "N+", 2.5e34, -3.82,
+                                 168600.0));
+  rx.push_back(b.electron_impact("O+e-<=>O++2e-", "O", "O+", 3.9e33, -3.78,
+                                 158500.0));
+  rx.push_back(b.exchange("NO++O<=>N++O2", "NO+", "O", "N+", "O2", 1.0e12,
+                          0.5, 77200.0));
+  if (level == AirLevel::kIonizing11) {
+    rx.push_back(b.exchange("O++N2<=>N2++O", "O+", "N2", "N2+", "O", 9.1e11,
+                            0.36, 22800.0));
+  }
+  return rx;
+}
+
+Mechanism make_air_mechanism(gas::SpeciesSet set, AirLevel level) {
+  Builder b{std::move(set)};
+  // Build the reactions before handing the set to the Mechanism: braced
+  // constructor arguments evaluate left-to-right, so inlining
+  // air_reactions(b, ...) after std::move(b.set) would read a moved-from
+  // set.
+  std::vector<Reaction> rx = air_reactions(b, level);
+  return {std::move(b.set), std::move(rx)};
 }
 
 }  // namespace
 
 Mechanism park_air5() {
-  Builder b{gas::make_air5()};
-  // Build the reactions before handing the set to the Mechanism: braced
-  // constructor arguments evaluate left-to-right, so inlining
-  // neutral_air_reactions(b) after std::move(b.set) would read a
-  // moved-from set.
-  std::vector<Reaction> rx = neutral_air_reactions(b);
-  return {std::move(b.set), std::move(rx)};
+  return make_air_mechanism(gas::make_air5(), AirLevel::kNeutral);
 }
 
 Mechanism park_air9() {
-  Builder b{gas::make_air9()};
-  std::vector<Reaction> rx = neutral_air_reactions(b);
-  rx.push_back(b.assoc_ion("N+O<=>NO++e-", "N", "O", "NO+", 8.8e8, 1.0,
-                           31900.0));
-  rx.push_back(b.electron_impact("N+e-<=>N++2e-", "N", "N+", 2.5e34, -3.82,
-                                 168600.0));
-  rx.push_back(b.electron_impact("O+e-<=>O++2e-", "O", "O+", 3.9e33, -3.78,
-                                 158500.0));
-  rx.push_back(b.exchange("NO++O<=>N++O2", "NO+", "O", "N+", "O2", 1.0e12,
-                          0.5, 77200.0));
-  return {std::move(b.set), std::move(rx)};
+  return make_air_mechanism(gas::make_air9(), AirLevel::kIonizing9);
 }
 
 Mechanism park_air11() {
-  Builder b{gas::make_air11()};
-  std::vector<Reaction> rx = neutral_air_reactions(b);
-  rx.push_back(b.assoc_ion("N+O<=>NO++e-", "N", "O", "NO+", 8.8e8, 1.0,
-                           31900.0));
-  rx.push_back(b.assoc_ion("O+O<=>O2++e-", "O", "O", "O2+", 7.1e2, 2.7,
-                           80600.0));
-  rx.push_back(b.assoc_ion("N+N<=>N2++e-", "N", "N", "N2+", 4.4e7, 1.5,
-                           67500.0));
-  rx.push_back(b.electron_impact("N+e-<=>N++2e-", "N", "N+", 2.5e34, -3.82,
-                                 168600.0));
-  rx.push_back(b.electron_impact("O+e-<=>O++2e-", "O", "O+", 3.9e33, -3.78,
-                                 158500.0));
-  rx.push_back(b.exchange("NO++O<=>N++O2", "NO+", "O", "N+", "O2", 1.0e12,
-                          0.5, 77200.0));
-  rx.push_back(b.exchange("O++N2<=>N2++O", "O+", "N2", "N2+", "O", 9.1e11,
-                          0.36, 22800.0));
-  return {std::move(b.set), std::move(rx)};
+  return make_air_mechanism(gas::make_air11(), AirLevel::kIonizing11);
 }
 
 }  // namespace cat::chemistry

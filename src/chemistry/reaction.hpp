@@ -10,12 +10,23 @@
 /// Gibbs energies, guaranteeing that the kinetics relax to exactly the
 /// composition the equilibrium solver would produce — the consistency the
 /// paper demands between chemistry modeling and flowfield coupling.
+///
+/// Hot-path convention: every rate kernel has an overload taking a
+/// chemistry::Workspace (see workspace.hpp) that evaluates with zero heap
+/// allocations, per-species Gibbs energies computed once per temperature
+/// (not per stoichiometric entry), and log-space Arrhenius rates (one exp
+/// per reaction). The workspace-free overloads forward through a
+/// thread-local workspace, so existing call sites keep the same signatures
+/// and still get the fast path.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "chemistry/workspace.hpp"
 #include "gas/mixture.hpp"
 #include "gas/species.hpp"
+#include "gas/thermo.hpp"
 
 namespace cat::chemistry {
 
@@ -77,11 +88,19 @@ class Mechanism {
   double backward_rate(std::size_t r, double t, double tv) const;
 
   /// Molar production rates wdot [mol/(m^3 s)] for all species given molar
-  /// concentrations c [mol/m^3].
+  /// concentrations c [mol/m^3]. Workspace form: zero allocations, rate
+  /// coefficients and Gibbs energies memoized by temperature in \p ws.
+  void production_rates(std::span<const double> c, double t, double tv,
+                        std::span<double> wdot, Workspace& ws) const;
   void production_rates(std::span<const double> c, double t, double tv,
                         std::span<double> wdot) const;
 
-  /// Mass production rates [kg/(m^3 s)] from mass state (rho, y).
+  /// Mass production rates [kg/(m^3 s)] from mass state (rho, y). The
+  /// workspace form leaves the molar rates in ws.wdot_mole for reuse (e.g.
+  /// vibronic_source_from_rates).
+  void mass_production_rates(double rho, std::span<const double> y, double t,
+                             double tv, std::span<double> wdot_mass,
+                             Workspace& ws) const;
   void mass_production_rates(double rho, std::span<const double> y, double t,
                              double tv, std::span<double> wdot_mass) const;
 
@@ -89,18 +108,50 @@ class Mechanism {
   /// approximation that molecules are created/destroyed carrying the local
   /// average vibronic energy.
   double chemistry_vibronic_source(std::span<const double> c, double t,
+                                   double tv, Workspace& ws) const;
+  double chemistry_vibronic_source(std::span<const double> c, double t,
                                    double tv) const;
+
+  /// Same vibronic source from already-computed molar production rates
+  /// (typically ws.wdot_mole after a rate-kernel call), skipping the
+  /// duplicate kernel evaluation a separate chemistry_vibronic_source call
+  /// would cost.
+  double vibronic_source_from_rates(std::span<const double> wdot_mole,
+                                    double tv, Workspace& ws) const;
 
   /// Characteristic chemical time [s]: min over species of
   /// c_s / |wdot_s| (bounded below); used for stiffness diagnostics and
   /// operator-split step control.
+  double chemical_time_scale(std::span<const double> c, double t, double tv,
+                             Workspace& ws) const;
   double chemical_time_scale(std::span<const double> c, double t,
                              double tv) const;
 
  private:
+  friend struct Workspace;
+
   gas::SpeciesSet set_;
   gas::Mixture mix_;
   std::vector<Reaction> reactions_;
+  std::uint64_t serial_;  ///< unique per constructed Mechanism (cache key)
+
+  // Construction-time constants for the fast kernels.
+  std::vector<gas::GibbsConstants> gibbs_const_;  ///< per species, at p_ref
+  std::vector<double> molar_mass_;                ///< per species [kg/mol]
+  std::vector<double> inv_molar_mass_;            ///< per species [mol/kg]
+  std::vector<std::uint8_t> molecule_mask_;       ///< per species
+  std::vector<double> log_a_;                     ///< per reaction, ln A
+  std::vector<int> delta_nu_;                     ///< per reaction
+
+  /// Fill \p g with per-species Gibbs energies at (t, p_ref) unless \p key
+  /// already equals t.
+  void update_gibbs(std::vector<double>& g, double& key, double t) const;
+
+  /// Fill ws.kf / ws.kb for (t, tv) unless already cached.
+  void update_rate_coefficients(Workspace& ws, double t, double tv) const;
+
+  /// Fill ws.vib_e with vibronic energies at tv unless already cached.
+  void update_vibronic_energies(Workspace& ws, double tv) const;
 };
 
 /// --- mechanism factories -------------------------------------------------

@@ -5,11 +5,20 @@
 /// helper used to study loose vs tight chemistry-flow coupling (the
 /// "stiff behaviour ... solved separately in a loosely coupled manner"
 /// discussion in the paper; measured by bench/abl_coupling).
+///
+/// Hot-path convention: each reactor owns persistent scratch (a
+/// chemistry::Workspace, a numerics::StiffWorkspace, and the RHS state
+/// buffers), so the stiff integrator's inner loop — every RHS evaluation
+/// and every Newton iteration — performs zero heap allocations. The
+/// advance methods are logically const but mutate that scratch: a reactor
+/// instance is not safe for concurrent advances; use one per thread.
 
+#include <cstdint>
 #include <vector>
 
 #include "chemistry/reaction.hpp"
 #include "gas/two_temperature.hpp"
+#include "numerics/ode.hpp"
 
 namespace cat::chemistry {
 
@@ -39,6 +48,13 @@ class IsochoricReactor {
 
  private:
   const Mechanism& mech_;
+  // Per-species constants hoisted out of the RHS loops.
+  std::vector<double> h_const_;  ///< h_formation_298 - h_th(298.15) [J/mol]
+  std::vector<double> inv_m_;    ///< 1 / molar mass [mol/kg]
+  // Persistent scratch (see file comment on thread safety).
+  mutable Workspace ws_;
+  mutable numerics::StiffWorkspace stiff_;
+  mutable std::vector<double> y_scratch_, u_scratch_;
 };
 
 /// Adiabatic isochoric reactor with the Park two-temperature model:
@@ -62,6 +78,16 @@ class TwoTemperatureReactor {
  private:
   const Mechanism& mech_;
   gas::TwoTemperatureGas ttg_;
+  // Per-species constants hoisted out of the RHS loops.
+  std::vector<double> h_const_;     ///< h_formation_298 - h_th(298.15) [J/mol]
+  std::vector<double> inv_m_;       ///< 1 / molar mass [mol/kg]
+  std::vector<double> etr_coeff_;   ///< d(e_tr+rot)/dT = (1.5 + rot) Ru
+  std::vector<std::uint8_t> is_electron_;  ///< hoisted string compare
+  // Persistent scratch (see file comment on thread safety).
+  mutable Workspace ws_;
+  mutable numerics::StiffWorkspace stiff_;
+  mutable std::vector<double> y_scratch_, wdot_scratch_, x_scratch_,
+      u_scratch_;
 };
 
 }  // namespace cat::chemistry

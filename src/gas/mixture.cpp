@@ -28,8 +28,15 @@ double Mixture::molar_mass(std::span<const double> y) const {
 }
 
 std::vector<double> Mixture::mole_fractions(std::span<const double> y) const {
-  CAT_REQUIRE(y.size() == n_species(), "composition size mismatch");
-  std::vector<double> x(y.size());
+  std::vector<double> x(n_species());
+  mole_fractions(y, x);
+  return x;
+}
+
+void Mixture::mole_fractions(std::span<const double> y,
+                             std::span<double> x) const {
+  CAT_REQUIRE(y.size() == n_species() && x.size() == n_species(),
+              "composition size mismatch");
   double total = 0.0;
   for (std::size_t s = 0; s < y.size(); ++s) {
     x[s] = y[s] / set_.species(s).molar_mass;
@@ -37,7 +44,6 @@ std::vector<double> Mixture::mole_fractions(std::span<const double> y) const {
   }
   CAT_REQUIRE(total > 0.0, "all-zero composition");
   for (double& v : x) v /= total;
-  return x;
 }
 
 std::vector<double> Mixture::mass_fractions_from_moles(

@@ -33,6 +33,10 @@ class Mixture {
   /// Mass fractions -> mole fractions.
   std::vector<double> mole_fractions(std::span<const double> y) const;
 
+  /// Allocation-free form: writes mole fractions into caller-owned \p x
+  /// (hot-path workspace convention; x.size() == n_species()).
+  void mole_fractions(std::span<const double> y, std::span<double> x) const;
+
   /// Mole fractions -> mass fractions.
   std::vector<double> mass_fractions_from_moles(
       std::span<const double> x) const;

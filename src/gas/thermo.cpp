@@ -136,6 +136,85 @@ ThermoEval evaluate(const Species& s, double t, double p) {
   return out;
 }
 
+GibbsConstants make_gibbs_constants(const Species& s, double p) {
+  CAT_REQUIRE(p > 0.0, "pressure must be positive");
+  GibbsConstants gc{};
+  const double t_ref = constants::kTemperatureRef;
+  gc.h_const = s.h_formation_298 -
+               (internal_energy_thermal(s, t_ref) + kRu * t_ref);
+  const double m = s.molar_mass / kAvogadro;
+  // Sackur-Tetrode split: s_trans = Ru (2.5 ln T + ln(C kB / p) + 2.5)
+  // with C = (2 pi m kB / h^2)^1.5.
+  const double log_c =
+      1.5 * std::log(2.0 * M_PI * m * kBoltzmann / (kPlanck * kPlanck));
+  double rot_coeff = 0.0;
+  double s_rot_const = 0.0;
+  if (s.rotor == RotorType::kLinear) {
+    rot_coeff = 1.0;
+    s_rot_const = kRu * (1.0 - std::log(s.symmetry * s.theta_rot[0]));
+  } else if (s.rotor == RotorType::kNonlinear) {
+    rot_coeff = 1.5;
+    s_rot_const =
+        kRu * (1.5 +
+               0.5 * std::log(M_PI / (s.theta_rot[0] * s.theta_rot[1] *
+                                      s.theta_rot[2])) -
+               std::log(static_cast<double>(s.symmetry)));
+  }
+  gc.h_lin_coeff = (2.5 + rot_coeff) * kRu;
+  gc.s_logt_coeff = (2.5 + rot_coeff) * kRu;
+  gc.s_const = kRu * (log_c + std::log(kBoltzmann / p) + 2.5) + s_rot_const;
+  return gc;
+}
+
+double gibbs_mole_fast(const Species& s, const GibbsConstants& gc, double t) {
+  CAT_REQUIRE(t > 0.0, "temperature must be positive");
+  const double log_t = std::log(t);
+  double e_vib = 0.0, s_vib = 0.0;
+  for (const auto& mode : s.vib) {
+    const double x = mode.theta / t;
+    if (x > 500.0) continue;
+    const double em = std::exp(-x);
+    const double r = em / (1.0 - em);  // 1/(e^x - 1)
+    e_vib += mode.degeneracy * kRu * mode.theta * r;
+    s_vib += mode.degeneracy * kRu * (x * r - std::log(1.0 - em));
+  }
+  const ElectronicState el = electronic_state(s, t);
+  const double e_el = el.e;
+  const double s_el = kRu * std::log(el.q) + el.e / t;
+  const double h = gc.h_const + gc.h_lin_coeff * t + e_vib + e_el;
+  const double entropy = gc.s_logt_coeff * log_t + gc.s_const + s_vib + s_el;
+  return h - t * entropy;
+}
+
+ThermalEnergyCv thermal_energy_cv(const Species& s, double t) {
+  CAT_REQUIRE(t > 0.0, "temperature must be positive");
+  double e = 1.5 * kRu * t, cv = 1.5 * kRu;
+  if (s.rotor == RotorType::kLinear) {
+    e += kRu * t;
+    cv += kRu;
+  } else if (s.rotor == RotorType::kNonlinear) {
+    e += 1.5 * kRu * t;
+    cv += 1.5 * kRu;
+  }
+  for (const auto& mode : s.vib) {
+    const double x = mode.theta / t;
+    if (x > 500.0) continue;
+    const double em = std::exp(-x);
+    const double r = em / (1.0 - em);
+    e += mode.degeneracy * kRu * mode.theta * r;
+    cv += mode.degeneracy * kRu * x * x * r / (1.0 - em);
+  }
+  const ElectronicState el = electronic_state(s, t);
+  e += el.e;
+  cv += el.cv;
+  return {e, cv};
+}
+
+double reference_thermal_enthalpy(const Species& s) {
+  const double t_ref = constants::kTemperatureRef;
+  return internal_energy_thermal(s, t_ref) + kRu * t_ref;
+}
+
 double vibronic_energy_mole(const Species& s, double tv) {
   CAT_REQUIRE(tv > 0.0, "temperature must be positive");
   double e = 0.0;

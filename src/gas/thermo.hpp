@@ -53,6 +53,43 @@ double gibbs_mole(const Species& s, double t, double p);
 /// All properties at once (cheaper than separate calls).
 ThermoEval evaluate(const Species& s, double t, double p);
 
+/// --- cached-constant fast path (finite-rate chemistry workspace) --------
+///
+/// Repeated Gibbs evaluations at a fixed pressure share large
+/// temperature-independent pieces (Sackur-Tetrode constants, rotational
+/// constants, the 298.15 K reference enthalpy). GibbsConstants folds them
+/// in once per species so the per-temperature evaluation reduces to one
+/// log plus one exp per vibrational mode / electronic level — the form the
+/// chemistry::Workspace rate kernels evaluate once per species per
+/// temperature instead of once per stoichiometric entry per reaction.
+
+struct GibbsConstants {
+  double h_const;      ///< h_formation_298 - h_th(298.15) - Ru*298.15 [J/mol]
+  double h_lin_coeff;  ///< coefficient of T in h: (2.5 + rot) * Ru [J/(mol K)]
+  double s_logt_coeff; ///< coefficient of ln T in s [J/(mol K)]
+  double s_const;      ///< T-independent entropy part at the bound p [J/(mol K)]
+};
+
+/// Precompute the temperature-independent parts of g(T, p) for \p s.
+GibbsConstants make_gibbs_constants(const Species& s, double p);
+
+/// gibbs_mole(s, t, p) through precomputed constants: identical physics to
+/// gibbs_mole (agreement to roundoff), roughly 3x fewer transcendentals.
+double gibbs_mole_fast(const Species& s, const GibbsConstants& gc, double t);
+
+/// Fused thermal internal energy and cv at one temperature: one pass over
+/// the vibrational modes and electronic levels, sharing the exponentials
+/// (reactor RHS hot path; separate calls cost two passes).
+struct ThermalEnergyCv {
+  double e;   ///< internal_energy_thermal(s, t) [J/mol]
+  double cv;  ///< cv_mole(s, t) [J/(mol K)]
+};
+ThermalEnergyCv thermal_energy_cv(const Species& s, double t);
+
+/// Reference thermal enthalpy h_th(298.15) = e_th(298.15) + Ru*298.15
+/// [J/mol] — a per-species constant worth hoisting out of RHS loops.
+double reference_thermal_enthalpy(const Species& s);
+
 /// --- vibrational-mode partial properties (two-temperature model) -------
 
 /// Vibrational + electronic energy content [J/mol] evaluated at its own

@@ -18,11 +18,31 @@ constexpr double kParkSigmaV = 3.0e-21;
 
 TwoTemperatureGas::TwoTemperatureGas(SpeciesSet set)
     : mix_(std::move(set)), electron_index_(-1) {
-  is_molecule_.resize(mix_.n_species());
-  for (std::size_t s = 0; s < mix_.n_species(); ++s) {
+  const std::size_t ns = mix_.n_species();
+  is_molecule_.resize(ns);
+  for (std::size_t s = 0; s < ns; ++s) {
     const Species& sp = mix_.set().species(s);
     is_molecule_[s] = sp.is_molecule();
     if (sp.is_electron()) electron_index_ = static_cast<std::ptrdiff_t>(s);
+  }
+  // Millikan-White pair exponents: constant per (molecule, partner) pair,
+  // hoisted out of the relaxation-time hot loop.
+  mw_a_.assign(ns * ns, 0.0);
+  mw_b_.assign(ns * ns, 0.0);
+  for (std::size_t s = 0; s < ns; ++s) {
+    const Species& sp = mix_.set().species(s);
+    if (!sp.is_molecule()) continue;
+    const double theta_v = sp.vib.front().theta;
+    for (std::size_t m = 0; m < ns; ++m) {
+      const Species& pm = mix_.set().species(m);
+      if (pm.is_electron()) continue;
+      const double mu_red =  // reduced mass in g/mol (Millikan-White units)
+          1.0e3 * sp.molar_mass * pm.molar_mass /
+          (sp.molar_mass + pm.molar_mass);
+      mw_a_[s * ns + m] =
+          1.16e-3 * std::sqrt(mu_red) * std::pow(theta_v, 4.0 / 3.0);
+      mw_b_[s * ns + m] = 0.015 * std::pow(mu_red, 0.25);
+    }
   }
 }
 
@@ -151,23 +171,20 @@ double TwoTemperatureGas::relaxation_time(std::size_t s,
   CAT_REQUIRE(sp.is_molecule(), "relaxation time defined for molecules");
   CAT_REQUIRE(t > 0.0 && p > 0.0 && nd > 0.0, "state must be positive");
 
-  const double theta_v = sp.vib.front().theta;
   const double p_atm = p / 101325.0;
+  const double t_cbrt_inv = std::pow(t, -1.0 / 3.0);
 
-  // Millikan-White, mole-fraction averaged over collision partners:
+  // Millikan-White, mole-fraction averaged over collision partners, with
+  // the pair exponents precomputed at construction:
   //   tau_MW = sum(x_m) / sum(x_m / tau_sm)
   double num = 0.0, den = 0.0;
-  for (std::size_t m = 0; m < n_species(); ++m) {
+  const std::size_t ns = n_species();
+  for (std::size_t m = 0; m < ns; ++m) {
     if (x[m] <= 0.0) continue;
-    const Species& pm = mix_.set().species(m);
-    if (pm.is_electron()) continue;  // electron-vibration handled separately
-    const double mu_red =  // reduced mass in g/mol (Millikan-White units)
-        1.0e3 * sp.molar_mass * pm.molar_mass /
-        (sp.molar_mass + pm.molar_mass);
-    const double a = 1.16e-3 * std::sqrt(mu_red) * std::pow(theta_v, 4.0 / 3.0);
-    const double b = 0.015 * std::pow(mu_red, 0.25);
-    const double tau_sm =
-        std::exp(a * (std::pow(t, -1.0 / 3.0) - b) - 18.42) / p_atm;
+    const double a = mw_a_[s * ns + m];
+    if (a == 0.0) continue;  // electron partner: handled separately
+    const double b = mw_b_[s * ns + m];
+    const double tau_sm = std::exp(a * (t_cbrt_inv - b) - 18.42) / p_atm;
     num += x[m];
     den += x[m] / tau_sm;
   }
@@ -184,7 +201,17 @@ double TwoTemperatureGas::landau_teller_source(double rho,
                                                std::span<const double> y,
                                                double t, double tv,
                                                double p) const {
-  const std::vector<double> x = mix_.mole_fractions(y);
+  std::vector<double> x(n_species());
+  return landau_teller_source(rho, y, t, tv, p, x);
+}
+
+double TwoTemperatureGas::landau_teller_source(double rho,
+                                               std::span<const double> y,
+                                               double t, double tv, double p,
+                                               std::span<double> x_scratch) const {
+  CAT_REQUIRE(x_scratch.size() >= n_species(), "scratch size mismatch");
+  const std::span<double> x = x_scratch.first(n_species());
+  mix_.mole_fractions(y, x);
   const double mbar = mix_.molar_mass(y);
   const double nd = rho / mbar * constants::kAvogadro;
   double q = 0.0;

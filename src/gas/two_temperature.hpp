@@ -61,10 +61,21 @@ class TwoTemperatureGas {
   double landau_teller_source(double rho, std::span<const double> y, double t,
                               double tv, double p) const;
 
+  /// Allocation-free form (hot-path workspace convention): \p x_scratch is
+  /// caller-owned storage of size n_species() for the mole fractions.
+  double landau_teller_source(double rho, std::span<const double> y, double t,
+                              double tv, double p,
+                              std::span<double> x_scratch) const;
+
  private:
   Mixture mix_;
   std::vector<bool> is_molecule_;
   std::ptrdiff_t electron_index_;  // -1 when no electrons in the set
+  /// Millikan-White exponents per (species, partner) pair, precomputed:
+  /// a = 1.16e-3 sqrt(mu_red) theta_v^{4/3}, b = 0.015 mu_red^{1/4}
+  /// (mu_red in g/mol). Zero rows for non-molecules; zero columns for
+  /// electrons (excluded partners).
+  std::vector<double> mw_a_, mw_b_;
 
   double species_e_tr_rot(std::size_t s, double t) const;  // [J/mol]
 };

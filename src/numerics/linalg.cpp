@@ -61,53 +61,24 @@ std::vector<double> Matrix::operator*(std::span<const double> x) const {
 }
 
 LuFactor::LuFactor(const Matrix& a) : n_(a.rows()), lu_(a), piv_(a.rows()) {
-  CAT_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
-  for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
-  for (std::size_t k = 0; k < n_; ++k) {
-    // Partial pivoting: pick the largest magnitude in column k below row k.
-    std::size_t p = k;
-    double pmax = std::fabs(lu_(k, k));
-    for (std::size_t i = k + 1; i < n_; ++i) {
-      const double v = std::fabs(lu_(i, k));
-      if (v > pmax) {
-        pmax = v;
-        p = i;
-      }
+  lu_factor_inplace(lu_, piv_);
+  // Permutation parity for the determinant sign: count transpositions by
+  // walking the cycles of piv_.
+  std::vector<bool> seen(n_, false);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (seen[i]) continue;
+    std::size_t len = 0;
+    for (std::size_t j = i; !seen[j]; j = piv_[j]) {
+      seen[j] = true;
+      ++len;
     }
-    if (pmax < 1e-300) {
-      throw SolverError("LuFactor: matrix is numerically singular");
-    }
-    if (p != k) {
-      for (std::size_t j = 0; j < n_; ++j) std::swap(lu_(k, j), lu_(p, j));
-      std::swap(piv_[k], piv_[p]);
-      pivot_sign_ = -pivot_sign_;
-    }
-    const double inv_pivot = 1.0 / lu_(k, k);
-    for (std::size_t i = k + 1; i < n_; ++i) {
-      const double m = lu_(i, k) * inv_pivot;
-      lu_(i, k) = m;
-      if (m == 0.0) continue;
-      for (std::size_t j = k + 1; j < n_; ++j) lu_(i, j) -= m * lu_(k, j);
-    }
+    if (len % 2 == 0) pivot_sign_ = -pivot_sign_;
   }
 }
 
 void LuFactor::solve_inplace(std::span<double> b) const {
-  CAT_REQUIRE(b.size() == n_, "rhs size mismatch");
-  // Apply the row permutation, then forward/back substitution.
-  std::vector<double> x(n_);
-  for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
-  for (std::size_t i = 1; i < n_; ++i) {
-    double acc = x[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
-    x[i] = acc;
-  }
-  for (std::size_t ii = n_; ii-- > 0;) {
-    double acc = x[ii];
-    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
-    x[ii] = acc / lu_(ii, ii);
-  }
-  for (std::size_t i = 0; i < n_; ++i) b[i] = x[i];
+  std::vector<double> scratch(n_);
+  lu_solve_inplace(lu_, piv_, b, scratch);
 }
 
 std::vector<double> LuFactor::solve(std::span<const double> b) const {
@@ -132,6 +103,57 @@ double LuFactor::determinant() const {
   double d = pivot_sign_;
   for (std::size_t i = 0; i < n_; ++i) d *= lu_(i, i);
   return d;
+}
+
+void lu_factor_inplace(Matrix& a, std::span<std::size_t> piv) {
+  const std::size_t n = a.rows();
+  CAT_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  CAT_REQUIRE(piv.size() == n, "pivot array size mismatch");
+  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t p = k;
+    double pmax = std::fabs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(a(i, k));
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    if (pmax < 1e-300) {
+      throw SolverError("lu_factor_inplace: matrix is numerically singular");
+    }
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+      std::swap(piv[k], piv[p]);
+    }
+    const double inv_pivot = 1.0 / a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = a(i, k) * inv_pivot;
+      a(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= m * a(k, j);
+    }
+  }
+}
+
+void lu_solve_inplace(const Matrix& lu, std::span<const std::size_t> piv,
+                      std::span<double> b, std::span<double> scratch) {
+  const std::size_t n = lu.rows();
+  CAT_REQUIRE(b.size() == n && scratch.size() >= n, "rhs size mismatch");
+  std::span<double> x = scratch.first(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[piv[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu(ii, j) * x[j];
+    x[ii] = acc / lu(ii, ii);
+  }
+  for (std::size_t i = 0; i < n; ++i) b[i] = x[i];
 }
 
 std::vector<double> solve(const Matrix& a, std::span<const double> b) {

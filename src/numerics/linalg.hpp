@@ -90,6 +90,21 @@ class LuFactor {
   int pivot_sign_ = 1;
 };
 
+/// --- workspace (in-place) LU --------------------------------------------
+/// Allocation-free factor/solve pair for hot loops that re-factorize every
+/// iteration (the stiff integrator's Newton matrix): the caller owns both
+/// the matrix storage and the pivot array, nothing is copied.
+
+/// Factorize \p a in place (combined L with unit diagonal and U), recording
+/// the row permutation in \p piv (size = a.rows()). Throws cat::SolverError
+/// when the matrix is numerically singular.
+void lu_factor_inplace(Matrix& a, std::span<std::size_t> piv);
+
+/// Solve A x = b in place using factors/pivots from lu_factor_inplace; \p b
+/// holds x on return. \p scratch must have size >= b.size().
+void lu_solve_inplace(const Matrix& lu, std::span<const std::size_t> piv,
+                      std::span<double> b, std::span<double> scratch);
+
 /// Convenience: solve the dense system A x = b (single use).
 std::vector<double> solve(const Matrix& a, std::span<const double> b);
 

@@ -109,36 +109,63 @@ std::size_t integrate_rkf45(const OdeRhs& f, double t0, double t1,
 StiffIntegrator::StiffIntegrator(OdeRhs f, OdeJacobian jac, Options opt)
     : f_(std::move(f)), jac_(std::move(jac)), opt_(opt) {}
 
+void StiffWorkspace::resize(std::size_t n) {
+  if (jac.rows() != n) {
+    jac = Matrix(n, n);
+    iter_matrix = Matrix(n, n);
+  }
+  fval.resize(n);
+  res.resize(n);
+  ynew.resize(n);
+  yprev.resize(n);
+  lu_scratch.resize(n);
+  fd_yp.resize(n);
+  fd_f0.resize(n);
+  fd_f1.resize(n);
+  piv.resize(n);
+}
+
 void StiffIntegrator::numerical_jacobian(double t, std::span<const double> y,
-                                         Matrix& jac) const {
+                                         StiffWorkspace& ws) const {
   const std::size_t n = y.size();
-  std::vector<double> yp(y.begin(), y.end()), f0(n), f1(n);
-  f_(t, y, f0);
+  std::copy(y.begin(), y.end(), ws.fd_yp.begin());
+  f_(t, y, ws.fd_f0);
   for (std::size_t j = 0; j < n; ++j) {
     const double eps = 1e-7 * std::max(std::fabs(y[j]), 1e-20);
-    const double saved = yp[j];
-    yp[j] = saved + eps;
-    f_(t, yp, f1);
-    yp[j] = saved;
-    for (std::size_t i = 0; i < n; ++i) jac(i, j) = (f1[i] - f0[i]) / eps;
+    const double saved = ws.fd_yp[j];
+    ws.fd_yp[j] = saved + eps;
+    f_(t, ws.fd_yp, ws.fd_f1);
+    ws.fd_yp[j] = saved;
+    for (std::size_t i = 0; i < n; ++i)
+      ws.jac(i, j) = (ws.fd_f1[i] - ws.fd_f0[i]) / eps;
   }
 }
 
 std::size_t StiffIntegrator::integrate(double t0, double t1,
                                        std::vector<double>& y,
                                        const OdeObserver& observer) const {
+  StiffWorkspace ws;
+  return integrate(t0, t1, std::span<double>(y), ws, observer);
+}
+
+std::size_t StiffIntegrator::integrate(double t0, double t1,
+                                       std::span<double> y, StiffWorkspace& ws,
+                                       const OdeObserver& observer) const {
   const std::size_t n = y.size();
   CAT_REQUIRE(t1 > t0, "stiff integrator marches forward only");
+  ws.resize(n);
   double t = t0;
   double h = opt_.h_initial;
   const double h_max = opt_.h_max > 0.0 ? opt_.h_max : (t1 - t0);
 
-  std::vector<double> yprev(y);  // y_{n-1} for BDF2
+  std::span<double> yprev(ws.yprev);  // y_{n-1} for BDF2
+  std::copy(y.begin(), y.end(), yprev.begin());
   bool have_prev = false;
   double h_prev = 0.0;
 
-  Matrix jac(n, n), iter_matrix(n, n);
-  std::vector<double> fval(n), res(n), ynew(n);
+  Matrix& jac = ws.jac;
+  Matrix& iter_matrix = ws.iter_matrix;
+  std::span<double> fval(ws.fval), res(ws.res), ynew(ws.ynew);
   std::size_t accepted = 0;
 
   for (std::size_t step = 0; step < opt_.max_steps; ++step) {
@@ -158,12 +185,12 @@ std::size_t StiffIntegrator::integrate(double t0, double t1,
     }
 
     // Newton solve of  alpha0 y - h f(t+h, y) + alpha1 y_n + alpha2 y_{n-1} = 0
-    ynew = y;
+    std::copy(y.begin(), y.end(), ynew.begin());
     bool converged = false;
     if (jac_) {
       jac_(t + h, ynew, jac);
     } else {
-      numerical_jacobian(t + h, ynew, jac);
+      numerical_jacobian(t + h, ynew, ws);
     }
     for (std::size_t it = 0; it < opt_.max_newton; ++it) {
       f_(t + h, ynew, fval);
@@ -179,13 +206,14 @@ std::size_t StiffIntegrator::integrate(double t0, double t1,
         converged = true;
         break;
       }
-      // Iteration matrix M = alpha0 I - h J
+      // Iteration matrix M = alpha0 I - h J, factored in place (workspace
+      // LU: no per-iteration allocation).
       for (std::size_t i = 0; i < n; ++i)
         for (std::size_t j = 0; j < n; ++j)
           iter_matrix(i, j) = (i == j ? alpha0 : 0.0) - h * jac(i, j);
       try {
-        LuFactor lu(iter_matrix);
-        lu.solve_inplace(res);
+        lu_factor_inplace(iter_matrix, ws.piv);
+        lu_solve_inplace(iter_matrix, ws.piv, res, ws.lu_scratch);
       } catch (const SolverError&) {
         converged = false;
         break;
@@ -220,8 +248,8 @@ std::size_t StiffIntegrator::integrate(double t0, double t1,
         if (h < 1e-30) throw SolverError("StiffIntegrator: step underflow");
         continue;  // reject: retry with smaller step
       }
-      yprev = y;
-      y = ynew;
+      std::copy(y.begin(), y.end(), yprev.begin());
+      std::copy(ynew.begin(), ynew.end(), y.begin());
       h_prev = h;
       have_prev = true;
       t += h;

@@ -7,6 +7,11 @@
 /// inviscid relaxation are non-stiff; finite-rate chemistry spans rate
 /// scales "many orders of magnitude wider than the mean-flow time scale" —
 /// the single most complicating factor — and demands an implicit method.
+///
+/// Hot-path convention: StiffIntegrator has a span-based integrate overload
+/// taking a caller-owned StiffWorkspace, so repeated integrations (one per
+/// reactor advance / operator-split cell) reuse the Jacobian, Newton and LU
+/// storage and allocate nothing in the stepping loop.
 
 #include <cstddef>
 #include <functional>
@@ -65,6 +70,22 @@ struct StiffOptions {
   bool use_bdf2 = true;        ///< second order after startup
 };
 
+/// Reusable scratch state for StiffIntegrator: Jacobian and Newton
+/// iteration matrices, LU pivots, stage vectors, and finite-difference
+/// Jacobian buffers. Hold one per integration context and pass it to the
+/// span-based integrate overload: every allocation then happens at most
+/// once (first use / growth), and repeated integrations — e.g. one per
+/// reactor advance or per operator-split cell — run allocation-free.
+struct StiffWorkspace {
+  Matrix jac, iter_matrix;
+  std::vector<double> fval, res, ynew, yprev, lu_scratch;
+  std::vector<double> fd_yp, fd_f0, fd_f1;  // finite-difference Jacobian
+  std::vector<std::size_t> piv;
+
+  /// Ensure capacity for an n-dimensional system (no-op when sized).
+  void resize(std::size_t n);
+};
+
 /// Implicit stiff integrator: variable-step backward Euler (order 1) with a
 /// BDF2 finisher, damped-Newton inner iterations, and step-size control on
 /// the Newton convergence rate. Designed for chemical-kinetics source terms.
@@ -74,7 +95,14 @@ class StiffIntegrator {
 
   StiffIntegrator(OdeRhs f, OdeJacobian jac = nullptr, Options opt = {});
 
-  /// Integrate y from t0 to t1. Returns accepted step count.
+  /// Integrate y from t0 to t1 in place. Span-based fast path: with a
+  /// caller-owned workspace the inner loop performs zero heap allocations
+  /// (given an allocation-free RHS). Returns accepted step count.
+  std::size_t integrate(double t0, double t1, std::span<double> y,
+                        StiffWorkspace& ws,
+                        const OdeObserver& observer = nullptr) const;
+
+  /// Convenience overload with a per-call workspace.
   std::size_t integrate(double t0, double t1, std::vector<double>& y,
                         const OdeObserver& observer = nullptr) const;
 
@@ -84,7 +112,7 @@ class StiffIntegrator {
   Options opt_;
 
   void numerical_jacobian(double t, std::span<const double> y,
-                          Matrix& jac) const;
+                          StiffWorkspace& ws) const;
 };
 
 }  // namespace cat::numerics

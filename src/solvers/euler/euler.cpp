@@ -20,6 +20,8 @@ EulerSolver::EulerSolver(const grid::StructuredGrid& grid,
   w_.assign(n, Primitive{});
   p_.assign(n, 0.0);
   res_.assign(n, Conservative{});
+  u0_scratch_.assign(n, Conservative{});
+  dt_scratch_.assign(n, 0.0);
 }
 
 void EulerSolver::initialize(const FreeStream& fs) {
@@ -388,7 +390,9 @@ double EulerSolver::local_dt(std::size_t i, std::size_t j) const {
 
 double EulerSolver::advance(std::size_t n) {
   const std::size_t cells = u_.size();
-  std::vector<Conservative> u0(cells);
+  // Preallocated per-iteration workspaces (no allocation in the loop).
+  std::vector<Conservative>& u0 = u0_scratch_;
+  std::vector<double>& dts = dt_scratch_;
   for (std::size_t it = 0; it < n; ++it) {
     // Startup phase: first-order, half CFL (impulsive-start robustness).
     const bool startup = iter_count_ < opt_.startup_iters;
@@ -399,8 +403,7 @@ double EulerSolver::advance(std::size_t n) {
     // after startup (the impulsive transient would make the relative drop
     // meaningless and trigger spurious early exits).
     if (iter_count_ == opt_.startup_iters + 2) residual0_ = -1.0;
-    u0 = u_;
-    std::vector<double> dts(cells);
+    std::copy(u_.begin(), u_.end(), u0.begin());
     for (std::size_t k = 0; k < cells; ++k)
       dts[k] = local_dt(k / grid_.nj(), k % grid_.nj());
 

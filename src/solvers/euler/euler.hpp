@@ -107,6 +107,10 @@ class EulerSolver {
   std::vector<Primitive> w_;      // primitive mirror [rho, u, v, e]
   std::vector<double> p_;         // cached cell pressures
   std::vector<Conservative> res_; // accumulated residuals
+  // Per-iteration workspaces (workspace convention: preallocated once in
+  // the constructor so the residual loop never allocates).
+  std::vector<Conservative> u0_scratch_;  // stage-0 state of the RK2 update
+  std::vector<double> dt_scratch_;        // per-cell local time steps
   double residual_ = 1.0, residual0_ = -1.0;
   std::size_t iter_count_ = 0;    // for the first-order startup phase
   bool second_order_now_ = true;

@@ -1,0 +1,181 @@
+// Zero-allocation guarantees for the chemistry/ODE hot path, enforced by a
+// counting global operator new. The counter is toggled around the
+// instrumented regions so gtest's own bookkeeping doesn't pollute the
+// counts. This suite must stay a separate binary: the replaced global
+// operators apply to the whole program.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "chemistry/reaction.hpp"
+#include "chemistry/source.hpp"
+
+namespace {
+std::atomic<bool> g_count{false};
+std::atomic<std::size_t> g_allocs{0};
+
+struct AllocCounterScope {
+  AllocCounterScope() {
+    g_allocs = 0;
+    g_count = true;
+  }
+  ~AllocCounterScope() { g_count = false; }
+  std::size_t count() const { return g_allocs.load(); }
+};
+}  // namespace
+
+void* operator new(std::size_t sz) {
+  if (g_count.load(std::memory_order_relaxed)) ++g_allocs;
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Over-aligned variants too, so aligned allocations can't slip past the
+// counter unnoticed.
+void* operator new(std::size_t sz, std::align_val_t al) {
+  if (g_count.load(std::memory_order_relaxed)) ++g_allocs;
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = ((sz ? sz : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return ::operator new(sz, al);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace cat;
+
+std::vector<double> test_composition(const chemistry::Mechanism& mech) {
+  std::vector<double> y(mech.n_species(), 0.0);
+  y[mech.species_set().local_index("N2")] = 0.60;
+  y[mech.species_set().local_index("O2")] = 0.10;
+  y[mech.species_set().local_index("N")] = 0.15;
+  y[mech.species_set().local_index("O")] = 0.14;
+  y[mech.species_set().local_index("NO")] = 0.01;
+  return y;
+}
+
+TEST(WorkspaceAlloc, MassProductionRatesIsAllocationFree) {
+  const auto mech = chemistry::park_air11();
+  const auto y = test_composition(mech);
+  std::vector<double> wdot(mech.n_species());
+  chemistry::Workspace ws;
+  // Warm-up binds and sizes the workspace.
+  mech.mass_production_rates(0.02, y, 8000.0, 6000.0, wdot, ws);
+
+  AllocCounterScope scope;
+  for (int k = 0; k < 100; ++k) {
+    // Vary the temperature so the rate-coefficient caches miss: even the
+    // full transcendental path must not allocate.
+    const double t = 8000.0 + k;
+    mech.mass_production_rates(0.02, y, t, 0.75 * t, wdot, ws);
+  }
+  EXPECT_EQ(scope.count(), 0u);
+}
+
+TEST(WorkspaceAlloc, LegacyOverloadIsAllocationFreeAfterWarmup) {
+  // The workspace-free overload goes through a thread-local workspace and
+  // must also be allocation-free once warm.
+  const auto mech = chemistry::park_air9();
+  const auto y = test_composition(mech);
+  std::vector<double> wdot(mech.n_species());
+  mech.mass_production_rates(0.02, y, 8000.0, 6000.0, wdot);
+
+  AllocCounterScope scope;
+  for (int k = 0; k < 100; ++k)
+    mech.mass_production_rates(0.02, y, 8000.0 + k, 6000.0, wdot);
+  EXPECT_EQ(scope.count(), 0u);
+}
+
+// Reactor advances: allocations may happen in per-advance setup (the
+// std::function RHS closure), but the stiff integrator's stepping loop —
+// every RHS evaluation, Jacobian, and Newton solve — must be
+// allocation-free. A longer integration takes many more steps; if the
+// per-advance allocation count is independent of the step count, the
+// inner loop is clean.
+TEST(WorkspaceAlloc, IsochoricAdvanceAllocsIndependentOfStepCount) {
+  const auto mech = chemistry::park_air5();
+  const chemistry::IsochoricReactor reactor(mech);
+  auto init = [&] {
+    chemistry::IsochoricReactor::State s;
+    s.y.assign(mech.n_species(), 0.0);
+    s.y[mech.species_set().local_index("N2")] = 0.767;
+    s.y[mech.species_set().local_index("O2")] = 0.233;
+    s.t = 6500.0;
+    return s;
+  };
+  {  // warm up persistent scratch
+    auto s = init();
+    reactor.advance_coupled(s, 0.05, 1e-7);
+  }
+  std::size_t allocs_short, allocs_long;
+  {
+    auto s = init();
+    AllocCounterScope scope;
+    reactor.advance_coupled(s, 0.05, 1e-7);
+    allocs_short = scope.count();
+  }
+  {
+    auto s = init();
+    AllocCounterScope scope;
+    reactor.advance_coupled(s, 0.05, 1e-5);  // 100x longer: many more steps
+    allocs_long = scope.count();
+  }
+  EXPECT_EQ(allocs_long, allocs_short)
+      << "stiff inner loop allocated (short=" << allocs_short
+      << ", long=" << allocs_long << ")";
+}
+
+TEST(WorkspaceAlloc, TwoTemperatureAdvanceAllocsIndependentOfStepCount) {
+  const auto mech = chemistry::park_air5();
+  const chemistry::TwoTemperatureReactor reactor(mech);
+  auto init = [&] {
+    chemistry::TwoTemperatureReactor::State s;
+    s.y.assign(mech.n_species(), 0.0);
+    s.y[mech.species_set().local_index("N2")] = 0.767;
+    s.y[mech.species_set().local_index("O2")] = 0.233;
+    s.t = 9000.0;
+    s.tv = 3000.0;
+    return s;
+  };
+  {
+    auto s = init();
+    reactor.advance(s, 0.02, 1e-8);
+  }
+  std::size_t allocs_short, allocs_long;
+  {
+    auto s = init();
+    AllocCounterScope scope;
+    reactor.advance(s, 0.02, 1e-8);
+    allocs_short = scope.count();
+  }
+  {
+    auto s = init();
+    AllocCounterScope scope;
+    reactor.advance(s, 0.02, 1e-6);
+    allocs_long = scope.count();
+  }
+  EXPECT_EQ(allocs_long, allocs_short)
+      << "stiff inner loop allocated (short=" << allocs_short
+      << ", long=" << allocs_long << ")";
+}
+
+}  // namespace

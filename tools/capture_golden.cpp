@@ -1,0 +1,80 @@
+// One-shot golden-value capture: prints mass_production_rates and reactor
+// advance results from the current implementation with full precision, for
+// embedding in tests/test_chemistry_golden.cpp.
+#include <cstdio>
+
+#include "chemistry/reaction.hpp"
+#include "chemistry/source.hpp"
+
+using namespace cat;
+
+namespace {
+
+void dump_rates(const char* name, chemistry::Mechanism (*factory)()) {
+  const auto mech = factory();
+  const std::size_t ns = mech.n_species();
+  struct Point { double rho, t, tv; };
+  const Point pts[] = {{0.02, 8000.0, 6000.0},
+                       {0.05, 4000.0, 4000.0},
+                       {0.005, 12000.0, 9000.0},
+                       {0.1, 6000.0, 6000.0}};
+  std::vector<double> y(ns, 0.0);
+  y[mech.species_set().local_index("N2")] = 0.60;
+  y[mech.species_set().local_index("O2")] = 0.10;
+  y[mech.species_set().local_index("N")] = 0.15;
+  y[mech.species_set().local_index("O")] = 0.14;
+  y[mech.species_set().local_index("NO")] = 0.01;
+  std::vector<double> wdot(ns);
+  for (const auto& p : pts) {
+    mech.mass_production_rates(p.rho, y, p.t, p.tv, wdot);
+    std::printf("{\"%s\", %g, %g, %g, {", name, p.rho, p.t, p.tv);
+    for (std::size_t s = 0; s < ns; ++s)
+      std::printf("%.17g%s", wdot[s], s + 1 < ns ? ", " : "");
+    std::printf("}},\n");
+  }
+  // chemistry_vibronic_source at the first point.
+  std::vector<double> c(ns);
+  for (std::size_t s = 0; s < ns; ++s)
+    c[s] = pts[0].rho * y[s] / mech.species_set().species(s).molar_mass;
+  std::printf("// %s vibronic source: %.17g\n", name,
+              mech.chemistry_vibronic_source(c, pts[0].t, pts[0].tv));
+}
+
+}  // namespace
+
+int main() {
+  dump_rates("air5", chemistry::park_air5);
+  dump_rates("air9", chemistry::park_air9);
+  dump_rates("air11", chemistry::park_air11);
+
+  {
+    const auto mech = chemistry::park_air5();
+    const chemistry::IsochoricReactor reactor(mech);
+    chemistry::IsochoricReactor::State s;
+    s.y.assign(mech.n_species(), 0.0);
+    s.y[mech.species_set().local_index("N2")] = 0.767;
+    s.y[mech.species_set().local_index("O2")] = 0.233;
+    s.t = 6500.0;
+    reactor.advance_coupled(s, 0.05, 2e-5);
+    std::printf("// isochoric air5 advance_coupled(rho=0.05, dt=2e-5):\n");
+    std::printf("// t = %.17g; y = {", s.t);
+    for (double v : s.y) std::printf("%.17g, ", v);
+    std::printf("}\n");
+  }
+  {
+    const auto mech = chemistry::park_air5();
+    const chemistry::TwoTemperatureReactor reactor(mech);
+    chemistry::TwoTemperatureReactor::State s;
+    s.y.assign(mech.n_species(), 0.0);
+    s.y[mech.species_set().local_index("N2")] = 0.767;
+    s.y[mech.species_set().local_index("O2")] = 0.233;
+    s.t = 9000.0;
+    s.tv = 3000.0;
+    reactor.advance(s, 0.02, 1e-5);
+    std::printf("// twotemp air5 advance(rho=0.02, dt=1e-5):\n");
+    std::printf("// t = %.17g; tv = %.17g; y = {", s.t, s.tv);
+    for (double v : s.y) std::printf("%.17g, ", v);
+    std::printf("}\n");
+  }
+  return 0;
+}
