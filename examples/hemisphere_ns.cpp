@@ -1,56 +1,34 @@
-// Navier-Stokes hemisphere (the paper's Fig. 9 scenario, light version):
-// Mach-20 equilibrium-air flow over a hemisphere on a coarse grid, with an
+// Navier-Stokes hemisphere (the paper's Fig. 9 scenario, light version)
+// through the scenario engine: the registry's `hemisphere_mach20_ns` case
+// runs Mach-20 equilibrium-air flow over a hemisphere and renders an
 // ASCII temperature map of the captured bow shock.
 
-#include <cmath>
 #include <cstdio>
 
-#include "atmosphere/atmosphere.hpp"
-#include "geometry/body.hpp"
-#include "io/contour.hpp"
-#include "solvers/ns/ns.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace cat;
 
 int main() {
-  const double radius = 0.1524;
-  atmosphere::EarthAtmosphere atmo;
-  const auto a = atmo.at(20000.0);
-  const double v = 20.0 * a.sound_speed;
+  const scenario::Case* c = scenario::find_scenario("hemisphere_mach20_ns");
+  if (c == nullptr) {
+    std::fprintf(stderr, "hemisphere_mach20_ns missing from the registry\n");
+    return 1;
+  }
+  std::printf("%s\n(converges in a few seconds at smoke fidelity)\n",
+              c->title.c_str());
+  const auto r = scenario::run_case(*c);
 
-  geometry::Sphere body(radius);
-  auto grid = grid::make_normal_grid(
-      body, body.total_arc_length(), 32, 32,
-      [&](double s) {
-        const double z = s / body.total_arc_length();
-        return radius * (0.30 + 0.40 * z * z);
-      },
-      1.5);
-
-  auto gas_model =
-      core::make_equilibrium_air_model(a.density, a.temperature, v, 40);
-  solvers::FvOptions opt;
-  opt.cfl = 0.4;
-  opt.max_iter = 3500;
-  opt.residual_tol = 1e-4;
-  opt.wall_temperature = 1500.0;
-  solvers::NavierStokesSolver solver(grid, gas_model, opt);
-  solver.initialize({a.density, v, 0.0, a.pressure});
-  std::printf("Mach-20 hemisphere, equilibrium air, 32x32 (takes ~10 s)\n");
-  solver.solve();
-
-  std::vector<io::FieldPoint> pts;
-  for (std::size_t i = 0; i < grid.ni(); ++i)
-    for (std::size_t j = 0; j < grid.nj(); ++j)
-      pts.push_back(
-          {grid.xc(i, j), grid.rc(i, j), solver.temperature(i, j)});
-  std::printf("\ntemperature field (bands 300 K -> 7500 K):\n%s\n",
-              io::ascii_contour(pts, 70, 28, 300.0, 7500.0).c_str());
+  std::printf("\ntemperature field (captured bow shock):\n%s\n",
+              r.rendering.c_str());
   std::printf(
       "stagnation: T = %.0f K, shock standoff = %.3f R, "
-      "nose heating = %.1f W/cm^2\n",
-      solver.temperature(0, 1),
-      -solver.shock_locations().front().x / radius,
-      solver.wall_heat_flux().front() / 1e4);
+      "nose heating = %.1f W/cm^2\n"
+      "(%zu FV iterations, residual %.2e, %.2f s)\n",
+      r.metric("t_stag"), r.metric("shock_standoff_over_r"),
+      r.metric("nose_q_w") / 1e4,
+      static_cast<std::size_t>(r.metric("iterations")),
+      r.metric("residual"), r.elapsed_seconds);
   return 0;
 }

@@ -1,70 +1,44 @@
-// Orbiter windward heating (the paper's Fig. 4/6 scenario): E+BL and PNS
-// estimates of the windward-centerline heating at an STS-3-like condition,
-// demonstrating the two solution methods on one configuration.
+// Orbiter windward heating (the paper's Fig. 4/6 scenario) through the
+// scenario engine: the registry's E+BL and PNS cases compute the
+// windward-centerline heating at an STS-3-like condition with two
+// solution methods on one configuration — and the batch driver runs both
+// (plus the Fig. 6 ideal-gas comparison) concurrently.
 
-#include <cmath>
 #include <cstdio>
 
-#include "atmosphere/atmosphere.hpp"
-#include "solvers/bl/boundary_layer.hpp"
-#include "solvers/pns/pns.hpp"
-#include "solvers/stagnation/stagnation.hpp"
+#include "scenario/batch.hpp"
+#include "scenario/registry.hpp"
 
 using namespace cat;
 
 int main() {
-  gas::EquilibriumSolver eq(gas::make_air5(), {{"N2", 0.79}, {"O2", 0.21}});
-  atmosphere::EarthAtmosphere atmo;
-  const auto a = atmo.at(71300.0);
-  const double v = 6740.0, alpha = 40.0 * M_PI / 180.0;
-  geometry::OrbiterGeometry orb;
-
-  // --- PNS march (equilibrium air) --------------------------------------
-  solvers::MarchOptions mopt;
-  mopt.wall_temperature = 1100.0;
-  solvers::PnsSolver pns(eq, mopt);
-  const solvers::MarchFreestream fs{v, a.density, a.pressure, a.temperature};
-  const auto march = pns.solve_equilibrium(orb, fs, alpha, 16);
-
-  // --- E+BL: modified-Newtonian pressures + similarity boundary layer ---
-  const geometry::Hyperboloid body = orb.equivalent_hyperboloid(alpha);
-  solvers::StagnationLineSolver stag(eq);
-  solvers::StagnationConditions sc{v, a.density, a.pressure, a.temperature,
-                                   body.nose_radius(), 1100.0};
-  const auto edge = stag.shock_layer_edge(sc);
-  const auto stag_state = eq.solve_ph(edge.p_stag, edge.h_stag);
-  const double h_total = edge.h_stag;
-  const double q_dyn = 0.5 * a.density * v * v;
-  const double cp_max = (edge.p_stag - a.pressure) / q_dyn;
-
-  std::vector<solvers::BlStation> stations;
-  for (const auto& m : march) {
-    // Surface pressure from modified Newtonian at the equivalent body.
-    double slo = 1e-4, shi = body.total_arc_length();
-    for (int k = 0; k < 50; ++k) {
-      const double mid = 0.5 * (slo + shi);
-      (body.at(mid).x / orb.length > m.x_over_l ? shi : slo) = mid;
+  const char* names[] = {"orbiter_windward_pns", "orbiter_windward_ebl",
+                         "orbiter_windward_pns_ideal"};
+  std::vector<scenario::Case> cases;
+  for (const char* name : names) {
+    const scenario::Case* c = scenario::find_scenario(name);
+    if (c == nullptr) {
+      std::fprintf(stderr, "%s missing from the registry\n", name);
+      return 1;
     }
-    const auto pt = body.at(0.5 * (slo + shi));
-    const double sth = std::sin(std::max(pt.theta, 0.02));
-    stations.push_back(
-        {pt.s, std::max(pt.r, 1e-4),
-         a.pressure + cp_max * q_dyn * sth * sth});
+    cases.push_back(*c);
   }
-  solvers::BlOptions bopt;
-  bopt.wall_temperature = 1100.0;
-  solvers::BoundaryLayerSolver bl(eq, bopt);
-  const auto blr = bl.solve(stations, stag_state, h_total);
+
+  scenario::BatchOptions opt;
+  opt.threads = 0;  // all cores
+  const auto batch = scenario::run_batch(cases, opt);
 
   std::printf("windward centerline heating, V = 6.74 km/s, 71.3 km, "
               "alpha = 40 deg\n\n");
-  std::printf("  x/L      q_PNS [W/cm^2]   q_E+BL [W/cm^2]\n");
-  for (std::size_t k = 0; k < march.size(); ++k) {
-    std::printf("%7.3f  %15.2f  %16.2f\n", march[k].x_over_l,
-                march[k].q_w / 1e4, blr.q_w[k] / 1e4);
+  for (const auto& r : batch.results) {
+    r.table.print();
+    std::printf("  -> peak q_w = %.2f W/cm^2, aft q_w = %.2f W/cm^2\n\n",
+                r.metric("peak_q_w") / 1e4, r.metric("aft_q_w") / 1e4);
   }
   std::printf(
-      "\nboth methods should track within tens of percent on the windward\n"
-      "ray (the paper's E+BL and PNS results bracket the flight data).\n");
+      "PNS and E+BL should track within tens of percent on the windward\n"
+      "ray (the paper's results bracket the flight data); the ideal-gas\n"
+      "march shows the real-gas increment. batch of %zu in %.2f s\n",
+      batch.results.size(), batch.elapsed_seconds);
   return 0;
 }

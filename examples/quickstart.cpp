@@ -1,58 +1,47 @@
-// Quickstart: the three CAT building blocks in ~60 lines.
-//  1. Equilibrium air chemistry at a hypersonic post-shock condition.
-//  2. An equilibrium normal-shock (Rankine-Hugoniot) solution.
-//  3. Stagnation-point heating for an entry capsule, convective and
-//     radiative, from the full stagnation-line solver.
+// Quickstart: drive CAT through the scenario engine in ~40 lines.
+//  1. Pick a named scenario from the registry (or build a Case by hand).
+//  2. run_case() executes it behind the uniform Runner interface.
+//  3. Read the results: a table of the primary series + headline metrics.
 //
 // Build & run:  ./build/examples/example_quickstart
 
 #include <cstdio>
 
-#include "atmosphere/atmosphere.hpp"
-#include "core/heating.hpp"
-#include "solvers/stagnation/stagnation.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace cat;
 
 int main() {
-  // --- 1. equilibrium air composition at 6000 K, 0.1 atm ---------------
-  gas::EquilibriumSolver air(gas::make_air9(), {{"N2", 0.79}, {"O2", 0.21}});
-  const auto hot = air.solve_tp(6000.0, 10132.5);
-  std::printf("equilibrium air at 6000 K, 0.1 atm:\n");
-  for (std::size_t s = 0; s < air.mixture().n_species(); ++s) {
-    if (hot.x[s] > 1e-6) {
-      std::printf("  x(%-3s) = %.4f\n",
-                  air.mixture().set().names[s].c_str(), hot.x[s]);
-    }
-  }
-  std::printf("  mean molar mass %.4f kg/mol, gamma_eff %.3f\n\n",
-              hot.molar_mass, hot.gamma_eff);
+  // --- 1. the catalog -----------------------------------------------------
+  std::printf("scenario catalog (%zu entries):\n",
+              scenario::registry().size());
+  for (const auto& c : scenario::registry())
+    std::printf("  %-28s [%s]\n", c.name.c_str(),
+                scenario::to_string(c.family));
 
-  // --- 2. equilibrium shock-layer edge for an AOTV aeropass -------------
-  atmosphere::EarthAtmosphere atmo;
-  const auto fs = atmo.at(75000.0);
-  solvers::StagnationLineSolver stag(air);
-  solvers::StagnationConditions cond;
-  cond.velocity = 9000.0;  // aerobraking return from GEO
-  cond.rho_inf = fs.density;
-  cond.p_inf = fs.pressure;
-  cond.t_inf = fs.temperature;
-  cond.nose_radius = 2.0;
-  cond.wall_temperature = 1600.0;
-  const auto edge = stag.shock_layer_edge(cond);
-  std::printf(
-      "AOTV at 9 km/s, 75 km: post-shock T = %.0f K, density ratio %.3f,\n"
-      "shock standoff = %.1f cm, stagnation pressure = %.2f kPa\n\n",
-      edge.t2, edge.density_ratio, edge.standoff * 100.0,
-      edge.p_stag / 1000.0);
+  // --- 2. a custom case: AOTV stagnation point at 9 km/s, 75 km ----------
+  scenario::Case c;
+  c.name = "aotv_stagnation_point";
+  c.title = "AOTV aerobraking return from GEO: stagnation heating";
+  c.family = scenario::SolverFamily::kStagnationPoint;
+  c.gas = scenario::GasModelKind::kAir9;
+  c.vehicle = trajectory::aotv();
+  c.condition = {9000.0, 75000.0};
+  c.wall_temperature = 1600.0;
 
-  // --- 3. stagnation heating: full solve vs engineering correlation -----
-  const auto sol = stag.solve(cond);
-  const double q_sg =
-      core::sutton_graves(cond.rho_inf, cond.velocity, cond.nose_radius);
+  const auto r = scenario::run_case(c);
+
+  // --- 3. results ---------------------------------------------------------
   std::printf(
-      "stagnation heating: q_conv = %.1f W/cm^2 (Sutton-Graves %.1f),\n"
-      "q_rad = %.2f W/cm^2 (tangent-slab band model)\n",
-      sol.q_conv / 1e4, q_sg / 1e4, sol.q_rad / 1e4);
+      "\nAOTV at 9 km/s, 75 km: post-shock stagnation T = %.0f K,\n"
+      "density ratio %.3f, shock standoff = %.1f cm, "
+      "p_stag = %.2f kPa,\n"
+      "q_conv = %.1f W/cm^2, q_rad = %.2f W/cm^2\n",
+      r.metric("t_stag"), r.metric("density_ratio"),
+      r.metric("standoff") * 100.0, r.metric("p_stag") / 1000.0,
+      r.metric("q_conv") / 1e4, r.metric("q_rad") / 1e4);
+  std::printf("\nfirst rows of the shock-layer profile table:\n");
+  std::printf("%s\n", r.table.str().substr(0, 600).c_str());
   return 0;
 }

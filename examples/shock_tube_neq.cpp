@@ -1,54 +1,30 @@
-// Shock-tube thermochemical nonequilibrium (the paper's Fig. 7/8 scenario):
-// march the two-temperature relaxation zone behind a 10 km/s shock into
-// 0.1 Torr air and print the temperature/species structure plus the peak
-// nonequilibrium emission bands.
+// Shock-tube thermochemical nonequilibrium (the paper's Fig. 7/8
+// scenario) through the scenario engine: the registry's
+// `shock_tube_10kms_neq` case marches the two-temperature relaxation zone
+// behind a 10 km/s shock into 0.1 Torr air and reports the
+// temperature/species structure plus the peak nonequilibrium emission.
 
 #include <cstdio>
 
-#include "chemistry/reaction.hpp"
-#include "gas/constants.hpp"
-#include "radiation/spectra.hpp"
-#include "solvers/relax1d/relax1d.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace cat;
 
 int main() {
-  const auto mech = chemistry::park_air11();
-  solvers::Relax1dOptions opt;
-  opt.x_max = 0.05;
-  opt.n_samples = 48;
-  solvers::PostShockRelaxation solver(mech, opt);
-
-  const solvers::ShockTubeFreestream fs{13.0, 300.0, 10000.0};
-  std::vector<double> y1(mech.n_species(), 0.0);
-  y1[mech.species_set().local_index("N2")] = 0.767;
-  y1[mech.species_set().local_index("O2")] = 0.233;
-
-  const auto prof = solver.solve(fs, y1);
-  std::printf("   x[m]       T[K]     Tv[K]    y_N2    y_N     y_O\n");
-  for (std::size_t k = 0; k < prof.size(); k += 6) {
-    std::printf("%9.2e  %8.0f  %8.0f  %.4f  %.4f  %.4f\n", prof.x[k],
-                prof.t[k], prof.tv[k],
-                prof.y[mech.species_set().local_index("N2")][k],
-                prof.y[mech.species_set().local_index("N")][k],
-                prof.y[mech.species_set().local_index("O")][k]);
+  const scenario::Case* c = scenario::find_scenario("shock_tube_10kms_neq");
+  if (c == nullptr) {
+    std::fprintf(stderr, "shock_tube_10kms_neq missing from the registry\n");
+    return 1;
   }
+  const auto r = scenario::run_case(*c);
 
-  // Emission from the peak-Tv (radiating) zone.
-  std::size_t k_pk = 0;
-  for (std::size_t k = 0; k < prof.size(); ++k)
-    if (prof.tv[k] > prof.tv[k_pk]) k_pk = k;
-  radiation::SpectralGrid grid(0.2e-6, 1.0e-6, 160);
-  radiation::RadiationModel model(mech.species_set());
-  std::vector<double> nd(mech.n_species());
-  for (std::size_t s = 0; s < mech.n_species(); ++s)
-    nd[s] = prof.rho[k_pk] * prof.y[s][k_pk] /
-            mech.species_set().species(s).molar_mass *
-            gas::constants::kAvogadro;
+  r.table.print();
   std::printf(
-      "\nradiating zone at x = %.2e m (T = %.0f K, Tv = %.0f K):\n"
-      "total volumetric emission = %.3g W/cm^3\n",
-      prof.x[k_pk], prof.t[k_pk], prof.tv[k_pk],
-      model.total_emission(nd, prof.t[k_pk], prof.tv[k_pk], grid) / 1e6);
+      "\nfrozen post-shock T = %.0f K relaxing to %.0f K; "
+      "Tv peaks at %.0f K at x = %.2e m\n"
+      "radiating-zone volumetric emission = %.3g W/cm^3\n",
+      r.metric("t_post_shock"), r.metric("t_final"), r.metric("tv_peak"),
+      r.metric("x_tv_peak"), r.metric("peak_emission") / 1e6);
   return 0;
 }

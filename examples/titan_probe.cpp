@@ -1,48 +1,39 @@
-// Titan probe entry (the paper's Fig. 2/3 scenario, Ref. 15): integrate a
-// 12 km/s entry into Titan's N2/CH4 atmosphere and compute the stagnation
-// heating pulse with the equilibrium stagnation-line solver + tangent-slab
-// radiation. A compact version of bench/fig2_titan_heating.
+// Titan probe entry (the paper's Fig. 2/3 scenario, Ref. 15), driven
+// through the scenario engine: the registry's `titan_probe_pulse` case
+// integrates a 12 km/s entry into Titan's N2/CH4 atmosphere and computes
+// the stagnation heating pulse — here with the batch pulse driver fanned
+// out across all cores (results are bitwise identical to a serial run).
 
-#include <cmath>
 #include <cstdio>
 
-#include "core/driver.hpp"
-#include "gas/constants.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/thread_pool.hpp"
 
 using namespace cat;
 
 int main() {
-  gas::EquilibriumSolver eq(gas::make_titan(),
-                            {{"N2", 0.95}, {"CH4", 0.05}});
-  solvers::StagnationOptions sopt;
-  sopt.n_table = 32;  // lighter tables for the example
-  solvers::StagnationLineSolver stag(eq, sopt);
-
-  atmosphere::TitanAtmosphere atmo;
-  const trajectory::Vehicle probe = trajectory::titan_probe();
-  const trajectory::EntryState entry{12000.0, -24.0 * M_PI / 180.0,
-                                     600000.0};
-  trajectory::TrajectoryOptions topt;
-  topt.dt_sample = 2.0;
-  topt.end_velocity = 1500.0;
-  const auto traj = trajectory::integrate_entry(
-      probe, entry, atmo, gas::constants::kTitanRadius,
-      gas::constants::kTitanG0, topt);
-  std::printf("trajectory: %zu samples, entry at %.0f km\n", traj.size(),
-              entry.altitude / 1000.0);
-
-  core::HeatingPulseOptions hopt;
-  hopt.max_points = 16;
-  hopt.wall_temperature = 1800.0;
-  const auto pulse = core::heating_pulse(traj, probe, stag, hopt);
-
-  std::printf("\n  t[s]   alt[km]  V[km/s]  q_conv[W/cm2]  q_rad[W/cm2]\n");
-  for (const auto& p : pulse) {
-    std::printf("%7.0f  %7.0f  %7.2f  %13.1f  %12.2f\n", p.time,
-                p.altitude / 1000.0, p.velocity / 1000.0, p.q_conv / 1e4,
-                p.q_rad / 1e4);
+  const scenario::Case* c = scenario::find_scenario("titan_probe_pulse");
+  if (c == nullptr) {
+    std::fprintf(stderr, "titan_probe_pulse missing from the registry\n");
+    return 1;
   }
-  std::printf("\nintegrated heat load: %.1f kJ/cm^2\n",
-              core::heat_load(pulse) / 1e7);
+
+  scenario::RunOptions opt;
+  opt.threads = scenario::ThreadPool::recommended_threads();
+  const auto r = scenario::run_case(*c, opt);
+
+  r.table.print();
+  std::printf(
+      "\npeak q_conv = %.1f W/cm^2 at t = %.0f s, peak q_rad = %.2f W/cm^2\n"
+      "integrated heat load: %.1f kJ/cm^2\n"
+      "%zu pulse points (%zu solved, %zu free-molecular, %zu skipped) "
+      "on %zu threads in %.2f s\n",
+      r.metric("peak_q_conv") / 1e4, r.metric("t_peak"),
+      r.metric("peak_q_rad") / 1e4, r.metric("heat_load") / 1e7,
+      static_cast<std::size_t>(r.metric("n_points")),
+      static_cast<std::size_t>(r.metric("n_solved")),
+      static_cast<std::size_t>(r.metric("n_free_molecular")),
+      r.n_points_skipped, opt.threads, r.elapsed_seconds);
   return 0;
 }

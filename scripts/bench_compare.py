@@ -4,12 +4,20 @@
 Usage:
   bench_compare.py BEFORE.json AFTER.json [--threshold PCT]
                    [--min-speedup NAME:FACTOR ...]
+                   [--intra BASE:CAND:FACTOR ...] [--intra-min-cpus N]
 
 Compares per-benchmark real_time between matching benchmark names. Exits
 non-zero when any benchmark regresses by more than --threshold percent
 (default 10), or when a --min-speedup requirement is not met. Benchmarks
 present in only one record are reported but not fatal (new benchmarks have
 no baseline).
+
+--intra gates a speedup WITHIN the AFTER record: time(BASE)/time(CAND)
+must be at least FACTOR (e.g. pulse_serial:pulse_threaded:3 checks the
+threaded pulse driver is 3x faster than the serial one in the same run).
+Because such ratios depend on the machine's core count, --intra-min-cpus
+skips intra checks (with a note) when the record's context reports fewer
+CPUs — a 1-core container cannot demonstrate a parallel speedup.
 """
 
 import argparse
@@ -18,7 +26,11 @@ import sys
 
 
 def load_times(path):
-    """Map benchmark name -> (real_time, time_unit) from a benchmark JSON."""
+    """Map benchmark name -> (real_time, time_unit) from a benchmark JSON.
+
+    Returns (times, num_cpus); num_cpus is None when the record has no
+    context block.
+    """
     with open(path) as f:
         data = json.load(f)
     times = {}
@@ -26,7 +38,8 @@ def load_times(path):
         if b.get("run_type", "iteration") != "iteration":
             continue  # skip aggregates (mean/median/stddev)
         times[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
-    return times
+    num_cpus = data.get("context", {}).get("num_cpus")
+    return times, num_cpus
 
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -46,10 +59,17 @@ def main():
                     metavar="NAME:FACTOR",
                     help="require AFTER to be at least FACTOR x faster than "
                          "BEFORE for benchmark NAME (repeatable)")
+    ap.add_argument("--intra", action="append", default=[],
+                    metavar="BASE:CAND:FACTOR",
+                    help="require, within the AFTER record, "
+                         "time(BASE)/time(CAND) >= FACTOR (repeatable)")
+    ap.add_argument("--intra-min-cpus", type=int, default=0,
+                    help="skip --intra checks when the AFTER record was "
+                         "captured on fewer CPUs than this")
     args = ap.parse_args()
 
-    before = load_times(args.before)
-    after = load_times(args.after)
+    before, _ = load_times(args.before)
+    after, after_cpus = load_times(args.after)
 
     common = sorted(set(before) & set(after))
     only_before = sorted(set(before) - set(after))
@@ -95,6 +115,33 @@ def main():
                 f"{name}: speedup {speedup:.2f}x below required {factor}x")
         else:
             print(f"min-speedup ok: {name} {speedup:.2f}x >= {factor}x")
+
+    for spec in args.intra:
+        try:
+            base, cand, factor = spec.rsplit(":", 2)
+            factor = float(factor)
+        except ValueError:
+            print(f"error: bad --intra spec '{spec}'", file=sys.stderr)
+            return 2
+        if args.intra_min_cpus and (after_cpus or 0) < args.intra_min_cpus:
+            print(f"intra skipped ({base}:{cand}): record captured on "
+                  f"{after_cpus} CPU(s), gate needs >= "
+                  f"{args.intra_min_cpus}")
+            continue
+        missing = [n for n in (base, cand) if n not in after]
+        if missing:
+            failures.append(
+                f"intra {spec}: benchmark(s) {missing} absent from AFTER")
+            continue
+        cand_ns = to_ns(*after[cand])
+        ratio = to_ns(*after[base]) / cand_ns if cand_ns > 0 \
+            else float("inf")
+        if ratio < factor:
+            failures.append(
+                f"intra {base}:{cand}: speedup {ratio:.2f}x below "
+                f"required {factor}x")
+        else:
+            print(f"intra ok: {base}/{cand} = {ratio:.2f}x >= {factor}x")
 
     for name in only_before:
         print(f"note: '{name}' only in baseline (removed?)")

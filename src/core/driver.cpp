@@ -1,9 +1,8 @@
 #include "core/driver.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
-#include "core/error.hpp"
+#include "scenario/pulse.hpp"
 
 namespace cat::core {
 
@@ -12,40 +11,13 @@ std::vector<HeatingPoint> heating_pulse(
     const trajectory::Vehicle& vehicle,
     const solvers::StagnationLineSolver& solver,
     const HeatingPulseOptions& opt) {
-  CAT_REQUIRE(!traj.empty(), "empty trajectory");
-  const double v_entry = traj.front().velocity;
-  // Decimate the trajectory to at most max_points stagnation solves.
-  const std::size_t stride =
-      std::max<std::size_t>(1, traj.size() / opt.max_points);
-
-  std::vector<HeatingPoint> pulse;
-  for (std::size_t k = 0; k < traj.size(); k += stride) {
-    const auto& p = traj[k];
-    if (p.velocity < opt.start_velocity_fraction * v_entry) break;
-    if (p.density < 1e-9) {
-      // Free-molecular fringe: no continuum shock layer yet; report zero.
-      pulse.push_back({p.time, p.velocity, p.altitude, 0.0, 0.0});
-      continue;
-    }
-    solvers::StagnationConditions c;
-    c.velocity = p.velocity;
-    c.rho_inf = p.density;
-    c.p_inf = p.pressure;
-    c.t_inf = p.temperature;
-    c.nose_radius = vehicle.nose_radius;
-    c.wall_temperature = opt.wall_temperature;
-    try {
-      const auto sol = solver.solve(c);
-      pulse.push_back({p.time, p.velocity, p.altitude, sol.q_conv,
-                       sol.q_rad});
-    } catch (const std::exception&) {
-      // Extremely rarefied or slow points defeat the shock-layer closure
-      // (non-hypersonic enthalpy, table domain); record zero heating
-      // rather than aborting the pulse.
-      pulse.push_back({p.time, p.velocity, p.altitude, 0.0, 0.0});
-    }
-  }
-  return pulse;
+  scenario::PulseOptions popt;
+  popt.start_velocity_fraction = opt.start_velocity_fraction;
+  popt.max_points = opt.max_points;
+  popt.wall_temperature = opt.wall_temperature;
+  popt.threads = 1;
+  return std::move(scenario::heating_pulse(traj, vehicle, solver, popt)
+                       .points);
 }
 
 double heat_load(const std::vector<HeatingPoint>& pulse) {

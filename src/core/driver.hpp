@@ -1,8 +1,11 @@
 #pragma once
 /// \file driver.hpp
-/// High-level CAT pipelines: trajectory-coupled stagnation heating (the
-/// Fig. 2 "heating pulse" workflow: entry trajectory x stagnation-line
-/// solver with convective + radiative components).
+/// Legacy high-level pipeline entry points, kept as thin shims over the
+/// scenario engine (scenario/pulse.hpp, scenario/runner.hpp). The Fig. 2
+/// "heating pulse" workflow — entry trajectory x stagnation-line solver —
+/// now lives in cat::scenario::heating_pulse, which adds thread-pool
+/// execution, principled trajectory decimation, and skip accounting;
+/// the functions here preserve the original serial signatures.
 
 #include <vector>
 
@@ -28,9 +31,9 @@ struct HeatingPulseOptions {
   double wall_temperature = 1500.0;
 };
 
-/// Compute the stagnation heating pulse along a trajectory: for each
-/// sampled trajectory point run the full stagnation-line solve (equilibrium
-/// shock layer + similarity boundary layer + tangent-slab radiation).
+/// Compute the stagnation heating pulse along a trajectory (serial shim
+/// over cat::scenario::heating_pulse; use the scenario API directly for
+/// threaded execution and per-point skip accounting).
 std::vector<HeatingPoint> heating_pulse(
     const std::vector<trajectory::TrajectoryPoint>& traj,
     const trajectory::Vehicle& vehicle,

@@ -5,17 +5,30 @@
 /// Two failure categories are distinguished (DESIGN.md "Conventions"):
 ///  - API misuse / violated preconditions  -> CAT_REQUIRE -> std::invalid_argument
 ///  - runtime solver failure (divergence)  -> throw cat::SolverError
+///
+/// Every runtime failure the library raises derives from cat::Error, so
+/// pipeline layers (the scenario batch driver, the heating-pulse loop) can
+/// catch exactly "a CAT solver gave up on this point" without swallowing
+/// unrelated std::exceptions (bad_alloc, logic errors, API misuse).
 
 #include <stdexcept>
 #include <string>
 
 namespace cat {
 
+/// Root of the CAT runtime-error hierarchy. Catch this to absorb any
+/// expected in-domain failure of the physics stack; genuine API misuse
+/// (CAT_REQUIRE -> std::invalid_argument) intentionally stays outside it.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Thrown when an iterative solver fails to converge or a simulation
 /// leaves its domain of validity (negative density, NaN residual, ...).
-class SolverError : public std::runtime_error {
+class SolverError : public Error {
  public:
-  explicit SolverError(const std::string& what) : std::runtime_error(what) {}
+  explicit SolverError(const std::string& what) : Error(what) {}
 };
 
 namespace detail {

@@ -1,0 +1,90 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace cat::io {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan literals; null keeps the document parseable.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json(const Table& table) {
+  std::string out = "{\n  \"title\": ";
+  append_escaped(out, table.title());
+  out += ",\n  \"columns\": [";
+  for (std::size_t c = 0; c < table.n_cols(); ++c) {
+    if (c > 0) out += ", ";
+    append_escaped(out, table.headers()[c]);
+  }
+  out += "],\n  \"rows\": [\n";
+  for (std::size_t r = 0; r < table.n_rows(); ++r) {
+    out += "    [";
+    const auto& row = table.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ", ";
+      append_number(out, row[c]);
+    }
+    out += r + 1 < table.n_rows() ? "],\n" : "]\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string to_json(
+    const std::vector<std::pair<std::string, double>>& kv) {
+  std::string out = "{\n";
+  for (std::size_t k = 0; k < kv.size(); ++k) {
+    out += "  ";
+    append_escaped(out, kv[k].first);
+    out += ": ";
+    append_number(out, kv[k].second);
+    out += k + 1 < kv.size() ? ",\n" : "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+void write_json(const std::string& text, const std::string& path) {
+  std::ofstream f(path);
+  CAT_REQUIRE(f.good(), "cannot open JSON output: " + path);
+  f << text;
+  CAT_REQUIRE(f.good(), "failed writing JSON output: " + path);
+}
+
+}  // namespace cat::io

@@ -1,0 +1,26 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON writers for machine-readable scenario artifacts: a Table
+/// serializes to {"title", "columns", "rows"} and a flat name/value map
+/// serializes to an object. No external dependency; numbers are written
+/// with full round-trip precision.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/table.hpp"
+
+namespace cat::io {
+
+/// JSON text for a table: {"title": ..., "columns": [...], "rows": [[...]]}.
+std::string to_json(const Table& table);
+
+/// JSON text for named scalars (insertion order preserved):
+/// {"name": value, ...}.
+std::string to_json(const std::vector<std::pair<std::string, double>>& kv);
+
+/// Write JSON text to a file. Throws on I/O failure.
+void write_json(const std::string& text, const std::string& path);
+
+}  // namespace cat::io

@@ -1,0 +1,36 @@
+#include "scenario/batch.hpp"
+
+#include "core/error.hpp"
+#include "scenario/runner_detail.hpp"
+#include "scenario/thread_pool.hpp"
+
+namespace cat::scenario {
+
+BatchResult run_batch(const std::vector<Case>& cases,
+                      const BatchOptions& opt) {
+  const auto t0 = detail::Clock::now();
+  BatchResult out;
+  out.results.resize(cases.size());
+
+  RunOptions ropt;
+  ropt.threads = opt.threads_per_case;
+
+  ThreadPool pool(opt.threads);
+  pool.parallel_for(cases.size(), [&](std::size_t i) {
+    try {
+      out.results[i] = run_case(cases[i], ropt);
+    } catch (const cat::Error& err) {
+      // A diverged case is a data point of the sweep, not a batch abort.
+      CaseResult r = detail::make_result(cases[i]);
+      r.table = io::Table(cases[i].name + " (failed)");
+      r.metrics = {{"failed", 1.0, "-"}};
+      r.rendering = err.what();
+      out.results[i] = std::move(r);
+    }
+  });
+
+  out.elapsed_seconds = detail::seconds_since(t0);
+  return out;
+}
+
+}  // namespace cat::scenario

@@ -1,0 +1,70 @@
+#pragma once
+/// \file pulse.hpp
+/// Batch heating-pulse driver: the trajectory x stagnation-line workflow
+/// (paper Fig. 2) decimated to a bounded number of stagnation solves and
+/// executed across a thread pool. Every trajectory point is independent,
+/// so results are bitwise identical for any thread count.
+///
+/// This is the engine under core::heating_pulse (kept as a thin serial
+/// shim for source compatibility) and under the StagnationPulse scenario
+/// runner.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "solvers/stagnation/stagnation.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace cat::scenario {
+
+/// Options for the batch pulse driver (superset of the legacy
+/// core::HeatingPulseOptions).
+struct PulseOptions {
+  double start_velocity_fraction = 0.15;  ///< skip points below this V/V_entry
+  std::size_t max_points = 80;            ///< stagnation solves along the pulse
+  double wall_temperature = 1500.0;
+  std::size_t threads = 1;                ///< 0 = hardware concurrency
+  /// Continuum floor: below this freestream density the point is reported
+  /// as free-molecular (zero continuum heating) without a solve.
+  double continuum_density_floor = 1e-9;  ///< [kg/m^3]
+};
+
+/// Outcome of one pulse point.
+enum class PulsePointStatus : unsigned char {
+  kSolved,         ///< full stagnation solve succeeded
+  kFreeMolecular,  ///< below the continuum density floor; reported as zero
+  kSkipped,        ///< the solver raised cat::Error; reported as zero
+};
+
+/// Batch pulse result: the heating points plus an explicit account of
+/// every point the solver could not handle (instead of silently recording
+/// zeros, the pre-refactor behavior).
+struct PulseResult {
+  std::vector<core::HeatingPoint> points;
+  std::vector<PulsePointStatus> status;  ///< parallel to points
+  std::size_t n_solved = 0;
+  std::size_t n_free_molecular = 0;
+  std::size_t n_skipped = 0;             ///< solver failures (cat::Error)
+
+  double heat_load() const { return core::heat_load(points); }
+};
+
+/// Decimation of a trajectory for the pulse driver: indices of the points
+/// to solve. The retained span is the leading run with
+/// V >= start_velocity_fraction * V_entry; the stride is chosen from that
+/// span (not the full trajectory length) so the heating peak keeps its
+/// sample density, and the final retained point is always included so the
+/// pulse cannot end early. Exposed for direct unit testing.
+std::vector<std::size_t> decimate_pulse_indices(
+    const std::vector<trajectory::TrajectoryPoint>& traj,
+    const PulseOptions& opt);
+
+/// Compute the heating pulse over \p traj with opt.threads workers.
+/// Bitwise deterministic in the thread count.
+PulseResult heating_pulse(
+    const std::vector<trajectory::TrajectoryPoint>& traj,
+    const trajectory::Vehicle& vehicle,
+    const solvers::StagnationLineSolver& solver, const PulseOptions& opt = {});
+
+}  // namespace cat::scenario

@@ -1,0 +1,250 @@
+#include "scenario/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cat::scenario {
+
+namespace {
+
+constexpr double deg(double d) { return d * M_PI / 180.0; }
+
+std::vector<Case> build_registry() {
+  std::vector<Case> cases;
+
+  // --- Fig. 2/3: Titan probe entry (Ref. 15) ---------------------------
+  {
+    Case c;
+    c.name = "titan_probe_pulse";
+    c.title = "Titan probe 12 km/s entry: stagnation heating pulse (Fig. 2)";
+    c.family = SolverFamily::kStagnationPulse;
+    c.planet = Planet::kTitan;
+    c.gas = GasModelKind::kTitan;
+    c.vehicle = trajectory::titan_probe();
+    c.entry = {12000.0, deg(-24.0), 600000.0};
+    c.traj_opt.dt_sample = 2.0;
+    c.traj_opt.end_velocity = 1500.0;
+    c.wall_temperature = 1800.0;
+    c.max_pulse_points = 16;
+    cases.push_back(c);
+  }
+  {
+    Case c;
+    c.name = "titan_probe_peak_species";
+    c.title =
+        "Titan probe shock layer at peak heating: species profiles (Fig. 3)";
+    c.family = SolverFamily::kStagnationPoint;
+    c.planet = Planet::kTitan;
+    c.gas = GasModelKind::kTitan;
+    c.vehicle = trajectory::titan_probe();
+    c.condition = {10500.0, 250000.0};
+    c.wall_temperature = 1800.0;
+    cases.push_back(c);
+  }
+
+  // --- Fig. 1: flight domains of the era's missions --------------------
+  {
+    Case c;
+    c.name = "shuttle_flight_domain";
+    c.title = "Shuttle Orbiter entry: Mach/Reynolds flight domain (Fig. 1)";
+    c.family = SolverFamily::kTrajectoryDomain;
+    c.vehicle = trajectory::shuttle_orbiter();
+    c.entry = {7800.0, deg(-1.2), 120000.0};
+    c.traj_opt.dt_sample = 5.0;
+    c.traj_opt.end_velocity = 500.0;
+    cases.push_back(c);
+  }
+  {
+    Case c;
+    c.name = "tav_flight_domain";
+    c.title = "Transatmospheric vehicle glide: flight domain (Fig. 1)";
+    c.family = SolverFamily::kTrajectoryDomain;
+    c.vehicle = trajectory::tav();
+    c.entry = {6500.0, deg(-0.8), 90000.0};
+    c.traj_opt.dt_sample = 5.0;
+    c.traj_opt.end_velocity = 800.0;
+    cases.push_back(c);
+  }
+
+  // --- Earth heating pulses: the era's mission set ---------------------
+  {
+    Case c;
+    c.name = "shuttle_orbiter_pulse";
+    c.title = "Shuttle Orbiter entry: stagnation heating pulse";
+    c.family = SolverFamily::kStagnationPulse;
+    c.gas = GasModelKind::kAir5;
+    c.vehicle = trajectory::shuttle_orbiter();
+    c.entry = {7800.0, deg(-1.2), 120000.0};
+    c.traj_opt.dt_sample = 5.0;
+    c.traj_opt.end_velocity = 1500.0;
+    c.wall_temperature = 1400.0;
+    c.max_pulse_points = 24;
+    cases.push_back(c);
+  }
+  {
+    Case c;
+    c.name = "aotv_aeropass_pulse";
+    c.title = "AOTV GEO-return aeropass: stagnation heating pulse";
+    c.family = SolverFamily::kStagnationPulse;
+    c.gas = GasModelKind::kAir9;
+    c.vehicle = trajectory::aotv();
+    c.entry = {9500.0, deg(-4.5), 120000.0};
+    c.traj_opt.dt_sample = 1.0;
+    c.traj_opt.end_velocity = 2000.0;
+    c.wall_temperature = 1600.0;
+    c.max_pulse_points = 20;
+    cases.push_back(c);
+  }
+  {
+    Case c;
+    c.name = "galileo_class_pulse";
+    c.title = "Galileo-class probe steep entry: stagnation heating pulse";
+    c.family = SolverFamily::kStagnationPulse;
+    c.gas = GasModelKind::kAir9;
+    c.vehicle = trajectory::galileo_class_probe();
+    c.entry = {11000.0, deg(-15.0), 120000.0};
+    c.traj_opt.dt_sample = 1.0;
+    c.traj_opt.end_velocity = 2000.0;
+    c.wall_temperature = 2500.0;
+    c.max_pulse_points = 20;
+    cases.push_back(c);
+  }
+
+  // --- Fig. 4/6: Orbiter windward-plane heating, two methods -----------
+  {
+    Case c;
+    c.name = "orbiter_windward_ebl";
+    c.title = "Orbiter windward centerline, E+BL method (Fig. 4, STS-3)";
+    c.family = SolverFamily::kEulerBoundaryLayer;
+    c.gas = GasModelKind::kAir5;
+    c.vehicle = trajectory::shuttle_orbiter();
+    c.condition = {6740.0, 71300.0};
+    c.angle_of_attack = deg(40.0);
+    c.wall_temperature = 1100.0;
+    c.n_stations = 16;
+    cases.push_back(c);
+  }
+  {
+    Case c;
+    c.name = "orbiter_windward_pns";
+    c.title = "Orbiter windward centerline, PNS march (Fig. 6, STS-3)";
+    c.family = SolverFamily::kPnsMarch;
+    c.gas = GasModelKind::kAir5;
+    c.vehicle = trajectory::shuttle_orbiter();
+    c.condition = {6740.0, 71300.0};
+    c.angle_of_attack = deg(40.0);
+    c.wall_temperature = 1100.0;
+    c.n_stations = 16;
+    cases.push_back(c);
+  }
+  {
+    Case c;
+    c.name = "orbiter_windward_pns_ideal";
+    c.title = "Orbiter windward centerline, PNS, ideal gas g=1.2 (Fig. 6)";
+    c.family = SolverFamily::kPnsMarch;
+    c.gas = GasModelKind::kIdealGamma;
+    c.ideal_gamma = 1.2;
+    c.vehicle = trajectory::shuttle_orbiter();
+    c.condition = {6740.0, 71300.0};
+    c.angle_of_attack = deg(40.0);
+    c.wall_temperature = 1100.0;
+    c.n_stations = 16;
+    cases.push_back(c);
+  }
+
+  // --- VSL: windward forebody march ------------------------------------
+  {
+    Case c;
+    c.name = "sphere_cone_vsl";
+    c.title = "45-deg sphere-cone at 6.5 km/s, 65 km: VSL march";
+    c.family = SolverFamily::kVslMarch;
+    c.gas = GasModelKind::kAir5;
+    c.vehicle = {"VSL-sphere-cone", 500.0, 1.0, 1.0, 0.0, 0.3};
+    c.condition = {6500.0, 65000.0};
+    c.cone_half_angle = deg(45.0);
+    c.body_length = 1.2;
+    c.wall_temperature = 1200.0;
+    c.n_stations = 16;
+    cases.push_back(c);
+  }
+
+  // --- Fig. 4/9: shock-capturing finite-volume fields ------------------
+  {
+    Case c;
+    c.name = "sphere_euler_shock_shape";
+    c.title = "Hemisphere bow shock, equilibrium air Euler (Fig. 4)";
+    c.family = SolverFamily::kFiniteVolumeField;
+    c.gas = GasModelKind::kAir5;
+    c.viscous = false;
+    c.vehicle = {"hemisphere", 100.0, 0.073, 1.0, 0.0, 0.1524};
+    c.condition = {5900.0, 30000.0};
+    c.wall_temperature = 1500.0;
+    cases.push_back(c);
+  }
+  {
+    Case c;
+    c.name = "hemisphere_mach20_ns";
+    c.title = "Mach-20 hemisphere, equilibrium air Navier-Stokes (Fig. 9)";
+    c.family = SolverFamily::kFiniteVolumeField;
+    c.gas = GasModelKind::kAir5;
+    c.viscous = true;
+    c.vehicle = {"hemisphere", 100.0, 0.073, 1.0, 0.0, 0.1524};
+    c.condition = {5950.0, 20000.0};
+    c.wall_temperature = 1500.0;
+    cases.push_back(c);
+  }
+
+  // --- Fig. 7/8: shock-tube thermochemical nonequilibrium --------------
+  {
+    Case c;
+    c.name = "shock_tube_10kms_neq";
+    c.title = "10 km/s shock into 0.1 Torr air: two-T relaxation (Fig. 7/8)";
+    c.family = SolverFamily::kShockTubeRelaxation;
+    c.gas = GasModelKind::kAir11;
+    c.condition.velocity = 10000.0;
+    c.condition.pressure = 13.0;      // 0.1 Torr
+    c.condition.temperature = 300.0;
+    cases.push_back(c);
+  }
+
+  return cases;
+}
+
+}  // namespace
+
+const std::vector<Case>& registry() {
+  static const std::vector<Case> cases = build_registry();
+  return cases;
+}
+
+const Case* find_scenario(std::string_view name) {
+  for (const auto& c : registry())
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& c : registry()) names.push_back(c.name);
+  return names;
+}
+
+std::vector<Case> entry_angle_sweep(const Case& base,
+                                    const std::vector<double>& angles_rad) {
+  std::vector<Case> sweep;
+  sweep.reserve(angles_rad.size());
+  for (const double gamma : angles_rad) {
+    Case c = base;
+    c.entry.flight_path_angle = gamma;
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, "_gamma%.1f",
+                  gamma * 180.0 / M_PI);
+    c.name = base.name + suffix;
+    c.title = base.title + " (gamma = " + std::string(suffix + 6) + " deg)";
+    sweep.push_back(std::move(c));
+  }
+  return sweep;
+}
+
+}  // namespace cat::scenario

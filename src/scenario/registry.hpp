@@ -1,0 +1,31 @@
+#pragma once
+/// \file registry.hpp
+/// The named scenario catalog: curated Case definitions covering the
+/// paper's Figs. 1-9 missions (Shuttle, AOTV, TAV, Galileo-class and
+/// Titan probes over Earth/Titan atmospheres) across every solver family,
+/// plus parameter-sweep constructors for batch studies.
+
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace cat::scenario {
+
+/// All named scenarios, in catalog order. Names are unique identifiers
+/// (used by `cat_run <name>`).
+const std::vector<Case>& registry();
+
+/// Find a scenario by name; nullptr when absent.
+const Case* find_scenario(std::string_view name);
+
+/// Names of every registered scenario, in catalog order.
+std::vector<std::string> scenario_names();
+
+/// Entry-flight-path-angle sweep of a trajectory-driven base case: one
+/// case per angle (radians, negative = descending), named
+/// `<base>_gamma<deg>`. The batch driver runs such sweeps across cores.
+std::vector<Case> entry_angle_sweep(const Case& base,
+                                    const std::vector<double>& angles_rad);
+
+}  // namespace cat::scenario

@@ -1,0 +1,49 @@
+#pragma once
+/// \file runner_detail.hpp
+/// Internal helpers shared by the runner translation units. Not part of
+/// the public scenario API.
+
+#include <chrono>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "solvers/stagnation/stagnation.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace cat::scenario {
+
+/// Adapters defined in the sibling translation units.
+const Runner& march_runner(SolverFamily family);  // runner_march.cpp
+const Runner& field_runner();                     // runner_field.cpp
+const Runner& relax_runner();                     // runner_relax.cpp
+
+namespace detail {
+
+/// Integrate the case's entry trajectory on its planet.
+std::vector<trajectory::TrajectoryPoint> integrate_case_trajectory(
+    const Case& c, const PlanetModel& planet);
+
+/// Freestream + body inputs for a stagnation solve at the case's flight
+/// condition (atmosphere query or explicit p/T override).
+solvers::StagnationConditions stagnation_conditions(
+    const Case& c, const PlanetModel& planet);
+
+/// Stagnation-line solver resolution for the case's fidelity preset.
+solvers::StagnationOptions stagnation_options(const Case& c);
+
+using Clock = std::chrono::steady_clock;
+
+inline double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Result skeleton with the case identity filled in.
+inline CaseResult make_result(const Case& c) {
+  CaseResult r;
+  r.case_name = c.name;
+  r.solver = to_string(c.family);
+  return r;
+}
+
+}  // namespace detail
+}  // namespace cat::scenario

@@ -1,0 +1,89 @@
+#include "scenario/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cat::scenario {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) n_threads = recommended_threads();
+  // The calling thread always participates, so spawn one fewer worker.
+  const std::size_t n_workers = n_threads > 0 ? n_threads - 1 : 0;
+  workers_.reserve(n_workers);
+  for (std::size_t k = 0; k < n_workers; ++k)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::recommended_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job) run_items(*job);
+  }
+}
+
+void ThreadPool::run_items(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      finished_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Serial fast path: no synchronization, exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_.notify_all();
+  run_items(*job);  // caller participates
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    finished_.wait(lock,
+                   [&] { return job->done.load(std::memory_order_acquire) ==
+                                job->n; });
+    job_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace cat::scenario

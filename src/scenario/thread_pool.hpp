@@ -1,0 +1,76 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Minimal fixed-size thread pool for the scenario batch driver.
+///
+/// The pool exists for one job shape: a deterministic parallel_for over N
+/// independent work items (trajectory points of a heating pulse, cases of
+/// a parameter sweep). Work items claim indices from a shared atomic
+/// counter, so scheduling is dynamic (good load balance across uneven
+/// stagnation solves) while every result lands in its own preallocated
+/// slot — output is bitwise identical for any thread count as long as the
+/// per-item work itself is deterministic. The PR 2 workspace refactor made
+/// the chemistry/thermo kernels reentrant (thread_local workspaces, const
+/// solve paths), which is what makes concurrent solver calls safe.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cat::scenario {
+
+/// Fixed worker pool with a deterministic index-claiming parallel_for.
+class ThreadPool {
+ public:
+  /// \p n_threads total workers used by parallel_for, including the
+  /// calling thread; 0 selects hardware_concurrency(). With n_threads == 1
+  /// no worker threads are spawned at all and parallel_for degenerates to
+  /// a plain serial loop on the caller.
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads participating in parallel_for (workers + caller).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for i in [0, n). Blocks until every item completed. The
+  /// calling thread participates. If any invocation throws, the first
+  /// exception (in completion order) is rethrown here after all workers
+  /// drain; remaining items still run (each item must stay independent).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Default worker count for batch drivers: hardware concurrency, at
+  /// least 1.
+  static std::size_t recommended_threads();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;  // first failure, guarded by mutex_
+  };
+
+  void worker_loop();
+  void run_items(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;     // workers wait for a job
+  std::condition_variable finished_; // parallel_for waits for completion
+  // Current job; shared ownership keeps the job alive for any worker that
+  // observes it late (after all items completed) and merely no-ops on it.
+  std::shared_ptr<Job> job_;
+  std::size_t generation_ = 0;       // bumped per job so workers re-check
+  bool stop_ = false;
+};
+
+}  // namespace cat::scenario

@@ -1,10 +1,14 @@
 // One-shot golden-value capture: prints mass_production_rates and reactor
 // advance results from the current implementation with full precision, for
-// embedding in tests/test_chemistry_golden.cpp.
+// embedding in tests/test_chemistry_golden.cpp, plus the heating-pulse
+// reference run for tests/test_scenario.cpp (the batch-driver golden).
+#include <cmath>
 #include <cstdio>
 
 #include "chemistry/reaction.hpp"
 #include "chemistry/source.hpp"
+#include "gas/constants.hpp"
+#include "scenario/pulse.hpp"
 
 using namespace cat;
 
@@ -40,9 +44,44 @@ void dump_rates(const char* name, chemistry::Mechanism (*factory)()) {
               mech.chemistry_vibronic_source(c, pts[0].t, pts[0].tv));
 }
 
+// Reference heating pulse for the scenario/batch-driver golden test: the
+// Titan Fig. 2 pulse at reduced resolution (the exact configuration of
+// test_scenario.cpp's GoldenTitanPulse — keep the two in sync).
+void dump_pulse_golden() {
+  gas::EquilibriumSolver eq(gas::make_titan(),
+                            {{"N2", 0.95}, {"CH4", 0.05}});
+  solvers::StagnationOptions sopt;
+  sopt.n_table = 24;
+  sopt.n_spectral = 64;
+  sopt.n_slab = 24;
+  const solvers::StagnationLineSolver stag(eq, sopt);
+  atmosphere::TitanAtmosphere atmo;
+  const auto probe = trajectory::titan_probe();
+  trajectory::TrajectoryOptions topt;
+  topt.dt_sample = 4.0;
+  topt.end_velocity = 3000.0;
+  const auto traj = trajectory::integrate_entry(
+      probe, {12000.0, -24.0 * M_PI / 180.0, 600000.0}, atmo,
+      gas::constants::kTitanRadius, gas::constants::kTitanG0, topt);
+  scenario::PulseOptions popt;
+  popt.max_points = 8;
+  popt.wall_temperature = 1800.0;
+  const auto pulse = scenario::heating_pulse(traj, probe, stag, popt);
+  std::printf("// golden Titan pulse: traj %zu samples; %zu points "
+              "(%zu solved, %zu fm, %zu skipped)\n",
+              traj.size(), pulse.points.size(), pulse.n_solved,
+              pulse.n_free_molecular, pulse.n_skipped);
+  std::printf("// {time, velocity, altitude, q_conv, q_rad}\n");
+  for (const auto& p : pulse.points)
+    std::printf("{%.17g, %.17g, %.17g, %.17g, %.17g},\n", p.time,
+                p.velocity, p.altitude, p.q_conv, p.q_rad);
+  std::printf("// heat_load = %.17g\n", pulse.heat_load());
+}
+
 }  // namespace
 
 int main() {
+  dump_pulse_golden();
   dump_rates("air5", chemistry::park_air5);
   dump_rates("air9", chemistry::park_air9);
   dump_rates("air11", chemistry::park_air11);

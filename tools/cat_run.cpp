@@ -1,0 +1,233 @@
+// cat_run — the scenario-engine CLI: list the named scenario catalog, run
+// one scenario (or all of them, or an entry-angle sweep) with a chosen
+// thread count, and leave CSV/JSON artifacts next to the console output.
+//
+//   cat_run --list
+//   cat_run titan_probe_pulse --threads 4 --csv out/ --json out/
+//   cat_run titan_probe_pulse --sweep-gamma=-30,-24,-18 --threads 4
+//   cat_run --all --fidelity smoke
+//
+// Exit code 0 on success, 1 on usage errors or an unknown scenario, 2 when
+// any case of a batch failed.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "scenario/batch.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/thread_pool.hpp"
+
+using namespace cat;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: cat_run --list\n"
+      "       cat_run <scenario> [options]\n"
+      "       cat_run --all [options]\n"
+      "options:\n"
+      "  --threads N         worker threads (0 = all cores; default 1)\n"
+      "  --fidelity F        smoke | nominal (default: scenario's own)\n"
+      "  --csv DIR           write <scenario>.csv artifacts into DIR\n"
+      "  --json DIR          write <scenario>.json artifacts into DIR\n"
+      "  --sweep-gamma=A,B,… run an entry-angle sweep (deg) of <scenario>\n"
+      "  --quiet             metrics only, no tables\n");
+}
+
+void print_list() {
+  std::printf("%-28s %-20s %-6s %-6s  %s\n", "name", "solver", "planet",
+              "gas", "title");
+  for (const auto& c : scenario::registry()) {
+    std::printf("%-28s %-20s %-6s %-6s  %s\n", c.name.c_str(),
+                scenario::to_string(c.family), scenario::to_string(c.planet),
+                scenario::to_string(c.gas), c.title.c_str());
+  }
+}
+
+void print_result(const scenario::CaseResult& r, bool quiet) {
+  if (!quiet && r.table.n_rows() > 0) r.table.print();
+  if (!quiet && !r.rendering.empty())
+    std::printf("%s\n", r.rendering.c_str());
+  std::printf("[%s] %s:", r.solver.c_str(), r.case_name.c_str());
+  for (const auto& m : r.metrics)
+    std::printf("  %s = %.6g %s", m.name.c_str(), m.value,
+                m.unit == "-" ? "" : m.unit.c_str());
+  std::printf("\n  (%.2f s", r.elapsed_seconds);
+  if (r.n_points_skipped > 0)
+    std::printf(", %zu points skipped", r.n_points_skipped);
+  std::printf(")\n");
+}
+
+void write_artifacts(const scenario::CaseResult& r, const std::string& csv_dir,
+                     const std::string& json_dir) {
+  if (!csv_dir.empty())
+    io::write_csv(r.table, csv_dir + "/" + r.case_name + ".csv");
+  if (!json_dir.empty()) {
+    std::vector<std::pair<std::string, double>> kv;
+    for (const auto& m : r.metrics) kv.emplace_back(m.name, m.value);
+    kv.emplace_back("elapsed_seconds", r.elapsed_seconds);
+    kv.emplace_back("n_points_skipped",
+                    static_cast<double>(r.n_points_skipped));
+    std::string text = io::to_json(kv);
+    // Merge metrics + table into one document.
+    text.erase(text.find_last_of('}'));
+    text += ",\n  \"table\": " + io::to_json(r.table) + "}\n";
+    io::write_json(text, json_dir + "/" + r.case_name + ".json");
+  }
+}
+
+std::vector<double> parse_angles_deg(const std::string& list) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t next = list.find(',', pos);
+    if (next == std::string::npos) next = list.size();
+    out.push_back(std::stod(list.substr(pos, next - pos)) * M_PI / 180.0);
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+
+  std::string target, csv_dir, json_dir, sweep_gamma;
+  std::size_t threads = 1;
+  bool all = false, quiet = false, list = false;
+  const char* fidelity = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // A flag matches only exactly ("--csv out") or with '=' ("--csv=out");
+    // prefix typos like --csvdir fall through to the unknown-option error.
+    auto matches = [&](const char* flag) {
+      const std::size_t n = std::strlen(flag);
+      return arg == flag ||
+             (arg.size() > n && arg.compare(0, n, flag) == 0 &&
+              arg[n] == '=');
+    };
+    auto value = [&](const char* flag) -> std::string {
+      const std::size_t n = std::strlen(flag);
+      if (arg.size() > n && arg[n] == '=') return arg.substr(n + 1);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (matches("--threads")) {
+      threads = static_cast<std::size_t>(std::stoul(value("--threads")));
+    } else if (matches("--fidelity")) {
+      const std::string f = value("--fidelity");
+      if (f != "smoke" && f != "nominal") {
+        std::fprintf(stderr, "error: unknown fidelity '%s'\n", f.c_str());
+        return 1;
+      }
+      fidelity = f == "smoke" ? "smoke" : "nominal";
+    } else if (matches("--csv")) {
+      csv_dir = value("--csv");
+    } else if (matches("--json")) {
+      json_dir = value("--json");
+    } else if (matches("--sweep-gamma")) {
+      sweep_gamma = value("--sweep-gamma");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 1;
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one scenario named\n");
+      return 1;
+    }
+  }
+
+  if (list) {
+    print_list();
+    return 0;
+  }
+  if (!all && target.empty()) {
+    print_usage();
+    return 1;
+  }
+
+  auto apply_fidelity = [&](scenario::Case c) {
+    if (fidelity != nullptr) {
+      c.fidelity = std::strcmp(fidelity, "smoke") == 0
+                       ? scenario::Fidelity::kSmoke
+                       : scenario::Fidelity::kNominal;
+    }
+    return c;
+  };
+
+  std::vector<scenario::Case> cases;
+  if (all) {
+    for (const auto& c : scenario::registry())
+      cases.push_back(apply_fidelity(c));
+  } else {
+    const scenario::Case* c = scenario::find_scenario(target);
+    if (c == nullptr) {
+      std::fprintf(stderr,
+                   "error: unknown scenario '%s' (try cat_run --list)\n",
+                   target.c_str());
+      return 1;
+    }
+    if (!sweep_gamma.empty()) {
+      cases = scenario::entry_angle_sweep(apply_fidelity(*c),
+                                          parse_angles_deg(sweep_gamma));
+    } else {
+      cases.push_back(apply_fidelity(*c));
+    }
+  }
+
+  if (threads == 0) threads = scenario::ThreadPool::recommended_threads();
+
+  int rc = 0;
+  try {
+    if (cases.size() == 1) {
+      // Single case: give it the full thread budget internally.
+      scenario::RunOptions ropt;
+      ropt.threads = threads;
+      const auto r = scenario::run_case(cases.front(), ropt);
+      print_result(r, quiet);
+      write_artifacts(r, csv_dir, json_dir);
+    } else {
+      // Batch: parallelize across cases.
+      scenario::BatchOptions bopt;
+      bopt.threads = threads;
+      const auto batch = scenario::run_batch(cases, bopt);
+      for (const auto& r : batch.results) {
+        print_result(r, quiet);
+        write_artifacts(r, csv_dir, json_dir);
+        for (const auto& m : r.metrics)
+          if (m.name == "failed" && m.value != 0.0) rc = 2;
+      }
+      std::printf("batch: %zu cases in %.2f s on %zu threads\n",
+                  batch.results.size(), batch.elapsed_seconds, threads);
+    }
+  } catch (const std::exception& err) {
+    // Solver divergence (cat::Error) or artifact I/O failure: report and
+    // use the batch-failure exit code instead of std::terminate.
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 2;
+  }
+  return rc;
+}
