@@ -1,0 +1,47 @@
+// Performance: the verification harness itself — convergence-ladder wall
+// time for the MMS studies that gate CI. The committed baselines pin the
+// cost so the correctness gate stays cheap enough to run on every push
+// (a harness that quietly grows 10x stops being run).
+
+#include <benchmark/benchmark.h>
+
+#include "verify/studies.hpp"
+
+using namespace cat;
+
+namespace {
+
+void study_ladder(benchmark::State& state, const char* name,
+                  std::size_t levels) {
+  verify::StudyOptions opt;
+  opt.levels = levels;
+  for (auto _ : state) {
+    const verify::StudyResult r = verify::run_study(name, opt);
+    benchmark::DoNotOptimize(r.levels.data());
+    if (!r.passed) state.SkipWithError("study failed its gate");
+  }
+  state.SetLabel(name);
+}
+
+void euler_mms_ladder(benchmark::State& state) {
+  study_ladder(state, "fv_euler_mms", 3);
+}
+
+void bl_march_ladder(benchmark::State& state) {
+  study_ladder(state, "bl_march_mms", 3);
+}
+
+void reactor_time_ladder(benchmark::State& state) {
+  study_ladder(state, "reactor_time_order", 4);
+}
+
+void relax1d_exactness(benchmark::State& state) {
+  study_ladder(state, "relax1d_mms", 1);
+}
+
+}  // namespace
+
+BENCHMARK(euler_mms_ladder)->Unit(benchmark::kMillisecond);
+BENCHMARK(bl_march_ladder)->Unit(benchmark::kMillisecond);
+BENCHMARK(reactor_time_ladder)->Unit(benchmark::kMillisecond);
+BENCHMARK(relax1d_exactness)->Unit(benchmark::kMillisecond);

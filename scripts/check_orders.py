@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate the cat_verify order-table artifact in CI.
+
+Reads the verify_orders.json summary that `cat_verify --all --json DIR`
+emits and re-checks every study against its design order, independently of
+the C++ pass flags (a harness bug that marks failures as passes would
+otherwise gate nothing):
+
+  - kind "order":  the observed L2 order of the `gate_pairs` finest ladder
+                   pairs must sit within +/- tolerance of design_order;
+  - kind "exact":  every recorded L_inf deviation must be tiny;
+  - kind "report": informational, listed but never fatal.
+
+Usage:
+  check_orders.py out/verify_orders.json [--tol-override 0.25]
+
+Exit code 0 when every gated study holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("summary", help="verify_orders.json from cat_verify")
+    ap.add_argument(
+        "--tol-override",
+        type=float,
+        default=None,
+        help="override every order study's tolerance band",
+    )
+    ap.add_argument(
+        "--exact-tol",
+        type=float,
+        default=1e-5,
+        help="L_inf gate for exactness studies (default 1e-5)",
+    )
+    ap.add_argument(
+        "--require",
+        default="fv_euler_mms,fv_euler_first_order,fv_ns_mms,bl_march_mms,"
+        "reactor_time_order,stiff_backward_euler,relax1d_mms",
+        help="comma-separated studies that MUST be present in the summary "
+        "(an empty or truncated artifact must not pass the gate)",
+    )
+    args = ap.parse_args()
+
+    with open(args.summary, encoding="utf-8") as fh:
+        summary = json.load(fh)
+
+    failures = []
+    required = [n for n in args.require.split(",") if n]
+    for name in required:
+        if name not in summary:
+            failures.append(f"{name}: required study missing from artifact")
+    if not summary:
+        failures.append("artifact contains no studies at all")
+    for name, rec in summary.items():
+        kind = rec.get("kind", "order")
+        if kind == "order":
+            tol = (
+                args.tol_override
+                if args.tol_override is not None
+                else rec["tolerance"]
+            )
+            design = rec["design_order"]
+            orders = rec.get("observed_l2", [])
+            gate_pairs = int(rec.get("gate_pairs", 2))
+            gated = orders[-gate_pairs:] if gate_pairs else orders
+            if len(gated) < gate_pairs:
+                failures.append(f"{name}: only {len(gated)} ladder pairs")
+                continue
+            bad = [p for p in gated if abs(p - design) > tol]
+            verdict = "FAIL" if bad else "ok"
+            print(
+                f"{name:24s} order  design {design:.2f} +/- {tol:.2f}  "
+                f"observed {['%.3f' % p for p in gated]}  {verdict}"
+            )
+            if bad:
+                failures.append(
+                    f"{name}: observed order(s) {bad} outside "
+                    f"{design} +/- {tol}"
+                )
+        elif kind == "exact":
+            worst = max(rec.get("error_linf", [0.0]))
+            ok = worst <= args.exact_tol and rec.get("passed", False)
+            print(
+                f"{name:24s} exact  max deviation {worst:.3e} "
+                f"(gate {args.exact_tol:.1e})  {'ok' if ok else 'FAIL'}"
+            )
+            if not ok:
+                failures.append(f"{name}: deviation {worst:.3e}")
+        else:
+            print(f"{name:24s} report (informational, not gated)")
+
+    if failures:
+        print("\norder gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\norder gate passed: every study within its design-order band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

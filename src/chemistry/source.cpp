@@ -37,7 +37,7 @@ void IsochoricReactor::advance_coupled(State& state, double rho,
   // All temporaries live in the reactor's persistent scratch: the RHS
   // performs zero heap allocations.
   std::vector<double>& y = y_scratch_;
-  numerics::OdeRhs rhs = [&, rho](double, std::span<const double> u,
+  numerics::OdeRhs rhs = [&, rho](double t_now, std::span<const double> u,
                                   std::span<double> dudt) {
     std::copy(u.begin(), u.begin() + ns, y.begin());
     gas::Mixture::clean_mass_fractions(y);
@@ -57,15 +57,12 @@ void IsochoricReactor::advance_coupled(State& state, double rho,
       cv += y[s] * te.cv * inv_m_[s];
     }
     dudt[ns] = -esum / std::max(cv, 1e-6);
+    if (source_) source_(t_now, u, dudt);
   };
   u_scratch_.resize(ns + 1);
   std::copy(state.y.begin(), state.y.end(), u_scratch_.begin());
   u_scratch_[ns] = state.t;
-  numerics::StiffIntegrator integ(rhs, nullptr,
-                                  {.rel_tol = 1e-8,
-                                   .abs_tol = 1e-14,
-                                   .h_initial = 1e-12,
-                                   .max_steps = 2'000'000});
+  numerics::StiffIntegrator integ(rhs, nullptr, stiff_opt_);
   integ.integrate(0.0, dt, std::span<double>(u_scratch_), stiff_);
   std::copy(u_scratch_.begin(), u_scratch_.begin() + ns, state.y.begin());
   gas::Mixture::clean_mass_fractions(state.y);
@@ -76,6 +73,9 @@ void IsochoricReactor::advance_split(State& state, double rho,
                                      double dt) const {
   const std::size_t ns = mech_.n_species();
   CAT_REQUIRE(state.y.size() == ns, "state size mismatch");
+  CAT_REQUIRE(!source_,
+              "advance_split: the operator split has no single RHS for a "
+              "manufactured source; use advance_coupled");
   const double e_target = energy(state);  // adiabatic: e is invariant
   // Step 1: chemistry with frozen temperature.
   const double t_frozen = state.t;
@@ -90,11 +90,7 @@ void IsochoricReactor::advance_split(State& state, double rho,
   };
   u_scratch_.resize(ns);
   std::copy(state.y.begin(), state.y.end(), u_scratch_.begin());
-  numerics::StiffIntegrator integ(rhs, nullptr,
-                                  {.rel_tol = 1e-8,
-                                   .abs_tol = 1e-14,
-                                   .h_initial = 1e-12,
-                                   .max_steps = 2'000'000});
+  numerics::StiffIntegrator integ(rhs, nullptr, stiff_opt_);
   integ.integrate(0.0, dt, std::span<double>(u_scratch_), stiff_);
   std::copy(u_scratch_.begin(), u_scratch_.end(), state.y.begin());
   gas::Mixture::clean_mass_fractions(state.y);
@@ -135,7 +131,7 @@ void TwoTemperatureReactor::advance(State& state, double rho,
   // persistent scratch: zero heap allocations per RHS evaluation.
   std::vector<double>& y = y_scratch_;
   std::vector<double>& wdot = wdot_scratch_;
-  numerics::OdeRhs rhs = [&, rho](double, std::span<const double> u,
+  numerics::OdeRhs rhs = [&, rho](double t_now, std::span<const double> u,
                                   std::span<double> dudt) {
     std::copy(u.begin(), u.begin() + ns, y.begin());
     gas::Mixture::clean_mass_fractions(y);
@@ -178,17 +174,14 @@ void TwoTemperatureReactor::advance(State& state, double rho,
     }
     const double cv_tr = std::max(ttg_.trans_rot_cv(y), 1e-6);
     dudt[ns] = (-esum - cv_v * dudt[ns + 1]) / cv_tr;
+    if (source_) source_(t_now, u, dudt);
   };
 
   u_scratch_.resize(ns + 2);
   std::copy(state.y.begin(), state.y.end(), u_scratch_.begin());
   u_scratch_[ns] = state.t;
   u_scratch_[ns + 1] = state.tv;
-  numerics::StiffIntegrator integ(rhs, nullptr,
-                                  {.rel_tol = 1e-7,
-                                   .abs_tol = 1e-14,
-                                   .h_initial = 1e-12,
-                                   .max_steps = 2'000'000});
+  numerics::StiffIntegrator integ(rhs, nullptr, stiff_opt_);
   integ.integrate(0.0, dt, std::span<double>(u_scratch_), stiff_);
   std::copy(u_scratch_.begin(), u_scratch_.begin() + ns, state.y.begin());
   gas::Mixture::clean_mass_fractions(state.y);

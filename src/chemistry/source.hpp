@@ -14,6 +14,8 @@
 /// instance is not safe for concurrent advances; use one per thread.
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "chemistry/reaction.hpp"
@@ -21,6 +23,14 @@
 #include "numerics/ode.hpp"
 
 namespace cat::chemistry {
+
+/// Verification hook on a reactor RHS (src/verify): called after the
+/// physics fills du/dt for the reactor state vector and may add a
+/// manufactured source on top. State layout matches the advance method:
+/// IsochoricReactor::advance_coupled uses [y_0..y_{ns-1}, T],
+/// TwoTemperatureReactor::advance uses [y_0..y_{ns-1}, T, Tv].
+using ReactorSourceHook = std::function<void(
+    double t, std::span<const double> u, std::span<double> du)>;
 
 /// Adiabatic, constant-density (isochoric) reactor in thermal equilibrium
 /// (one temperature). State advances mass fractions and temperature.
@@ -46,8 +56,23 @@ class IsochoricReactor {
   /// Equilibrium sanity helper: total specific internal energy of a state.
   double energy(const State& state) const;
 
+  /// Verification wiring (src/verify): inject a manufactured source into
+  /// advance_coupled's RHS, and/or force the stiff integrator's stepping
+  /// (fixed_step ladders for observed-temporal-order studies).
+  /// advance_split rejects a source hook: its two-phase split has no
+  /// single RHS the source could attach to.
+  void set_source_hook(ReactorSourceHook hook) { source_ = std::move(hook); }
+  void set_stiff_options(const numerics::StiffOptions& opt) {
+    stiff_opt_ = opt;
+  }
+
  private:
   const Mechanism& mech_;
+  ReactorSourceHook source_;
+  numerics::StiffOptions stiff_opt_{.rel_tol = 1e-8,
+                                    .abs_tol = 1e-14,
+                                    .h_initial = 1e-12,
+                                    .max_steps = 2'000'000};
   // Per-species constants hoisted out of the RHS loops.
   std::vector<double> h_const_;  ///< h_formation_298 - h_th(298.15) [J/mol]
   std::vector<double> inv_m_;    ///< 1 / molar mass [mol/kg]
@@ -75,9 +100,20 @@ class TwoTemperatureReactor {
 
   const gas::TwoTemperatureGas& gas() const { return ttg_; }
 
+  /// Verification wiring (src/verify); see IsochoricReactor.
+  void set_source_hook(ReactorSourceHook hook) { source_ = std::move(hook); }
+  void set_stiff_options(const numerics::StiffOptions& opt) {
+    stiff_opt_ = opt;
+  }
+
  private:
   const Mechanism& mech_;
   gas::TwoTemperatureGas ttg_;
+  ReactorSourceHook source_;
+  numerics::StiffOptions stiff_opt_{.rel_tol = 1e-7,
+                                    .abs_tol = 1e-14,
+                                    .h_initial = 1e-12,
+                                    .max_steps = 2'000'000};
   // Per-species constants hoisted out of the RHS loops.
   std::vector<double> h_const_;     ///< h_formation_298 - h_th(298.15) [J/mol]
   std::vector<double> inv_m_;       ///< 1 / molar mass [mol/kg]

@@ -155,7 +155,8 @@ std::size_t StiffIntegrator::integrate(double t0, double t1,
   CAT_REQUIRE(t1 > t0, "stiff integrator marches forward only");
   ws.resize(n);
   double t = t0;
-  double h = opt_.h_initial;
+  const bool fixed = opt_.fixed_step > 0.0;
+  double h = fixed ? opt_.fixed_step : opt_.h_initial;
   const double h_max = opt_.h_max > 0.0 ? opt_.h_max : (t1 - t0);
 
   std::span<double> yprev(ws.yprev);  // y_{n-1} for BDF2
@@ -169,7 +170,8 @@ std::size_t StiffIntegrator::integrate(double t0, double t1,
   std::size_t accepted = 0;
 
   for (std::size_t step = 0; step < opt_.max_steps; ++step) {
-    if (t >= t1 * (1.0 - 1e-15)) return accepted;
+    if (t >= t0 + (t1 - t0) * (1.0 - 1e-12)) return accepted;
+    if (fixed) h = opt_.fixed_step;
     h = std::min(h, t1 - t);
     h = std::min(h, h_max);
 
@@ -232,7 +234,7 @@ std::size_t StiffIntegrator::integrate(double t0, double t1,
       // (standard BDF practice). Reject and shrink when it exceeds the
       // tolerance scale.
       double err = 0.0;
-      if (have_prev && h_prev > 0.0) {
+      if (!fixed && have_prev && h_prev > 0.0) {
         const double r = h / h_prev;
         for (std::size_t i = 0; i < n; ++i) {
           const double y_pred = y[i] + r * (y[i] - yprev[i]);
@@ -255,10 +257,15 @@ std::size_t StiffIntegrator::integrate(double t0, double t1,
       t += h;
       ++accepted;
       if (observer) observer(t, y);
-      const double grow =
-          err > 1e-8 ? std::clamp(0.9 / std::cbrt(err), 0.3, 2.2) : 2.2;
-      h *= grow;
+      if (!fixed) {
+        const double grow =
+            err > 1e-8 ? std::clamp(0.9 / std::cbrt(err), 0.3, 2.2) : 2.2;
+        h *= grow;
+      }
     } else {
+      if (fixed)
+        throw SolverError(
+            "StiffIntegrator: Newton failed at the forced step size");
       h *= 0.25;
       if (h < 1e-30) throw SolverError("StiffIntegrator: step underflow");
     }

@@ -68,6 +68,12 @@ struct StiffOptions {
   std::size_t max_steps = 500'000;
   std::size_t max_newton = 12;
   bool use_bdf2 = true;        ///< second order after startup
+  /// Forced step size for the verification harness: when positive the
+  /// integrator takes uniform steps of exactly this size (final step
+  /// clipped to t1) with local-error control disabled, so observed-order
+  /// studies can halve the step on a ladder. A Newton failure is then a
+  /// hard error instead of a step-size retreat.
+  double fixed_step = 0.0;
 };
 
 /// Reusable scratch state for StiffIntegrator: Jacobian and Newton

@@ -15,6 +15,9 @@ EulerSolver::EulerSolver(const grid::StructuredGrid& grid,
                          FvOptions opt)
     : grid_(grid), gas_(std::move(gas)), opt_(opt) {
   CAT_REQUIRE(gas_ != nullptr, "gas model required");
+  CAT_REQUIRE(!opt_.dirichlet || (grid_.ni() >= 2 && grid_.nj() >= 2),
+              "Dirichlet verification ghosts extrapolate from two interior "
+              "cells per direction");
   const std::size_t n = grid_.ni() * grid_.nj();
   u_.assign(n, Conservative{});
   w_.assign(n, Primitive{});
@@ -157,9 +160,52 @@ Primitive EulerSolver::axis_ghost(const Primitive& w) const {
   return {w[0], w[1], -w[2], w[3]};
 }
 
+std::array<double, 2> EulerSolver::mms_center_i(std::ptrdiff_t qi,
+                                                std::size_t j) const {
+  const auto ni = static_cast<std::ptrdiff_t>(grid_.ni());
+  if (qi >= 0 && qi < ni)
+    return {grid_.xc(static_cast<std::size_t>(qi), j),
+            grid_.rc(static_cast<std::size_t>(qi), j)};
+  const std::size_t a = qi < 0 ? 0 : grid_.ni() - 1;  // nearest interior
+  const std::size_t b = qi < 0 ? 1 : grid_.ni() - 2;  // next inward
+  const double steps = qi < 0 ? static_cast<double>(-qi)
+                              : static_cast<double>(qi - (ni - 1));
+  return {grid_.xc(a, j) + steps * (grid_.xc(a, j) - grid_.xc(b, j)),
+          grid_.rc(a, j) + steps * (grid_.rc(a, j) - grid_.rc(b, j))};
+}
+
+std::array<double, 2> EulerSolver::mms_center_j(std::size_t i,
+                                                std::ptrdiff_t qj) const {
+  const auto nj = static_cast<std::ptrdiff_t>(grid_.nj());
+  if (qj >= 0 && qj < nj)
+    return {grid_.xc(i, static_cast<std::size_t>(qj)),
+            grid_.rc(i, static_cast<std::size_t>(qj))};
+  const std::size_t a = qj < 0 ? 0 : grid_.nj() - 1;
+  const std::size_t b = qj < 0 ? 1 : grid_.nj() - 2;
+  const double steps = qj < 0 ? static_cast<double>(-qj)
+                              : static_cast<double>(qj - (nj - 1));
+  return {grid_.xc(i, a) + steps * (grid_.xc(i, a) - grid_.xc(i, b)),
+          grid_.rc(i, a) + steps * (grid_.rc(i, a) - grid_.rc(i, b))};
+}
+
+Primitive EulerSolver::mms_state_i(std::ptrdiff_t qi, std::size_t j) const {
+  if (qi >= 0 && qi < static_cast<std::ptrdiff_t>(grid_.ni()))
+    return w_[cidx(static_cast<std::size_t>(qi), j)];
+  const auto c = mms_center_i(qi, j);
+  return opt_.dirichlet(c[0], c[1]);
+}
+
+Primitive EulerSolver::mms_state_j(std::size_t i, std::ptrdiff_t qj) const {
+  if (qj >= 0 && qj < static_cast<std::ptrdiff_t>(grid_.nj()))
+    return w_[cidx(i, static_cast<std::size_t>(qj))];
+  const auto c = mms_center_j(i, qj);
+  return opt_.dirichlet(c[0], c[1]);
+}
+
 void EulerSolver::accumulate_fluxes() {
   const std::size_t ni = grid_.ni(), nj = grid_.nj();
   const auto lim = opt_.limiter;
+  const bool mms = static_cast<bool>(opt_.dirichlet);
 
   // Reconstruction helper: face states from cell values along a line.
   auto face_states = [&](const Primitive& wm2, const Primitive& wm1,
@@ -197,7 +243,14 @@ void EulerSolver::accumulate_fluxes() {
       const double nx = grid_.iface_nx(i, j);
       const double nr = grid_.iface_nr(i, j);
       Primitive wl, wr;
-      if (i == 0) {
+      if (mms) {
+        // Dirichlet verification mode: every face sees a full MUSCL
+        // stencil, with exact manufactured states beyond the boundary.
+        const auto qi = static_cast<std::ptrdiff_t>(i);
+        face_states(mms_state_i(qi - 2, j), mms_state_i(qi - 1, j),
+                    mms_state_i(qi, j), mms_state_i(qi + 1, j), true, true,
+                    wl, wr);
+      } else if (i == 0) {
         // Axis/symmetry boundary: mirrored ghost.
         wl = axis_ghost(w_[cidx(0, j)]);
         wr = w_[cidx(0, j)];
@@ -233,7 +286,12 @@ void EulerSolver::accumulate_fluxes() {
       const double nx = grid_.jface_nx(i, j);
       const double nr = grid_.jface_nr(i, j);
       Primitive wl, wr;
-      if (j == 0) {
+      if (mms) {
+        const auto qj = static_cast<std::ptrdiff_t>(j);
+        face_states(mms_state_j(i, qj - 2), mms_state_j(i, qj - 1),
+                    mms_state_j(i, qj), mms_state_j(i, qj + 1), true, true,
+                    wl, wr);
+      } else if (j == 0) {
         // Wall: ghost below.
         wr = w_[cidx(i, 0)];
         wl = wall_ghost(wr, nx, nr);
@@ -271,6 +329,19 @@ void EulerSolver::accumulate_fluxes() {
   }
 
   if (opt_.viscous) accumulate_viscous();
+
+  // ---- verification forcing (update is U -= dt/V res, so a positive
+  // source density enters the residual negatively) ----
+  if (opt_.source) {
+    for (std::size_t i = 0; i < ni; ++i) {
+      for (std::size_t j = 0; j < nj; ++j) {
+        const std::array<double, 4> s = opt_.source(grid_.xc(i, j),
+                                                    grid_.rc(i, j));
+        const double vol = grid_.volume(i, j);
+        for (int k = 0; k < 4; ++k) res_[cidx(i, j)][k] -= s[k] * vol;
+      }
+    }
+  }
 }
 
 void EulerSolver::accumulate_viscous() {
@@ -279,6 +350,7 @@ void EulerSolver::accumulate_viscous() {
   // curvature stresses neglected (adequate for the thin hypersonic
   // boundary layers of the target cases; documented in DESIGN.md).
   const std::size_t ni = grid_.ni(), nj = grid_.nj();
+  const bool mms = static_cast<bool>(opt_.dirichlet);
 
   auto add_face = [&](std::size_t ia, std::size_t ja, std::size_t ib,
                       std::size_t jb, double nx, double nr, bool wall_face,
@@ -287,37 +359,57 @@ void EulerSolver::accumulate_viscous() {
     if (area < 1e-14) return;
     const double nxh = nx / area, nrh = nr / area;
 
-    const Primitive wa = wall_face ? wall_ghost(w_[cidx(ib, jb)], nx, nr)
-                                   : w_[cidx(ia, ja)];
-    const Primitive wb = outer_face
-                             ? Primitive{fs_.rho, fs_.u, fs_.v,
-                                         gas_->energy(fs_.rho, fs_.p)}
-                             : w_[cidx(ib, jb)];
-    const double ta = gas_->temperature(wa[0], wa[3]);
-    const double tb = gas_->temperature(wb[0], wb[3]);
-
+    Primitive wa, wb;
     double dn;
-    if (wall_face) {
-      const double xw = 0.5 * (grid_.xn(ib, 0) + grid_.xn(ib + 1, 0));
-      const double rw = 0.5 * (grid_.rn(ib, 0) + grid_.rn(ib + 1, 0));
-      dn = 2.0 * std::sqrt(
-                     (grid_.xc(ib, 0) - xw) * (grid_.xc(ib, 0) - xw) +
-                     (grid_.rc(ib, 0) - rw) * (grid_.rc(ib, 0) - rw));
+    if (mms && (wall_face || outer_face)) {
+      // Dirichlet verification: the exterior state is the exact
+      // manufactured value at the extrapolated ghost center.
+      const std::ptrdiff_t qg =
+          wall_face ? -1 : static_cast<std::ptrdiff_t>(nj);
+      const auto cg = mms_center_j(ib, qg);
+      const Primitive wg = opt_.dirichlet(cg[0], cg[1]);
+      wa = wall_face ? wg : w_[cidx(ia, ja)];
+      wb = wall_face ? w_[cidx(ib, jb)] : wg;
+      const double xi2 = wall_face ? grid_.xc(ib, jb) : cg[0];
+      const double ri2 = wall_face ? grid_.rc(ib, jb) : cg[1];
+      const double xi1 = wall_face ? cg[0] : grid_.xc(ia, ja);
+      const double ri1 = wall_face ? cg[1] : grid_.rc(ia, ja);
+      dn = std::sqrt((xi2 - xi1) * (xi2 - xi1) + (ri2 - ri1) * (ri2 - ri1));
     } else {
-      const double xa = grid_.xc(ia, ja), ra = grid_.rc(ia, ja);
-      const double xb = grid_.xc(ib, jb), rb = grid_.rc(ib, jb);
-      dn = std::sqrt((xb - xa) * (xb - xa) + (rb - ra) * (rb - ra));
+      wa = wall_face ? wall_ghost(w_[cidx(ib, jb)], nx, nr)
+                     : w_[cidx(ia, ja)];
+      wb = outer_face ? Primitive{fs_.rho, fs_.u, fs_.v,
+                                  gas_->energy(fs_.rho, fs_.p)}
+                      : w_[cidx(ib, jb)];
+      if (wall_face) {
+        const double xw = 0.5 * (grid_.xn(ib, 0) + grid_.xn(ib + 1, 0));
+        const double rw = 0.5 * (grid_.rn(ib, 0) + grid_.rn(ib + 1, 0));
+        dn = 2.0 * std::sqrt(
+                       (grid_.xc(ib, 0) - xw) * (grid_.xc(ib, 0) - xw) +
+                       (grid_.rc(ib, 0) - rw) * (grid_.rc(ib, 0) - rw));
+      } else {
+        const double xa = grid_.xc(ia, ja), ra = grid_.rc(ia, ja);
+        const double xb = grid_.xc(ib, jb), rb = grid_.rc(ib, jb);
+        dn = std::sqrt((xb - xa) * (xb - xa) + (rb - ra) * (rb - ra));
+      }
     }
     if (dn < 1e-14) return;
+    const double ta = gas_->temperature(wa[0], wa[3]);
+    const double tb = gas_->temperature(wb[0], wb[3]);
 
     const double t_face = std::clamp(0.5 * (ta + tb), 50.0, 30000.0);
     const double mu = transport::sutherland_viscosity(t_face);
     const Primitive& wn = wall_face || outer_face ? wb : wa;
+    const double t_n = wall_face || outer_face ? tb : ta;
     const double p_loc = gas_->pressure(wn[0], wn[3]);
     const double gamma_eff =
         std::clamp(p_loc / (wn[0] * std::max(wn[3], 1e3)) + 1.0, 1.05, 1.67);
+    // cp from the same cell state as p_loc/rho (p/(rho T) is that cell's
+    // gas constant; for ideal gas this is exact). Mixing the
+    // face-averaged temperature in here left an O(dn) inconsistency in
+    // the conduction coefficient (found in the SourceHook audit).
     const double cp = gamma_eff / (gamma_eff - 1.0) * p_loc /
-                      (wn[0] * std::max(t_face, 50.0));
+                      (wn[0] * std::max(t_n, 50.0));
     const double k_cond = mu * cp / opt_.prandtl;
 
     const double dudn = (wb[1] - wa[1]) / dn;
@@ -334,8 +426,10 @@ void EulerSolver::accumulate_viscous() {
     const double fe = fx * u_face + fr * v_face + k_cond * dtdn;
 
     // res accumulates net outflux of (F_conv - F_visc): viscous enters with
-    // the opposite sign to the convective accumulation.
-    if (!wall_face && !outer_face) {
+    // the opposite sign to the convective accumulation. The physical outer
+    // boundary drops its viscous flux (freestream); the Dirichlet
+    // verification mode keeps it (nonzero for manufactured fields).
+    if (!wall_face && (!outer_face || mms)) {
       res_[cidx(ia, ja)][1] -= fx * area;
       res_[cidx(ia, ja)][2] -= fr * area;
       res_[cidx(ia, ja)][3] -= fe * area;
@@ -378,12 +472,30 @@ double EulerSolver::local_dt(std::size_t i, std::size_t j) const {
     const double un = (w[1] * nx + w[2] * nr) / area;
     sum += 0.5 * (std::fabs(un) + a) * area;
   }
+  double aj_mean = 0.0;
   for (std::size_t f = 0; f < 2; ++f) {
     const double nx = grid_.jface_nx(i, j + f);
     const double nr = grid_.jface_nr(i, j + f);
     const double area = std::sqrt(nx * nx + nr * nr);
     const double un = (w[1] * nx + w[2] * nr) / area;
     sum += 0.5 * (std::fabs(un) + a) * area;
+    aj_mean += 0.5 * area;
+  }
+  if (opt_.viscous) {
+    // Diffusive stability: the convective-only time step violates the
+    // explicit limit dt <= dy^2/(2 nu_eff) once cells are fine enough
+    // (exposed by the verify NS convergence ladder). Thin-layer model:
+    // only the j-direction diffusion counts.
+    const double t_c = std::clamp(gas_->temperature(w[0], w[3]), 50.0,
+                                  30000.0);
+    const double mu = transport::sutherland_viscosity(t_c);
+    const double p_c = p_[cidx(i, j)];
+    const double gamma_eff =
+        std::clamp(p_c / (w[0] * std::max(w[3], 1e3)) + 1.0, 1.05, 1.67);
+    const double nu_eff =
+        mu / w[0] * std::max(4.0 / 3.0, gamma_eff / opt_.prandtl);
+    const double dy = grid_.volume(i, j) / std::max(aj_mean, 1e-14);
+    sum += 2.0 * nu_eff * aj_mean / std::max(dy, 1e-14);
   }
   return cfl_now_ * grid_.volume(i, j) / std::max(sum, 1e-12);
 }
@@ -484,8 +596,10 @@ std::vector<double> EulerSolver::wall_heat_flux() const {
     const Primitive& w = w_[cidx(i, 0)];
     const double gamma_eff = std::clamp(
         p_[cidx(i, 0)] / (w[0] * std::max(w[3], 1e3)) + 1.0, 1.05, 1.67);
+    // Same consistency rule as accumulate_viscous: cp pairs p/rho with the
+    // temperature of the cell they came from, not the face average.
     const double cp = gamma_eff / (gamma_eff - 1.0) * p_[cidx(i, 0)] /
-                      (w[0] * std::max(t_face, 50.0));
+                      (w[0] * std::max(t_in, 50.0));
     q[i] = mu * cp / opt_.prandtl * (t_in - opt_.wall_temperature) / dn;
   }
   return q;

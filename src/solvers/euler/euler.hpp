@@ -12,6 +12,7 @@
 /// captured" (paper, Fig. 9 discussion).
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,21 @@ struct FreeStream {
   double rho, u, v, p;
 };
 
+/// Volumetric source hook on the FV RHS (src/verify): returns the steady
+/// source density S(x, r) per equation [mass, x-mom, r-mom, energy], added
+/// to the semi-discrete update as dU/dt = -(1/V) oint F dA + S. The
+/// Method-of-Manufactured-Solutions studies inject the exact flux
+/// divergence of the manufactured field here.
+using SourceHook = std::function<std::array<double, 4>(double x, double r)>;
+
+/// Exact-state Dirichlet hook (src/verify): primitive [rho, u, v, e] of
+/// the manufactured solution at an arbitrary point. When set, every
+/// domain boundary becomes a Dirichlet boundary fed by two layers of
+/// exact ghost states (replacing the wall/axis/outflow/freestream
+/// treatment) so the interior discretization order is observable
+/// unpolluted by boundary closures.
+using DirichletHook = std::function<std::array<double, 4>(double x, double r)>;
+
 /// Options for the finite-volume solvers.
 struct FvOptions {
   double cfl = 0.4;
@@ -39,6 +55,8 @@ struct FvOptions {
   bool viscous = false;            ///< add central viscous fluxes (NS)
   double wall_temperature = 1000.0;///< isothermal no-slip wall (viscous)
   double prandtl = 0.72;           ///< constant-Pr laminar viscous model
+  SourceHook source;               ///< verification forcing (null = off)
+  DirichletHook dirichlet;         ///< verification boundaries (null = off)
 };
 
 /// Cell-centered conservative state [rho, rho u, rho v, rho E].
@@ -131,6 +149,15 @@ class EulerSolver {
   /// Ghost states for each boundary.
   Primitive wall_ghost(const Primitive& inside, double nx, double nr) const;
   Primitive axis_ghost(const Primitive& inside) const;
+
+  /// Dirichlet-mode stencil access along a sweep line: interior indices
+  /// return the cell state, out-of-range indices return the exact hook
+  /// state at a ghost center extrapolated from the two nearest interior
+  /// centers (exact on the uniform verification grids).
+  std::array<double, 2> mms_center_i(std::ptrdiff_t qi, std::size_t j) const;
+  std::array<double, 2> mms_center_j(std::size_t i, std::ptrdiff_t qj) const;
+  Primitive mms_state_i(std::ptrdiff_t qi, std::size_t j) const;
+  Primitive mms_state_j(std::size_t i, std::ptrdiff_t qj) const;
 
   void accumulate_fluxes();
   void accumulate_viscous();

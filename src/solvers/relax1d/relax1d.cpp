@@ -157,7 +157,7 @@ RelaxationProfile PostShockRelaxation::solve(
   // Marching state: [y_0..y_{ns-1}, ev]; ev tracked even in 1-T mode (then
   // slaved, derivative unused).
   double rho_prev = jump.rho;  // warm start for the algebraic recovery
-  numerics::OdeRhs rhs = [&](double, std::span<const double> u,
+  numerics::OdeRhs rhs = [&](double x, std::span<const double> u,
                              std::span<double> du) {
     std::vector<double> y(u.begin(), u.begin() + ns);
     gas::Mixture::clean_mass_fractions(y);
@@ -187,6 +187,7 @@ RelaxationProfile PostShockRelaxation::solve(
     } else {
       du[ns] = 0.0;
     }
+    if (opt_.source) opt_.source(x, u, du);
   };
 
   std::vector<double> state(ns + 1);

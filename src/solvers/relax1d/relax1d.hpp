@@ -12,6 +12,8 @@
 /// Marching variables are the species mass fractions and the vibronic pool
 /// energy; (rho, u, T, Tv, p) are recovered algebraically at each station.
 
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "chemistry/reaction.hpp"
@@ -54,6 +56,15 @@ struct Relax1dOptions {
   /// Ablation hook: controlling temperature for dissociation uses
   /// sqrt(T*Tv) when true (Park), plain T when false.
   bool park_sqrt_ttv = true;
+  /// Verification hook (src/verify): called after the physics fills the
+  /// marching derivative du/dx for state u = [y_0..y_{ns-1}, ev] at
+  /// distance x; may add a manufactured source on top. With a frozen
+  /// (reaction-free) mechanism the physics contribution is zero and an
+  /// injected analytic source makes the stored profile an exact known
+  /// solution — the marching/recovery pipeline check in tests/test_verify.
+  std::function<void(double x, std::span<const double> u,
+                     std::span<double> du)>
+      source;
 };
 
 /// Two-temperature post-normal-shock relaxation solver.

@@ -201,6 +201,9 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
         b[j] = -(Cm + Cp) / (d_eta * d_eta) - beta * F[j] -
                two_xi_dxi * F[j];
         d[j] = -beta * rrn[j] - two_xi_dxi * F[j] * F_prev[j];
+        if (opt_.momentum_source)
+          d[j] -= opt_.momentum_source(ed.s,
+                                       static_cast<double>(j) * d_eta);
       }
       std::vector<double> F_new = numerics::solve_tridiagonal(a, b, c, d);
 
@@ -236,6 +239,8 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
         const double diss_m = Cn[j - 1] * (1.0 - 1.0 / pr_m) * d_kin *
                               (F[j] * F[j] - F[j - 1] * F[j - 1]) / d_eta;
         d[j] = -two_xi_dxi * F[j] * g_prev[j] - (diss_p - diss_m) / d_eta;
+        if (opt_.energy_source)
+          d[j] -= opt_.energy_source(ed.s, static_cast<double>(j) * d_eta);
       }
       std::vector<double> g_new = numerics::solve_tridiagonal(a, b, c, d);
 
@@ -250,11 +255,16 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
       if (change < 1e-10) break;
     }
 
+    if (opt_.profile_observer) opt_.profile_observer(i, ed.s, F, g);
+
     // Wall outputs: q = (C/Pr)(h_w) g'(0) He (ue r / sqrt(2 xi)) rho_e mu_e.
+    // One-sided second-order wall gradients: the plain two-point
+    // difference capped the whole march's heating output at first order
+    // (exposed by the verify BL-march manufactured-solution study).
     const double metric =
         ed.ue * ed.r / std::sqrt(2.0 * std::max(xi[i], 1e-30));
-    const double gp0 = (g[1] - g[0]) / d_eta;
-    const double fp0 = (F[1] - F[0]) / d_eta;
+    const double gp0 = (-3.0 * g[0] + 4.0 * g[1] - g[2]) / (2.0 * d_eta);
+    const double fp0 = (-3.0 * F[0] + 4.0 * F[1] - F[2]) / (2.0 * d_eta);
     const double h_wall = std::clamp(g_w * h_total, h_lo, h_hi);
     MarchStationResult r;
     r.s = ed.s;

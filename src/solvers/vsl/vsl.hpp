@@ -18,7 +18,9 @@
 /// The same marching core drives the PNS solver (solvers/pns), which adds
 /// the Vigneron streamwise-pressure-gradient splitting.
 
+#include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "gas/equilibrium.hpp"
@@ -55,6 +57,18 @@ struct MarchOptions {
   double eta_max = 8.0;
   std::size_t n_table = 36;
   std::size_t picard_iters = 10;
+  /// Verification hooks (src/verify): manufactured forcing added to the
+  /// momentum (F) and total-enthalpy (g) equations at interior eta nodes,
+  /// as S(s, eta) on the same side as the diffusion term — the converged
+  /// station then satisfies  (C F')' + ... + S_F = 0  discretely.
+  std::function<double(double s, double eta)> momentum_source;
+  std::function<double(double s, double eta)> energy_source;
+  /// Called after each station converges with the station's profiles
+  /// F = u/ue and g = H/He on the eta grid (observed-order studies read
+  /// the discrete solution itself instead of derived wall scalars).
+  std::function<void(std::size_t station, double s, std::span<const double> f,
+                     std::span<const double> g)>
+      profile_observer;
 };
 
 /// Thermophysical state at (p, h) as the marching core needs it.

@@ -1,0 +1,149 @@
+#include "verify/convergence.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace cat::verify {
+
+void NormAccumulator::add(double error, double weight) {
+  const double e = std::fabs(error);
+  sum_w_ += weight;
+  sum_1_ += e * weight;
+  sum_2_ += e * e * weight;
+  max_ = std::max(max_, e);
+}
+
+ErrorNorms NormAccumulator::finalize() const {
+  ErrorNorms n;
+  if (sum_w_ > 0.0) {
+    n.l1 = sum_1_ / sum_w_;
+    n.l2 = std::sqrt(sum_2_ / sum_w_);
+  }
+  n.linf = max_;
+  return n;
+}
+
+double observed_order(double e_coarse, double e_fine, double h_coarse,
+                      double h_fine) {
+  if (e_coarse <= 0.0 || e_fine <= 0.0 || h_coarse <= h_fine || h_fine <= 0.0)
+    return 0.0;
+  return std::log(e_coarse / e_fine) / std::log(h_coarse / h_fine);
+}
+
+namespace {
+
+ObservedOrder pair_order(const LevelResult& c, const LevelResult& f) {
+  return {observed_order(c.error.l1, f.error.l1, c.h, f.h),
+          observed_order(c.error.l2, f.error.l2, c.h, f.h),
+          observed_order(c.error.linf, f.error.linf, c.h, f.h)};
+}
+
+}  // namespace
+
+StudyResult run_convergence_study(const StudyConfig& cfg,
+                                  std::size_t n_levels,
+                                  const LevelRunner& runner) {
+  CAT_REQUIRE(n_levels >= 1, "study needs at least one level");
+  if (cfg.kind == StudyKind::kOrder)
+    CAT_REQUIRE(n_levels >= cfg.gate_pairs + 1,
+                "order study needs gate_pairs + 1 levels");
+
+  StudyResult out;
+  out.config = cfg;
+  out.levels.reserve(n_levels);
+  for (std::size_t level = 0; level < n_levels; ++level) {
+    const auto t0 = std::chrono::steady_clock::now();
+    LevelResult lr = runner(level);
+    lr.cost_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    out.levels.push_back(lr);
+  }
+
+  char buf[256];
+  switch (cfg.kind) {
+    case StudyKind::kOrder: {
+      for (std::size_t k = 0; k + 1 < out.levels.size(); ++k)
+        out.orders.push_back(pair_order(out.levels[k], out.levels[k + 1]));
+      out.passed = true;
+      const std::size_t first_gated = out.orders.size() - cfg.gate_pairs;
+      for (std::size_t k = first_gated; k < out.orders.size(); ++k) {
+        const double p = out.orders[k].l2;
+        if (std::fabs(p - cfg.design_order) > cfg.tolerance)
+          out.passed = false;
+      }
+      std::snprintf(buf, sizeof buf,
+                    "observed L2 order on the %zu finest pairs:", cfg.gate_pairs);
+      out.detail = buf;
+      for (std::size_t k = first_gated; k < out.orders.size(); ++k) {
+        std::snprintf(buf, sizeof buf, " %.3f", out.orders[k].l2);
+        out.detail += buf;
+      }
+      std::snprintf(buf, sizeof buf, " (design %.2f +/- %.2f)",
+                    cfg.design_order, cfg.tolerance);
+      out.detail += buf;
+      break;
+    }
+    case StudyKind::kExactness: {
+      const double linf = out.levels.front().error.linf;
+      out.passed = linf <= cfg.exact_tolerance;
+      std::snprintf(buf, sizeof buf,
+                    "max deviation %.3e from the manufactured solution "
+                    "(gate %.1e)",
+                    linf, cfg.exact_tolerance);
+      out.detail = buf;
+      break;
+    }
+    case StudyKind::kReport: {
+      for (std::size_t k = 0; k + 2 < out.levels.size(); ++k) {
+        const double d1 =
+            out.levels[k].functional - out.levels[k + 1].functional;
+        const double d2 =
+            out.levels[k + 1].functional - out.levels[k + 2].functional;
+        const double r = out.levels[k].h / out.levels[k + 1].h;
+        ObservedOrder o;
+        if (d1 * d2 > 0.0 && r > 1.0)
+          o.l1 = o.l2 = o.linf = std::log(d1 / d2) / std::log(r);
+        out.orders.push_back(o);
+      }
+      if (!out.orders.empty() && out.orders.back().l2 > 0.0) {
+        const LevelResult& f = out.levels.back();
+        const LevelResult& c = out.levels[out.levels.size() - 2];
+        const double r = c.h / f.h;
+        const double p = out.orders.back().l2;
+        out.richardson = f.functional + (f.functional - c.functional) /
+                                            (std::pow(r, p) - 1.0);
+      }
+      out.passed = true;  // reported, not gated
+      std::snprintf(buf, sizeof buf,
+                    "functional ladder (not gated); Richardson estimate %.6g",
+                    out.richardson);
+      out.detail = buf;
+      break;
+    }
+  }
+  return out;
+}
+
+io::Table StudyResult::order_table() const {
+  io::Table t(config.name);
+  t.set_columns({"level", "n", "h", "err_l1", "err_l2", "err_linf",
+                 "functional", "order_l2", "cost_s"});
+  for (std::size_t k = 0; k < levels.size(); ++k) {
+    const LevelResult& l = levels[k];
+    double p = 0.0;
+    if (config.kind == StudyKind::kOrder && k >= 1)
+      p = orders[k - 1].l2;
+    if (config.kind == StudyKind::kReport && k >= 2)
+      p = orders[k - 2].l2;
+    t.add_row({static_cast<double>(k), static_cast<double>(l.n), l.h,
+               l.error.l1, l.error.l2, l.error.linf, l.functional, p,
+               l.cost_seconds});
+  }
+  return t;
+}
+
+}  // namespace cat::verify

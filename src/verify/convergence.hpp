@@ -1,0 +1,102 @@
+#pragma once
+/// \file convergence.hpp
+/// Grid-convergence machinery: discrete error norms, observed order of
+/// accuracy, Richardson extrapolation, and the ConvergenceStudy driver
+/// that runs a solver over a refinement ladder and decides pass/fail
+/// against its design order.
+///
+/// Two study modes:
+///  - kOrder (MMS): every level knows its exact error norms (manufactured
+///    solution available); observed order comes from consecutive level
+///    pairs, p = ln(e_coarse/e_fine) / ln(h_coarse/h_fine), and the gate
+///    asserts |p - design| <= tolerance on the finest pairs.
+///  - kExactness: a single resolution must reproduce a known solution to
+///    an absolute tolerance (manufactured-forcing cancellation checks).
+///  - kReport: solution verification without an exact solution (scenario
+///    ladders); observed order from Richardson triplets of a scalar
+///    functional, reported but not gated.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/table.hpp"
+
+namespace cat::verify {
+
+/// Discrete error norms against the exact manufactured solution.
+struct ErrorNorms {
+  double l1 = 0.0, l2 = 0.0, linf = 0.0;
+};
+
+/// Weighted norm accumulator (weights are cell volumes / node spacings so
+/// the norms are discrete integral norms, comparable across grids).
+class NormAccumulator {
+ public:
+  void add(double error, double weight = 1.0);
+  ErrorNorms finalize() const;
+
+ private:
+  double sum_w_ = 0.0, sum_1_ = 0.0, sum_2_ = 0.0, max_ = 0.0;
+};
+
+/// One rung of the refinement ladder.
+struct LevelResult {
+  double h = 0.0;          ///< representative spacing (or time step)
+  std::size_t n = 0;       ///< resolution (cells / nodes / steps)
+  ErrorNorms error;        ///< exact-error norms (kOrder, kExactness)
+  double functional = 0.0; ///< scalar output (kReport mode)
+  double cost_seconds = 0.0;
+};
+
+/// Observed order between two consecutive levels, per norm.
+struct ObservedOrder {
+  double l1 = 0.0, l2 = 0.0, linf = 0.0;
+};
+
+enum class StudyKind { kOrder, kExactness, kReport };
+
+struct StudyConfig {
+  std::string name;
+  std::string title;
+  std::string quantity;         ///< what the error/functional measures
+  StudyKind kind = StudyKind::kOrder;
+  double design_order = 2.0;
+  double tolerance = 0.25;      ///< |p - design| gate (kOrder)
+  std::size_t gate_pairs = 2;   ///< finest level pairs the gate checks
+  double exact_tolerance = 0.0; ///< L_inf gate (kExactness)
+};
+
+struct StudyResult {
+  StudyConfig config;
+  std::vector<LevelResult> levels;
+  /// kOrder: orders[k] compares levels[k] and levels[k+1] (size n-1).
+  /// kReport: orders[k] from the functional triplet (k, k+1, k+2)
+  /// (size n-2).
+  std::vector<ObservedOrder> orders;
+  double richardson = 0.0;  ///< extrapolated functional (kReport)
+  bool passed = false;
+  std::string detail;       ///< human-readable gate outcome
+
+  /// Order table for CSV/JSON artifacts: one row per level with h, n,
+  /// norms/functional and the observed order closing at that level.
+  io::Table order_table() const;
+};
+
+/// Run one level of a study; fill everything except cost (timed by the
+/// driver).
+using LevelRunner = std::function<LevelResult(std::size_t level)>;
+
+/// Execute \p n_levels rungs and evaluate the gate. kOrder gates the L2
+/// observed order of the finest `gate_pairs` pairs (L1 and Linf are
+/// reported); kExactness gates levels[0].error.linf; kReport always
+/// passes.
+StudyResult run_convergence_study(const StudyConfig& cfg,
+                                  std::size_t n_levels,
+                                  const LevelRunner& runner);
+
+/// p = ln(e_c/e_f) / ln(h_c/h_f); 0 when degenerate.
+double observed_order(double e_coarse, double e_fine, double h_coarse,
+                      double h_fine);
+
+}  // namespace cat::verify

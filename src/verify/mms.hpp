@@ -1,0 +1,112 @@
+#pragma once
+/// \file mms.hpp
+/// Method of Manufactured Solutions: analytic fields and exact source
+/// terms for the formal order-of-accuracy verification of the solver
+/// hierarchy (src/verify).
+///
+/// A manufactured solution is a smooth closed-form field chosen first;
+/// substituting it into the governing equations leaves an analytic
+/// residual, which is injected back into the discrete solver through its
+/// SourceHook so the manufactured field becomes the exact solution of the
+/// forced problem. Discretization error is then directly measurable on
+/// any grid, and a refinement ladder yields the observed order of
+/// accuracy (the standard verification practice of modern aerothermal
+/// codes; cf. ROADMAP and the Stetson/US3D verification frameworks in
+/// PAPERS.md).
+///
+/// Everything here is hand-differentiated; test_verify cross-checks every
+/// source term against central finite differences of the analytic fluxes
+/// so a derivation slip cannot silently pass.
+
+#include <array>
+
+#include "solvers/vsl/vsl.hpp"
+
+namespace cat::verify {
+
+/// One scalar manufactured component:
+///   phi(x, y) = c0 + amp * sin(kx x + ky y + phase).
+/// Keeping (kx x + ky y + phase) inside a monotone branch of sin over the
+/// domain keeps every sweep line of the field monotone, so TVD limiters
+/// never clip at interior extrema and the second-order design of the
+/// MUSCL scheme is observable.
+struct TrigField {
+  double c0 = 0.0, amp = 0.0, kx = 0.0, ky = 0.0, phase = 0.0;
+
+  double v(double x, double y) const;
+  double dx(double x, double y) const;
+  double dy(double x, double y) const;
+  double dyy(double x, double y) const;
+};
+
+/// Manufactured primitive field for the planar finite-volume Euler /
+/// thin-layer Navier-Stokes solvers with a calorically perfect gas.
+/// rho and p share (kx, ky, phase) so the reconstructed internal energy
+/// e = p / ((gamma-1) rho) is also monotone along sweep lines.
+struct FvManufactured {
+  TrigField rho, u, v, p;
+  double gamma = 1.4;
+  double r_gas = 287.053;
+  double prandtl = 0.72;
+
+  /// Primitive state [rho, u, v, e] the solver reconstructs.
+  std::array<double, 4> primitive(double x, double y) const;
+  double temperature(double x, double y) const;
+
+  /// Exact convective fluxes (for the finite-difference self-check).
+  std::array<double, 4> convective_flux_x(double x, double y) const;
+  std::array<double, 4> convective_flux_y(double x, double y) const;
+  /// Exact thin-layer viscous flux through a +y face (Sutherland mu,
+  /// constant-Pr conduction — the solver's model, not full NS).
+  std::array<double, 4> thin_layer_flux_y(double x, double y) const;
+
+  /// Steady source density S = div F_conv  (planar Euler).
+  std::array<double, 4> euler_source(double x, double y) const;
+  /// Steady source density S = div F_conv - d/dy F_visc  (thin-layer NS).
+  std::array<double, 4> ns_source(double x, double y) const;
+};
+
+/// The catalog's standard fields. Domain [0, extent]^2; the Euler field is
+/// supersonic in +x (Dirichlet data at the outflow is never upwinded), the
+/// NS field adds a low-density state so the viscous terms carry O(10%) of
+/// the flux balance and their discretization error is observable.
+FvManufactured supersonic_euler_field();
+FvManufactured viscous_ns_field();
+/// Domain edge length matching each field's wavenumbers.
+double fv_domain_extent(const FvManufactured& f);
+
+/// Manufactured similarity profiles for the parabolic (VSL/PNS/BL)
+/// marching core with a constant-property gas and Pr = 1:
+///   F(eta) = z + a_f sin(pi z),   g(eta) = g_w + (1-g_w) z + a_g sin(pi z)
+/// with z = eta/eta_max — xi-independent, so the streamwise history terms
+/// of the march vanish on the manufactured solution and the eta-direction
+/// tridiagonal discretization order is isolated.
+struct MarchManufactured {
+  double eta_max = 8.0;
+  double a_f = 0.12;   ///< momentum perturbation amplitude
+  double a_g = 0.08;   ///< enthalpy perturbation amplitude
+  double g_w = 0.5;    ///< wall enthalpy ratio (matches T_wall cp / H_e)
+
+  double f_profile(double eta) const;      ///< F = u/ue
+  double g_profile(double eta) const;      ///< g = H/He
+  double f_stream(double eta) const;       ///< f = int_0^eta F
+  double fp(double eta) const;             ///< dF/deta
+  double gp(double eta) const;             ///< dg/deta
+  double fpp(double eta) const;            ///< d2F/deta2
+  double gpp(double eta) const;            ///< d2g/deta2
+
+  /// Sources for the marcher's equations (C = 1, Pr = 1, rho_e/rho = 1):
+  ///   F'' + f F' + beta (1 - F^2) + S_F = 0
+  ///   g'' + f g'                  + S_g = 0
+  /// beta is 0.5 at the marcher's station 0 and 0 downstream (constant
+  /// edge velocity).
+  double momentum_source(double eta, double beta) const;
+  double energy_source(double eta) const;
+};
+
+/// Constant-property PropertyProvider for the march verification: density
+/// rho_c, viscosity mu_c, Prandtl 1, h = cp T.
+solvers::PropertyProvider make_constant_props(double rho_c, double mu_c,
+                                              double cp);
+
+}  // namespace cat::verify

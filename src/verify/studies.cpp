@@ -1,0 +1,458 @@
+#include "verify/studies.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "chemistry/source.hpp"
+#include "core/error.hpp"
+#include "core/gas_model.hpp"
+#include "gas/species.hpp"
+#include "grid/grid.hpp"
+#include "numerics/ode.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "solvers/euler/euler.hpp"
+#include "solvers/relax1d/relax1d.hpp"
+#include "verify/mms.hpp"
+
+namespace cat::verify {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Finite-volume MMS ladders (Euler / thin-layer NS).
+// ---------------------------------------------------------------------------
+
+grid::StructuredGrid uniform_cartesian(std::size_t n, double extent) {
+  grid::StructuredGrid g(n, n);
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (std::size_t j = 0; j <= n; ++j) {
+      g.xn(i, j) = extent * static_cast<double>(i) / static_cast<double>(n);
+      g.rn(i, j) = extent * static_cast<double>(j) / static_cast<double>(n);
+    }
+  }
+  g.compute_metrics(/*axisymmetric=*/false);
+  return g;
+}
+
+LevelResult run_fv_level(const FvManufactured& field, bool viscous,
+                         numerics::Limiter limiter, std::size_t n) {
+  const double extent = fv_domain_extent(field);
+  const grid::StructuredGrid g = uniform_cartesian(n, extent);
+  auto gas = std::make_shared<core::IdealGasModel>(
+      gas::IdealGas(field.gamma, field.r_gas));
+
+  solvers::FvOptions opt;
+  opt.cfl = 0.4;
+  opt.max_iter = 60000;
+  opt.residual_tol = 1e-11;
+  opt.limiter = limiter;
+  opt.muscl = limiter != numerics::Limiter::kNone;
+  opt.startup_iters = 300;
+  opt.viscous = viscous;
+  opt.prandtl = field.prandtl;
+  opt.dirichlet = [&field](double x, double r) {
+    return field.primitive(x, r);
+  };
+  opt.source = [&field, viscous](double x, double r) {
+    return viscous ? field.ns_source(x, r) : field.euler_source(x, r);
+  };
+
+  solvers::EulerSolver solver(g, gas, opt);
+  const double mid = 0.5 * extent;
+  solver.initialize({field.rho.v(mid, mid), field.u.v(mid, mid),
+                     field.v.v(mid, mid), field.p.v(mid, mid)});
+  solver.solve();
+
+  NormAccumulator acc;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double exact =
+          field.primitive(g.xc(i, j), g.rc(i, j))[0];
+      acc.add((solver.primitive(i, j)[0] - exact) / field.rho.c0,
+              g.volume(i, j));
+    }
+  }
+  LevelResult lr;
+  lr.h = extent / static_cast<double>(n);
+  lr.n = n;
+  lr.error = acc.finalize();
+  lr.functional = solver.residual();
+  return lr;
+}
+
+// ---------------------------------------------------------------------------
+// Parabolic-march (BL tridiagonal) MMS ladder.
+// ---------------------------------------------------------------------------
+
+struct MarchSetup {
+  MarchManufactured m{};
+  double cp = 1000.0;
+  double h_total = 1.2e6;
+  double rho_c = 0.05;
+  double mu_c = 2.0e-4;
+  double ue = 200.0;
+  double r_body = 0.5;
+  double s0 = 1.0;
+  std::size_t n_stations = 4;
+
+  double t_wall() const { return m.g_w * h_total / cp; }
+  std::vector<solvers::MarchEdge> edges() const {
+    std::vector<solvers::MarchEdge> e(n_stations);
+    for (std::size_t i = 0; i < n_stations; ++i) {
+      e[i].s = s0 + static_cast<double>(i);
+      e[i].r = r_body;
+      e[i].p_e = 1000.0;
+      e[i].ue = ue;
+      e[i].h_e = h_total - 0.5 * ue * ue;
+      e[i].rho_e = rho_c;
+      e[i].mu_e = mu_c;
+      e[i].t_e = e[i].h_e / cp;
+      e[i].vigneron_omega = 1.0;
+    }
+    return e;
+  }
+  /// The marcher's own xi quadrature is exact here (constant integrand):
+  /// xi(s_last) for the q_w reference value.
+  double xi_last() const {
+    const double f0 = rho_c * mu_c * ue * r_body * r_body;
+    return 0.25 * f0 * s0 +
+           f0 * static_cast<double>(n_stations - 1);
+  }
+  double q_wall_exact() const {
+    const double metric =
+        ue * r_body / std::sqrt(2.0 * xi_last());
+    return m.gp(0.0) * h_total * metric * rho_c * mu_c;
+  }
+};
+
+LevelResult run_march_level(std::size_t n_eta) {
+  MarchSetup su;
+  const double d_eta = su.m.eta_max / static_cast<double>(n_eta - 1);
+
+  solvers::MarchOptions opt;
+  opt.wall_temperature = su.t_wall();
+  opt.n_eta = n_eta;
+  opt.eta_max = su.m.eta_max;
+  opt.n_table = 12;
+  opt.picard_iters = 400;
+  const double s0 = su.s0;
+  opt.momentum_source = [m = su.m, s0](double s, double eta) {
+    // The marching core pins beta = 0.5 at its first station (axisymmetric
+    // stagnation value); downstream beta = 0 for the constant edge state.
+    return m.momentum_source(eta, s == s0 ? 0.5 : 0.0);
+  };
+  opt.energy_source = [m = su.m](double /*s*/, double eta) {
+    return m.energy_source(eta);
+  };
+  std::vector<double> f_last, g_last;
+  opt.profile_observer = [&](std::size_t /*station*/, double /*s*/,
+                             std::span<const double> f,
+                             std::span<const double> g) {
+    f_last.assign(f.begin(), f.end());
+    g_last.assign(g.begin(), g.end());
+  };
+
+  solvers::ParabolicMarcher marcher(
+      make_constant_props(su.rho_c, su.mu_c, su.cp), opt);
+  const auto out = marcher.march(su.edges(), su.h_total);
+  CAT_REQUIRE(f_last.size() == n_eta, "profile observer missed the march");
+
+  NormAccumulator acc;
+  for (std::size_t j = 0; j < n_eta; ++j) {
+    const double eta = static_cast<double>(j) * d_eta;
+    acc.add(f_last[j] - su.m.f_profile(eta), d_eta);
+    acc.add(g_last[j] - su.m.g_profile(eta), d_eta);
+  }
+  LevelResult lr;
+  lr.h = d_eta;
+  lr.n = n_eta;
+  lr.error = acc.finalize();
+  // Wall-heating error rides along: q_w uses the one-sided wall gradient,
+  // which must keep up with the interior order (it did not, before the
+  // second-order gradient fix in the marching core).
+  lr.functional = std::fabs(out.back().q_w - su.q_wall_exact());
+  return lr;
+}
+
+// ---------------------------------------------------------------------------
+// Reactor-path temporal MMS (frozen two-species mechanism).
+// ---------------------------------------------------------------------------
+
+chemistry::Mechanism frozen_n2_mechanism() {
+  const auto& db = gas::SpeciesDatabase::instance();
+  gas::SpeciesSet set;
+  set.db_index = {db.index("N2"), db.index("N")};
+  set.names = {"N2", "N"};
+  return chemistry::Mechanism(std::move(set), {});
+}
+
+LevelResult run_reactor_level(std::size_t nsteps) {
+  static const chemistry::Mechanism mech = frozen_n2_mechanism();
+  chemistry::IsochoricReactor reactor(mech);
+
+  const double t_final = 1.0e-3;
+  const double omega = 3000.0;
+  const double amp = 0.1;
+  const double t0 = 3000.0;
+  auto y0_exact = [&](double t) { return 0.75 - amp * std::sin(omega * t); };
+
+  reactor.set_source_hook([&](double t, std::span<const double> /*u*/,
+                              std::span<double> du) {
+    const double rate = amp * omega * std::cos(omega * t);
+    du[0] -= rate;
+    du[1] += rate;
+    // du[2] (temperature) untouched: the frozen mechanism contributes
+    // nothing, so T stays at t0 exactly along the manufactured solution.
+  });
+  numerics::StiffOptions sopt;
+  sopt.rel_tol = 1e-9;
+  sopt.abs_tol = 1e-12;
+  sopt.fixed_step = t_final / static_cast<double>(nsteps);
+  sopt.max_newton = 20;
+  sopt.use_bdf2 = true;
+  reactor.set_stiff_options(sopt);
+
+  chemistry::IsochoricReactor::State st{{y0_exact(0.0), 1.0 - y0_exact(0.0)},
+                                        t0};
+  reactor.advance_coupled(st, /*rho=*/0.01, t_final);
+
+  NormAccumulator acc;
+  acc.add(st.y[0] - y0_exact(t_final));
+  acc.add(st.y[1] - (1.0 - y0_exact(t_final)));
+  acc.add((st.t - t0) / t0);
+  LevelResult lr;
+  lr.h = sopt.fixed_step;
+  lr.n = nsteps;
+  lr.error = acc.finalize();
+  return lr;
+}
+
+// ---------------------------------------------------------------------------
+// Stiff integrator, forced backward Euler: design order 1.
+// ---------------------------------------------------------------------------
+
+LevelResult run_backward_euler_level(std::size_t nsteps) {
+  auto g = [](double t) { return 1.0 + 0.3 * std::sin(3.0 * t); };
+  auto gp = [](double t) { return 0.9 * std::cos(3.0 * t); };
+  numerics::OdeRhs rhs = [&](double t, std::span<const double> y,
+                             std::span<double> dy) {
+    dy[0] = -4.0 * (y[0] - g(t)) + gp(t);
+  };
+  numerics::StiffOptions sopt;
+  sopt.rel_tol = 1e-10;
+  sopt.abs_tol = 1e-13;
+  sopt.fixed_step = 1.0 / static_cast<double>(nsteps);
+  sopt.use_bdf2 = false;
+  numerics::StiffIntegrator integ(rhs, nullptr, sopt);
+  std::vector<double> y{g(0.0)};
+  integ.integrate(0.0, 1.0, y);
+
+  LevelResult lr;
+  lr.h = sopt.fixed_step;
+  lr.n = nsteps;
+  NormAccumulator acc;
+  acc.add(y[0] - g(1.0));
+  lr.error = acc.finalize();
+  return lr;
+}
+
+// ---------------------------------------------------------------------------
+// relax1d marching pipeline exactness (frozen mechanism + injected source).
+// ---------------------------------------------------------------------------
+
+LevelResult run_relax1d_exactness() {
+  static const chemistry::Mechanism mech = frozen_n2_mechanism();
+  const double amp = 0.05, len = 2.0e-3;
+  auto y_n2 = [&](double x) {
+    return 1.0 - amp * (1.0 - std::exp(-x / len));
+  };
+
+  solvers::Relax1dOptions opt;
+  opt.x_max = 0.01;
+  opt.n_samples = 60;
+  opt.x_first = 1e-5;
+  opt.two_temperature = false;
+  opt.source = [&](double x, std::span<const double> /*u*/,
+                   std::span<double> du) {
+    const double rate = (amp / len) * std::exp(-x / len);
+    du[0] -= rate;  // N2 consumed ...
+    du[1] += rate;  // ... into N, sum preserved
+  };
+  const solvers::PostShockRelaxation relax(mech, opt);
+  const solvers::ShockTubeFreestream fs{50.0, 300.0, 4000.0};
+  const std::vector<double> y1{1.0, 0.0};
+  const auto prof = relax.solve(fs, y1);
+
+  NormAccumulator acc;
+  for (std::size_t k = 0; k < prof.size(); ++k) {
+    acc.add(prof.y[0][k] - y_n2(prof.x[k]));
+    acc.add(prof.y[1][k] - (1.0 - y_n2(prof.x[k])));
+  }
+  LevelResult lr;
+  lr.h = opt.x_max / static_cast<double>(opt.n_samples);
+  lr.n = opt.n_samples;
+  lr.error = acc.finalize();
+  return lr;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-layer solution verification: VSL heating vs station count.
+// ---------------------------------------------------------------------------
+
+LevelResult run_vsl_station_level(std::size_t n_stations) {
+  const scenario::Case* base = scenario::find_scenario("sphere_cone_vsl");
+  CAT_REQUIRE(base != nullptr, "registry lost sphere_cone_vsl");
+  scenario::Case c = *base;
+  c.fidelity = scenario::Fidelity::kSmoke;
+  c.n_stations = n_stations;
+  const auto result = scenario::run_case(c);
+
+  LevelResult lr;
+  lr.h = 1.0 / static_cast<double>(n_stations);
+  lr.n = n_stations;
+  lr.functional = result.metric("aft_q_w");
+  return lr;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog.
+// ---------------------------------------------------------------------------
+
+struct StudyEntry {
+  StudyConfig cfg;
+  std::size_t default_levels;
+  std::size_t max_levels;
+  LevelRunner runner;
+};
+
+std::vector<StudyEntry> make_entries() {
+  std::vector<StudyEntry> entries;
+
+  entries.push_back(
+      {{"fv_euler_mms",
+        "FV Euler interior: MUSCL/van Leer + HLLE on a manufactured "
+        "supersonic field",
+        "density error vs exact", StudyKind::kOrder, 2.0, 0.25, 2, 0.0},
+       3,
+       5,
+       [](std::size_t level) {
+         return run_fv_level(supersonic_euler_field(), false,
+                             numerics::Limiter::kVanLeer, 8u << level);
+       }});
+
+  entries.push_back(
+      {{"fv_euler_first_order",
+        "FV Euler, first-order reconstruction (limiter kNone clips to "
+        "piecewise-constant)",
+        "density error vs exact", StudyKind::kOrder, 1.0, 0.25, 2, 0.0},
+       3,
+       5,
+       [](std::size_t level) {
+         return run_fv_level(supersonic_euler_field(), false,
+                             numerics::Limiter::kNone, 8u << level);
+       }});
+
+  entries.push_back(
+      {{"fv_ns_mms",
+        "FV Navier-Stokes: thin-layer viscous fluxes at Reynolds ~20 on a "
+        "manufactured field",
+        "density error vs exact", StudyKind::kOrder, 2.0, 0.25, 2, 0.0},
+       3,
+       5,
+       [](std::size_t level) {
+         return run_fv_level(viscous_ns_field(), true,
+                             numerics::Limiter::kVanLeer, 8u << level);
+       }});
+
+  entries.push_back(
+      {{"bl_march_mms",
+        "Parabolic BL/VSL march: implicit tridiagonal eta sweeps on "
+        "manufactured similarity profiles",
+        "F/g profile error at the last station", StudyKind::kOrder, 2.0,
+        0.25, 2, 0.0},
+       3,
+       5,
+       [](std::size_t level) {
+         return run_march_level((40u << level) + 1u);
+       }});
+
+  entries.push_back(
+      {{"reactor_time_order",
+        "Reactor path (frozen 2-species N2/N): BDF2 temporal order through "
+        "IsochoricReactor + SourceHook",
+        "state error at t_final", StudyKind::kOrder, 2.0, 0.25, 2, 0.0},
+       4,
+       6,
+       [](std::size_t level) { return run_reactor_level(64u << level); }});
+
+  entries.push_back(
+      {{"stiff_backward_euler",
+        "StiffIntegrator, forced backward Euler steps: temporal design "
+        "order 1",
+        "state error at t = 1", StudyKind::kOrder, 1.0, 0.25, 2, 0.0},
+       4,
+       6,
+       [](std::size_t level) {
+         return run_backward_euler_level(20u << level);
+       }});
+
+  entries.push_back(
+      {{"relax1d_mms",
+        "relax1d marching/recovery pipeline: frozen mechanism + injected "
+        "source reproduces the manufactured profile",
+        "species profile deviation", StudyKind::kExactness, 0.0, 0.0, 0,
+        1e-5},
+       1,
+       1,
+       [](std::size_t) { return run_relax1d_exactness(); }});
+
+  entries.push_back(
+      {{"vsl_station_ladder",
+        "Scenario layer: sphere_cone_vsl aft heating vs marching-station "
+        "count (solution verification, Richardson)",
+        "aft_q_w [W/m^2]", StudyKind::kReport, 1.0, 0.0, 0, 0.0},
+       3,
+       4,
+       [](std::size_t level) {
+         return run_vsl_station_level(8u << level);
+       }});
+
+  return entries;
+}
+
+const std::vector<StudyEntry>& entries() {
+  static const std::vector<StudyEntry> e = make_entries();
+  return e;
+}
+
+}  // namespace
+
+std::vector<StudyConfig> study_catalog() {
+  std::vector<StudyConfig> out;
+  for (const auto& e : entries()) out.push_back(e.cfg);
+  return out;
+}
+
+StudyResult run_study(std::string_view name, const StudyOptions& opt) {
+  for (const auto& e : entries()) {
+    if (e.cfg.name != name) continue;
+    std::size_t levels = opt.levels > 0 ? opt.levels : e.default_levels;
+    levels = std::min(levels, e.max_levels);
+    if (e.cfg.kind == StudyKind::kOrder)
+      levels = std::max(levels, e.cfg.gate_pairs + 1);
+    if (e.cfg.kind == StudyKind::kReport)
+      levels = std::max<std::size_t>(levels, 3);
+    return run_convergence_study(e.cfg, levels, e.runner);
+  }
+  throw std::invalid_argument("unknown verification study: " +
+                              std::string(name));
+}
+
+std::vector<StudyResult> run_all_studies(const StudyOptions& opt) {
+  std::vector<StudyResult> out;
+  for (const auto& e : entries()) out.push_back(run_study(e.cfg.name, opt));
+  return out;
+}
+
+}  // namespace cat::verify

@@ -1,0 +1,36 @@
+#pragma once
+/// \file studies.hpp
+/// The named verification catalog: each study wires a manufactured
+/// solution (mms.hpp) through a solver's SourceHook, runs a refinement
+/// ladder via the ConvergenceStudy driver (convergence.hpp) and gates the
+/// observed order of accuracy against the discretization's design order.
+///
+/// These studies are the repo's permanent correctness gate: ctest runs
+/// them (tests/test_verify.cpp), the cat_verify CLI emits their order
+/// tables as CSV/JSON artifacts, and CI re-checks the JSON with
+/// scripts/check_orders.py — a solver refactor that silently degrades an
+/// interior scheme from second to first order fails all three.
+
+#include <string_view>
+#include <vector>
+
+#include "verify/convergence.hpp"
+
+namespace cat::verify {
+
+struct StudyOptions {
+  /// Ladder length override; 0 keeps the study's default. Extra levels
+  /// refine further (each study doubles resolution per level).
+  std::size_t levels = 0;
+};
+
+/// Every registered study (name/title/kind/design order, no results).
+std::vector<StudyConfig> study_catalog();
+
+/// Run one study by name; throws std::invalid_argument for unknown names.
+StudyResult run_study(std::string_view name, const StudyOptions& opt = {});
+
+/// Run the whole catalog in registration order.
+std::vector<StudyResult> run_all_studies(const StudyOptions& opt = {});
+
+}  // namespace cat::verify

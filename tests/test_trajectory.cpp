@@ -1,0 +1,171 @@
+// Trajectory-module suite: entry-state propagation, flight-domain
+// sampling and sweep monotonicity — the only solver input path that had
+// no dedicated tests (every heating pulse and flight-domain figure feeds
+// from here).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scenario/scenario.hpp"
+#include "trajectory/trajectory.hpp"
+
+using namespace cat;
+using scenario::Planet;
+
+namespace {
+
+trajectory::TrajectoryOptions fast_options() {
+  trajectory::TrajectoryOptions opt;
+  opt.dt_sample = 2.0;
+  opt.t_max = 3000.0;
+  opt.end_velocity = 250.0;
+  return opt;
+}
+
+std::vector<trajectory::TrajectoryPoint> integrate_earth(
+    const trajectory::Vehicle& v, const trajectory::EntryState& e,
+    const trajectory::TrajectoryOptions& opt) {
+  const auto planet = scenario::make_planet(Planet::kEarth);
+  return trajectory::integrate_entry(v, e, *planet.atmosphere,
+                                     planet.radius, planet.g0, opt);
+}
+
+TEST(trajectory, ballistic_coefficient_definition) {
+  const trajectory::Vehicle probe = trajectory::galileo_class_probe();
+  EXPECT_NEAR(probe.ballistic_coefficient(),
+              probe.mass / (probe.cd * probe.reference_area), 1e-12);
+  EXPECT_GT(probe.ballistic_coefficient(), 100.0);  // blunt high-beta probe
+}
+
+TEST(trajectory, reference_vehicles_are_physical) {
+  for (const auto& v :
+       {trajectory::shuttle_orbiter(), trajectory::aotv(), trajectory::tav(),
+        trajectory::galileo_class_probe(), trajectory::titan_probe()}) {
+    EXPECT_GT(v.mass, 0.0) << v.name;
+    EXPECT_GT(v.reference_area, 0.0) << v.name;
+    EXPECT_GT(v.cd, 0.0) << v.name;
+    EXPECT_GE(v.lift_to_drag, 0.0) << v.name;
+    EXPECT_GT(v.nose_radius, 0.0) << v.name;
+  }
+  // Ballistic probes carry no lift; the lifting vehicles do.
+  EXPECT_EQ(trajectory::galileo_class_probe().lift_to_drag, 0.0);
+  EXPECT_GT(trajectory::shuttle_orbiter().lift_to_drag, 1.0);
+}
+
+TEST(trajectory, entry_state_propagation_invariants) {
+  const trajectory::Vehicle probe = trajectory::galileo_class_probe();
+  const trajectory::EntryState entry{7400.0, -15.0 * M_PI / 180.0, 120e3};
+  const auto traj = integrate_earth(probe, entry, fast_options());
+  ASSERT_GE(traj.size(), 10u);
+
+  // Initial sample is the entry interface state.
+  EXPECT_NEAR(traj.front().velocity, entry.velocity, 1e-9);
+  EXPECT_NEAR(traj.front().altitude, entry.altitude, 1e-9);
+  EXPECT_NEAR(traj.front().range, 0.0, 1e-12);
+  EXPECT_NEAR(traj.front().time, 0.0, 1e-12);
+
+  const auto& last = traj.back();
+  EXPECT_LT(last.velocity, entry.velocity);
+  EXPECT_LT(last.altitude, entry.altitude);
+
+  double e_prev = 0.0;
+  for (std::size_t k = 0; k < traj.size(); ++k) {
+    const auto& p = traj[k];
+    // Sampling cadence and monotone time/range.
+    if (k > 0) {
+      EXPECT_NEAR(p.time - traj[k - 1].time, 2.0, 1e-9);
+      EXPECT_GT(p.range, traj[k - 1].range);
+      EXPECT_LT(p.altitude, traj[k - 1].altitude);  // steep ballistic descent
+    }
+    // Freestream samples are consistent: q_dyn and Mach recomputable.
+    EXPECT_NEAR(p.q_dyn, 0.5 * p.density * p.velocity * p.velocity,
+                1e-9 * std::max(p.q_dyn, 1.0));
+    EXPECT_GT(p.mach, 0.0);
+    EXPECT_GT(p.reynolds, 0.0);
+    // Drag only dissipates: specific mechanical energy must not grow.
+    const double energy = 0.5 * p.velocity * p.velocity + 9.80665 * p.altitude;
+    if (k > 0) {
+      EXPECT_LT(energy, e_prev + 1e-6 * e_prev);
+    }
+    e_prev = energy;
+  }
+}
+
+TEST(trajectory, termination_honors_end_velocity) {
+  const trajectory::Vehicle probe = trajectory::galileo_class_probe();
+  trajectory::TrajectoryOptions opt = fast_options();
+  opt.end_velocity = 1000.0;
+  const auto traj = integrate_earth(
+      probe, {7400.0, -20.0 * M_PI / 180.0, 120e3}, opt);
+  // Stops at the first sample below the threshold (and not before).
+  EXPECT_LT(traj.back().velocity, 1000.0);
+  for (std::size_t k = 0; k + 1 < traj.size(); ++k)
+    EXPECT_GE(traj[k].velocity, 1000.0);
+}
+
+TEST(trajectory, flight_domain_mirrors_trajectory_samples) {
+  const trajectory::Vehicle tav = trajectory::tav();
+  const auto traj = integrate_earth(
+      tav, {6800.0, -2.0 * M_PI / 180.0, 100e3}, fast_options());
+  const auto domain = trajectory::flight_domain(traj);
+  ASSERT_EQ(domain.size(), traj.size());
+  for (std::size_t k = 0; k < domain.size(); ++k) {
+    EXPECT_EQ(domain[k].mach, traj[k].mach);
+    EXPECT_EQ(domain[k].reynolds, traj[k].reynolds);
+    EXPECT_EQ(domain[k].altitude, traj[k].altitude);
+    EXPECT_EQ(domain[k].velocity, traj[k].velocity);
+  }
+}
+
+TEST(trajectory, steeper_entries_are_shorter_and_harsher) {
+  // Sweep monotonicity over the entry flight-path angle: steeper entries
+  // must reach the end condition sooner and see a higher peak dynamic
+  // pressure — the physical ordering behind entry_angle_sweep scenarios.
+  const trajectory::Vehicle probe = trajectory::galileo_class_probe();
+  double prev_duration = 1e30, prev_peak_q = 0.0;
+  for (const double gamma_deg : {-8.0, -16.0, -28.0}) {
+    const auto traj = integrate_earth(
+        probe, {7400.0, gamma_deg * M_PI / 180.0, 120e3}, fast_options());
+    double peak_q = 0.0;
+    for (const auto& p : traj) peak_q = std::max(peak_q, p.q_dyn);
+    EXPECT_LT(traj.back().time, prev_duration) << gamma_deg;
+    EXPECT_GT(peak_q, prev_peak_q) << gamma_deg;
+    prev_duration = traj.back().time;
+    prev_peak_q = peak_q;
+  }
+}
+
+TEST(trajectory, lift_modulation_changes_the_trajectory) {
+  const trajectory::Vehicle shuttle = trajectory::shuttle_orbiter();
+  const trajectory::EntryState entry{7500.0, -1.5 * M_PI / 180.0, 100e3};
+  trajectory::TrajectoryOptions opt = fast_options();
+  opt.t_max = 1500.0;
+  const auto lifting = integrate_earth(shuttle, entry, opt);
+  opt.lift_modulation = [](double) { return 0.0; };  // fly it ballistic
+  const auto ballistic = integrate_earth(shuttle, entry, opt);
+  ASSERT_GE(lifting.size(), 5u);
+  ASSERT_GE(ballistic.size(), 5u);
+  // Killing lift must cost downrange over the same flight window.
+  const double t_cmp = std::min(lifting.back().time, ballistic.back().time);
+  auto range_at = [&](const std::vector<trajectory::TrajectoryPoint>& tr) {
+    for (const auto& p : tr)
+      if (p.time >= t_cmp) return p.range;
+    return tr.back().range;
+  };
+  EXPECT_GT(range_at(lifting), range_at(ballistic));
+}
+
+TEST(trajectory, titan_entry_uses_titan_atmosphere) {
+  // Cross-planet sampling: the same probe at the same speed sees a very
+  // different density profile on Titan (thick, cold, extended atmosphere).
+  const auto earth = scenario::make_planet(Planet::kEarth);
+  const auto titan = scenario::make_planet(Planet::kTitan);
+  const auto e_state = earth.atmosphere->at(120e3);
+  const auto t_state = titan.atmosphere->at(120e3);
+  EXPECT_GT(t_state.density, e_state.density);
+  EXPECT_LT(t_state.temperature, e_state.temperature);
+  EXPECT_LT(titan.g0, 0.5 * earth.g0);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// cat_verify — the verification CLI: run Method-of-Manufactured-Solutions
+// and grid-convergence studies across the solver hierarchy, print the
+// order tables, and leave machine-readable CSV/JSON artifacts for the CI
+// order gate (scripts/check_orders.py).
+//
+//   cat_verify --list
+//   cat_verify fv_euler_mms --levels 4
+//   cat_verify --all --csv out/ --json out/
+//
+// Exit code 0 when every study passes its gate, 1 on usage errors or an
+// unknown study, 2 when any study fails.
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "verify/studies.hpp"
+
+using namespace cat;
+
+namespace {
+
+const char* kind_name(verify::StudyKind k) {
+  switch (k) {
+    case verify::StudyKind::kOrder:     return "order";
+    case verify::StudyKind::kExactness: return "exact";
+    case verify::StudyKind::kReport:    return "report";
+  }
+  return "?";
+}
+
+void print_usage() {
+  std::printf(
+      "usage: cat_verify --list\n"
+      "       cat_verify <study> [options]\n"
+      "       cat_verify --all [options]\n"
+      "options:\n"
+      "  --levels N          refinement-ladder length override\n"
+      "  --csv DIR           write <study>.csv order tables into DIR\n"
+      "  --json DIR          write verify_orders.json + per-study JSON\n"
+      "  --quiet             verdict lines only, no tables\n");
+}
+
+void print_list() {
+  std::printf("%-24s %-7s %-6s  %s\n", "name", "kind", "design", "title");
+  for (const auto& c : verify::study_catalog())
+    std::printf("%-24s %-7s %-6.2f  %s\n", c.name.c_str(),
+                kind_name(c.kind), c.design_order, c.title.c_str());
+}
+
+void print_result(const verify::StudyResult& r, bool quiet) {
+  if (!quiet) r.order_table().print();
+  std::printf("[%s] %s: %s -> %s\n", kind_name(r.config.kind),
+              r.config.name.c_str(), r.detail.c_str(),
+              r.passed ? "PASS" : "FAIL");
+}
+
+/// One summary object the CI gate consumes: per study the design order,
+/// tolerance, pass flag and the observed L2 orders of every level pair.
+std::string summary_json(const std::vector<verify::StudyResult>& results) {
+  std::string text = "{\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    text += "  \"" + r.config.name + "\": {";
+    text += "\"kind\": \"" + std::string(kind_name(r.config.kind)) + "\", ";
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "\"design_order\": %g, ", r.config.design_order);
+    text += buf;
+    std::snprintf(buf, sizeof buf, "\"tolerance\": %g, ", r.config.tolerance);
+    text += buf;
+    std::snprintf(buf, sizeof buf, "\"gate_pairs\": %zu, ",
+                  r.config.gate_pairs);
+    text += buf;
+    text += std::string("\"passed\": ") + (r.passed ? "true" : "false");
+    text += ", \"observed_l2\": [";
+    for (std::size_t k = 0; k < r.orders.size(); ++k) {
+      std::snprintf(buf, sizeof buf, "%s%.6g", k > 0 ? ", " : "",
+                    r.orders[k].l2);
+      text += buf;
+    }
+    text += "], \"error_linf\": [";
+    for (std::size_t k = 0; k < r.levels.size(); ++k) {
+      std::snprintf(buf, sizeof buf, "%s%.6g", k > 0 ? ", " : "",
+                    r.levels[k].error.linf);
+      text += buf;
+    }
+    text += "]}";
+    text += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  text += "}\n";
+  return text;
+}
+
+void write_artifacts(const std::vector<verify::StudyResult>& results,
+                     const std::string& csv_dir,
+                     const std::string& json_dir) {
+  for (const auto& r : results) {
+    if (!csv_dir.empty())
+      io::write_csv(r.order_table(),
+                    csv_dir + "/" + r.config.name + ".csv");
+    if (!json_dir.empty())
+      io::write_json(io::to_json(r.order_table()),
+                     json_dir + "/" + r.config.name + ".json");
+  }
+  if (!json_dir.empty())
+    io::write_json(summary_json(results), json_dir + "/verify_orders.json");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+
+  std::string target, csv_dir, json_dir;
+  verify::StudyOptions sopt;
+  bool all = false, quiet = false, list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto matches = [&](const char* flag) {
+      const std::size_t n = std::strlen(flag);
+      return arg == flag ||
+             (arg.size() > n && arg.compare(0, n, flag) == 0 &&
+              arg[n] == '=');
+    };
+    auto value = [&](const char* flag) -> std::string {
+      const std::size_t n = std::strlen(flag);
+      if (arg.size() > n && arg[n] == '=') return arg.substr(n + 1);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (matches("--levels")) {
+      const std::string v = value("--levels");
+      try {
+        std::size_t pos = 0;
+        sopt.levels = static_cast<std::size_t>(std::stoul(v, &pos));
+        if (pos != v.size() || sopt.levels == 0 || sopt.levels > 16)
+          throw std::invalid_argument(v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "error: --levels needs an integer in [1, 16], "
+                             "got '%s'\n", v.c_str());
+        return 1;
+      }
+    } else if (matches("--csv")) {
+      csv_dir = value("--csv");
+    } else if (matches("--json")) {
+      json_dir = value("--json");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 1;
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one study named\n");
+      return 1;
+    }
+  }
+
+  if (list) {
+    print_list();
+    return 0;
+  }
+  if (!all && target.empty()) {
+    print_usage();
+    return 1;
+  }
+
+  int rc = 0;
+  try {
+    std::vector<verify::StudyResult> results;
+    if (all) {
+      results = verify::run_all_studies(sopt);
+    } else {
+      results.push_back(verify::run_study(target, sopt));
+    }
+    for (const auto& r : results) {
+      print_result(r, quiet);
+      if (!r.passed) rc = 2;
+    }
+    write_artifacts(results, csv_dir, json_dir);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 1;
+  }
+  return rc;
+}
