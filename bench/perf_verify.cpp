@@ -31,6 +31,19 @@ void bl_march_ladder(benchmark::State& state) {
   study_ladder(state, "bl_march_mms", 3);
 }
 
+void march_dxi_ladder(benchmark::State& state) {
+  // Streamwise Δξ refinement ladder for the VSL/PNS marching core (the
+  // BDF2 history-term gate added in PR 5) — the full 4-level ladder CI
+  // runs, so the new correctness gate's cost is pinned like the others.
+  study_ladder(state, "march_dxi_mms", 4);
+}
+
+void fv_curvilinear_ladder(benchmark::State& state) {
+  // Curvilinear-grid Euler MMS (skewed metrics), truncated to 3 levels:
+  // pins the incremental cost of the distorted-grid studies.
+  study_ladder(state, "fv_euler_curvilinear", 3);
+}
+
 void reactor_time_ladder(benchmark::State& state) {
   study_ladder(state, "reactor_time_order", 4);
 }
@@ -43,5 +56,7 @@ void relax1d_exactness(benchmark::State& state) {
 
 BENCHMARK(euler_mms_ladder)->Unit(benchmark::kMillisecond);
 BENCHMARK(bl_march_ladder)->Unit(benchmark::kMillisecond);
+BENCHMARK(march_dxi_ladder)->Unit(benchmark::kMillisecond);
+BENCHMARK(fv_curvilinear_ladder)->Unit(benchmark::kMillisecond);
 BENCHMARK(reactor_time_ladder)->Unit(benchmark::kMillisecond);
 BENCHMARK(relax1d_exactness)->Unit(benchmark::kMillisecond);

@@ -21,6 +21,7 @@ using detail::seconds_since;
 solvers::MarchOptions march_options(const Case& c) {
   solvers::MarchOptions mopt;
   mopt.wall_temperature = c.wall_temperature;
+  mopt.streamwise_order = c.streamwise_order;
   if (c.fidelity == Fidelity::kSmoke) {
     mopt.n_eta = 100;
     mopt.n_table = 28;
@@ -162,12 +163,14 @@ class EulerBlRunner final : public Runner {
       }
       const auto pt = body.at(0.5 * (slo + shi));
       const double sth = std::sin(std::max(pt.theta, 0.02));
-      stations.push_back({pt.s, std::max(pt.r, 1e-4),
-                          sc.p_inf + cp_max * q_dyn * sth * sth});
+      stations.push_back(
+          {pt.s, solvers::metric_radius(pt.r, pt.s, body.nose_radius()),
+           sc.p_inf + cp_max * q_dyn * sth * sth});
       x_over_l.push_back(xl);
     }
     solvers::BlOptions bopt;
     bopt.wall_temperature = c.wall_temperature;
+    bopt.streamwise_order = c.streamwise_order;
     if (c.fidelity == Fidelity::kSmoke) {
       bopt.n_eta = 120;
       bopt.n_table = 28;

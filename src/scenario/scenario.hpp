@@ -84,6 +84,11 @@ struct Case {
   double cone_half_angle = 0.7853981633974483;  ///< [rad] VSL sphere-cone
   double body_length = 0.0;             ///< [m] VSL body (0 = 4 nose radii)
   std::size_t n_stations = 16;          ///< marching families
+  /// Streamwise difference order of the marching families (VSL/PNS/E+BL):
+  /// 2 = variable-step BDF2 history terms (design order 2 in dxi),
+  /// 1 = the legacy backward-Euler march (kept for the forced-first-order
+  /// verification ladder and for A/B comparisons).
+  std::size_t streamwise_order = 2;
   std::size_t max_pulse_points = 36;    ///< StagnationPulse decimation
   bool viscous = true;                  ///< FiniteVolumeField: NS vs Euler
 };

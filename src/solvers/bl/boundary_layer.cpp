@@ -6,6 +6,7 @@
 
 #include "core/error.hpp"
 #include "numerics/interp.hpp"
+#include "solvers/vsl/vsl.hpp"
 #include "transport/transport.hpp"
 
 namespace cat::solvers {
@@ -14,6 +15,8 @@ BoundaryLayerSolver::BoundaryLayerSolver(const gas::EquilibriumSolver& eq,
                                          BlOptions opt)
     : eq_(eq), opt_(opt) {
   CAT_REQUIRE(opt_.n_eta >= 40, "similarity grid too small");
+  CAT_REQUIRE(opt_.streamwise_order == 1 || opt_.streamwise_order == 2,
+              "streamwise_order must be 1 (BDF1) or 2 (BDF2)");
 }
 
 BlResult BoundaryLayerSolver::solve(const std::vector<BlStation>& stations,
@@ -68,14 +71,21 @@ BlResult BoundaryLayerSolver::solve(const std::vector<BlStation>& stations,
   // ---- march stations with local-similarity solves ---------------------
   double fpp_seed = 0.7, bigG_seed = 0.5;
   for (std::size_t i = 0; i < n; ++i) {
-    // Pressure-gradient parameter beta = (2 xi / ue) (due/dxi).
+    // Pressure-gradient parameter beta = (2 xi / ue) (due/dxi). The
+    // backward difference for due/dxi is the solver's only streamwise
+    // discretization: one-point at the startup station, variable-step
+    // three-point from station 2 on (design order 2 in dxi; gated by the
+    // verify ebl_dxi_ladder study).
     double beta;
     if (i == 0) {
       beta = 0.5;  // axisymmetric stagnation value
     } else {
-      const double due = ue[i] - ue[i - 1];
-      const double dxi = std::max(xi[i] - xi[i - 1], 1e-30);
-      beta = std::clamp(2.0 * xi[i] / ue[i] * due / dxi, -0.15, 1.0);
+      const bool bdf2 = i >= 2 && opt_.streamwise_order == 2;
+      const StreamwiseCoeffs cs = streamwise_coeffs(
+          xi[i] - xi[i - 1], bdf2 ? xi[i - 1] - xi[i - 2] : 0.0, bdf2);
+      const double due_dxi = cs.c0 * ue[i] + cs.c1 * ue[i - 1] +
+                             (bdf2 ? cs.c2 * ue[i - 2] : 0.0);
+      beta = std::clamp(2.0 * xi[i] / ue[i] * due_dxi, -0.15, 1.0);
     }
 
     // Property tables vs static enthalpy at this station's pressure.

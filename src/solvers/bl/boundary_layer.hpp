@@ -41,6 +41,13 @@ struct BlOptions {
   std::size_t n_eta = 160;
   double eta_max = 8.0;
   std::size_t n_table = 40;
+  /// Order of the streamwise backward difference feeding the pressure-
+  /// gradient parameter beta = (2 xi / ue) due/dxi — the solver's only
+  /// dxi-dependent input (the stations themselves are local-similarity
+  /// solves). 2 = variable-step three-point stencil with a one-point
+  /// startup station, 1 = the legacy backward-Euler difference that kept
+  /// q_w(s) first-order accurate in dxi.
+  std::size_t streamwise_order = 2;
 };
 
 /// Equilibrium-gas local-similarity boundary-layer solver.

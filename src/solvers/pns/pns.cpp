@@ -10,24 +10,6 @@ namespace cat::solvers {
 PnsSolver::PnsSolver(const gas::EquilibriumSolver& eq, MarchOptions opt)
     : eq_(eq), opt_(opt) {}
 
-namespace {
-/// Enthalpy at which the provider reports temperature t (bisection; the
-/// provider's T(h) at fixed p is monotone).
-double enthalpy_at_temperature(const PropertyProvider& props, double p,
-                               double t) {
-  double hlo = -5e6, hhi = 5e7;
-  for (int k = 0; k < 70; ++k) {
-    const double mid = 0.5 * (hlo + hhi);
-    if (props(p, mid).t > t) {
-      hhi = mid;
-    } else {
-      hlo = mid;
-    }
-  }
-  return 0.5 * (hlo + hhi);
-}
-}  // namespace
-
 std::vector<PnsStation> PnsSolver::run(
     const geometry::OrbiterGeometry& orbiter, const MarchFreestream& fs,
     double alpha_rad, std::size_t n, const PropertyProvider& props,
@@ -35,25 +17,19 @@ std::vector<PnsStation> PnsSolver::run(
   CAT_REQUIRE(n >= 4, "need at least four stations");
   const geometry::Hyperboloid body = orbiter.equivalent_hyperboloid(alpha_rad);
 
+  // Freestream enthalpy through the validated shared bisection (the old
+  // local copy clamped out-of-bracket freestreams to +-5e6/5e7 J/kg
+  // silently).
   const double h_inf = enthalpy_at_temperature(props, fs.p, fs.t);
   const double h_total = h_inf + 0.5 * fs.velocity * fs.velocity;
   const double q_dyn = 0.5 * fs.rho * fs.velocity * fs.velocity;
 
-  // Stagnation pressure coefficient: Rayleigh-pitot evaluated through the
-  // property provider (iterate the density ratio as in the VSL front end).
-  double eps = 1.0 / 6.0;
-  for (int it = 0; it < 40; ++it) {
-    const double p2 = fs.p + fs.rho * fs.velocity * fs.velocity * (1.0 - eps);
-    const double h2 = h_inf + 0.5 * fs.velocity * fs.velocity *
-                                  (1.0 - eps * eps);
-    const double rho2 = props(p2, h2).rho;
-    const double eps_new = fs.rho / rho2;
-    if (std::fabs(eps_new - eps) < 1e-12) break;
-    eps = 0.5 * (eps + eps_new);
-  }
-  const double p_stag = fs.p + fs.rho * fs.velocity * fs.velocity *
-                                   (1.0 - eps) * (1.0 + 0.5 * eps);
-  const double cp_max = (p_stag - fs.p) / q_dyn;
+  // Stagnation pressure coefficient: Rayleigh-pitot through the property
+  // provider (shared density-ratio fixed point, as in the VSL front end).
+  const PitotSolution pitot = solve_rayleigh_pitot(
+      [&props](double p2, double h2) { return props(p2, h2).rho; }, fs,
+      h_inf);
+  const double cp_max = (pitot.p_stag - fs.p) / q_dyn;
 
   // Stations uniform in x/L (clustered near the nose with a sqrt map).
   std::vector<MarchEdge> edges;
@@ -77,7 +53,7 @@ std::vector<PnsStation> PnsSolver::run(
 
     MarchEdge e;
     e.s = s;
-    e.r = std::max(pt.r, 1e-5);
+    e.r = metric_radius(pt.r, s, body.nose_radius());
     const double sth = std::sin(std::clamp(pt.theta, 0.02, 0.5 * M_PI));
     e.p_e = fs.p + cp_max * q_dyn * sth * sth;
     e.ue = std::max(fs.velocity * std::cos(pt.theta), 30.0);

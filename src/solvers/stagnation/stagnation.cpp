@@ -8,6 +8,7 @@
 #include "gas/constants.hpp"
 #include "numerics/interp.hpp"
 #include "radiation/tangent_slab.hpp"
+#include "solvers/vsl/vsl.hpp"
 #include "transport/transport.hpp"
 
 namespace cat::solvers {
@@ -29,21 +30,19 @@ ShockLayerEdge StagnationLineSolver::shock_layer_edge(
   const double h1 = fs.h;
   const double v = c.velocity;
 
-  // Equilibrium Rankine-Hugoniot by fixed-point iteration on the density
-  // ratio eps = rho1/rho2 (strong-shock form converges from eps = 0.1).
-  double eps = 0.1;
-  gas::EquilibriumResult post = fs;
-  for (int it = 0; it < 60; ++it) {
-    const double p2 = c.p_inf + c.rho_inf * v * v * (1.0 - eps);
-    const double h2 = h1 + 0.5 * v * v * (1.0 - eps * eps);
-    post = eq_.solve_ph(p2, h2);
-    const double eps_new = c.rho_inf / post.rho;
-    if (std::fabs(eps_new - eps) < 1e-12) {
-      eps = eps_new;
-      break;
-    }
-    eps = 0.5 * (eps + eps_new);  // relax for robustness
-  }
+  // Equilibrium Rankine-Hugoniot: the shared Rayleigh-pitot density-ratio
+  // fixed point (solvers/vsl), which throws on a stalled iteration instead
+  // of exiting silently; the post-shock state is then re-evaluated once at
+  // the converged ratio. This solver keeps its own stagnation-pressure
+  // closure (p2 + recovered post-shock kinetic head) below.
+  const PitotSolution pitot = solve_rayleigh_pitot(
+      [this](double p2, double h2) { return eq_.solve_ph(p2, h2).rho; },
+      {v, c.rho_inf, c.p_inf, c.t_inf}, h1, /*eps0=*/0.1,
+      /*max_iters=*/120);
+  const double eps = pitot.eps;
+  const gas::EquilibriumResult post =
+      eq_.solve_ph(c.p_inf + c.rho_inf * v * v * (1.0 - eps),
+                   h1 + 0.5 * v * v * (1.0 - eps * eps));
 
   ShockLayerEdge e;
   e.rho2 = post.rho;

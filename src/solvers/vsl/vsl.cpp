@@ -41,9 +41,105 @@ PropertyProvider make_ideal_props(double gamma, double r_gas,
   };
 }
 
+double metric_radius(double r, double s, double rn) {
+  if (r > 0.0) return r;
+  if (s < rn) return s;
+  throw SolverError(
+      "metric_radius: generator radius " + std::to_string(r) + " at s = " +
+      std::to_string(s) + " m, aft of the nose (Rn = " + std::to_string(rn) +
+      " m) — the axisymmetric marching metric is undefined there and no "
+      "analytic limit applies");
+}
+
+StreamwiseCoeffs streamwise_coeffs(double d1, double d2, bool bdf2) {
+  d1 = std::max(d1, 1e-30);
+  if (!bdf2) return {1.0 / d1, -1.0 / d1, 0.0};
+  d2 = std::max(d2, 1e-30);
+  return {(2.0 * d1 + d2) / (d1 * (d1 + d2)), -(d1 + d2) / (d1 * d2),
+          d1 / (d2 * (d1 + d2))};
+}
+
+double enthalpy_at_temperature(const PropertyProvider& props, double p,
+                               double t) {
+  CAT_REQUIRE(props != nullptr && p > 0.0 && t > 0.0,
+              "enthalpy_at_temperature needs a provider, p > 0 and T > 0");
+  auto t_of = [&](double h) { return props(p, h).t; };
+  // Validate the default bracket and widen it geometrically when the
+  // target temperature lies outside: providers differ wildly in their
+  // h(T) scale (cold Titan freestreams vs 40 MJ/kg shock layers), and
+  // the old fixed [-5e6, 5e7] J/kg bracket silently clamped any
+  // out-of-range target to an endpoint.
+  // Widening stops at |h| = 1e10 J/kg — an order of magnitude beyond any
+  // shock-layer enthalpy this code can see (40 MJ/kg Galileo-class entries)
+  // — so a saturating/clamped provider costs ~10 extra evaluations before
+  // the throw instead of feeding table-backed props astronomically
+  // unphysical inputs.
+  constexpr double h_cap = 1e10;
+  double hlo = -5e6, hhi = 5e7;
+  while (t_of(hlo) > t) {
+    hlo *= 2.0;
+    if (std::fabs(hlo) > h_cap)  // checked before t_of sees the new value
+      throw SolverError(
+          "enthalpy_at_temperature: provider temperature never drops to " +
+          std::to_string(t) + " K (no lower bracket)");
+  }
+  while (t_of(hhi) < t) {
+    hhi *= 2.0;
+    if (hhi > h_cap)
+      throw SolverError(
+          "enthalpy_at_temperature: provider temperature never reaches " +
+          std::to_string(t) + " K (no upper bracket)");
+  }
+  for (int k = 0; k < 200; ++k) {
+    const double mid = 0.5 * (hlo + hhi);
+    if (t_of(mid) > t) {
+      hhi = mid;
+    } else {
+      hlo = mid;
+    }
+    if (hhi - hlo < 1e-10 * (std::fabs(hlo) + std::fabs(hhi) + 1.0)) break;
+  }
+  return 0.5 * (hlo + hhi);
+}
+
+PitotSolution solve_rayleigh_pitot(const DensityProvider& rho_of_ph,
+                                   const MarchFreestream& fs, double h_inf,
+                                   double eps0, int max_iters, double tol) {
+  CAT_REQUIRE(rho_of_ph != nullptr && fs.rho > 0.0 && fs.velocity > 0.0,
+              "pitot iteration needs a density provider and a freestream");
+  double eps = eps0;
+  double step = 1.0;
+  for (int it = 0; it < max_iters; ++it) {
+    const double p2 = fs.p + fs.rho * fs.velocity * fs.velocity * (1.0 - eps);
+    const double h2 =
+        h_inf + 0.5 * fs.velocity * fs.velocity * (1.0 - eps * eps);
+    const double rho2 = rho_of_ph(p2, h2);
+    if (!(rho2 > 0.0) || !std::isfinite(rho2))
+      throw SolverError("solve_rayleigh_pitot: provider density " +
+                        std::to_string(rho2) + " at p2 = " +
+                        std::to_string(p2) + " Pa");
+    const double eps_new = fs.rho / rho2;
+    step = std::fabs(eps_new - eps);
+    if (step < tol) break;
+    eps = 0.5 * (eps + eps_new);
+  }
+  if (!(step < tol))
+    throw SolverError(
+        "solve_rayleigh_pitot: density-ratio iteration stalled at step " +
+        std::to_string(step) + " after " + std::to_string(max_iters) +
+        " iterations");
+  PitotSolution out;
+  out.eps = eps;
+  out.p_stag = fs.p + fs.rho * fs.velocity * fs.velocity * (1.0 - eps) *
+                          (1.0 + 0.5 * eps);
+  return out;
+}
+
 ParabolicMarcher::ParabolicMarcher(PropertyProvider props, MarchOptions opt)
     : props_(std::move(props)), opt_(opt) {
   CAT_REQUIRE(opt_.n_eta >= 30, "eta grid too small");
+  CAT_REQUIRE(opt_.streamwise_order == 1 || opt_.streamwise_order == 2,
+              "streamwise_order must be 1 (BDF1) or 2 (BDF2)");
   CAT_REQUIRE(props_ != nullptr, "property provider required");
 }
 
@@ -72,8 +168,10 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
   }
 
   // Profiles F = u/ue and g = H/He on the eta grid; initialized with a
-  // smooth ramp and refined by the station-0 similarity solve.
-  std::vector<double> F(ne), g(ne), F_prev(ne), g_prev(ne);
+  // smooth ramp and refined by the station-0 similarity solve. Two
+  // upstream stations are retained for the BDF2 history terms.
+  std::vector<double> F(ne), g(ne), F_prev(ne), g_prev(ne), F_prev2(ne),
+      g_prev2(ne), f_prev_int(ne, 0.0), f_prev2_int(ne, 0.0);
 
   std::vector<MarchStationResult> out;
   out.reserve(n);
@@ -82,25 +180,8 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
     const MarchEdge& ed = edges[i];
 
     // Property tables vs static enthalpy at this station's pressure.
-    // Wall enthalpy by bisection on T through the provider.
-    double h_wall_state;
-    {
-      double lo = 60.0, hi = 40000.0;
-      // Provider maps (p, h) -> t monotonically; find h giving T_wall.
-      auto t_of_h = [&](double h) { return props_(ed.p_e, h).t; };
-      double hlo = -5e6, hhi = 5e7;
-      for (int k = 0; k < 70; ++k) {
-        const double mid = 0.5 * (hlo + hhi);
-        if (t_of_h(mid) > opt_.wall_temperature) {
-          hhi = mid;
-        } else {
-          hlo = mid;
-        }
-      }
-      h_wall_state = 0.5 * (hlo + hhi);
-      (void)lo;
-      (void)hi;
-    }
+    const double h_wall_state =
+        enthalpy_at_temperature(props_, ed.p_e, opt_.wall_temperature);
     const double g_w = h_wall_state / h_total;
     const double h_lo =
         std::min(h_wall_state, ed.h_e) - 0.02 * std::fabs(h_total);
@@ -123,8 +204,26 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
     const double rho_edge = rho_of_h(ed.h_e);
     const double d_kin = 0.5 * ed.ue * ed.ue / h_total;
 
+    // Streamwise-difference coefficients for d()/dxi at xi[i]: one-point
+    // backward (BDF1) at the startup station i = 1 — or everywhere when
+    // streamwise_order = 1 — and variable-step three-point BDF2 from
+    // i = 2 on, so the discrete history terms carry design order 2 in
+    // dxi. d(phi)/dxi ~ cx0 phi_i + cx1 phi_{i-1} + cx2 phi_{i-2}.
+    const bool bdf2 = i >= 2 && opt_.streamwise_order == 2;
+    double cx0 = 0.0, cx1 = 0.0, cx2 = 0.0;
+    if (i >= 1) {
+      const StreamwiseCoeffs cs = streamwise_coeffs(
+          xi[i] - xi[i - 1], bdf2 ? xi[i - 1] - xi[i - 2] : 0.0, bdf2);
+      cx0 = cs.c0;
+      cx1 = cs.c1;
+      cx2 = cs.c2;
+    }
+    const double two_xi = 2.0 * xi[i];
+
     // Pressure-gradient parameter with the Vigneron fraction applied
     // (PNS splitting: only omega of the streamwise gradient is admitted).
+    // due/dxi uses the same backward stencil as the history terms so the
+    // whole station closes at the streamwise design order.
     double beta;
     if (i == 0) {
       beta = 0.5;
@@ -134,36 +233,45 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
         g[j] = g_w + (1.0 - g_w) * std::min(1.0, 1.5 * z);
       }
     } else {
-      const double due = edges[i].ue - edges[i - 1].ue;
-      const double dxi = std::max(xi[i] - xi[i - 1], 1e-30);
-      beta = std::clamp(2.0 * xi[i] / ed.ue * due / dxi, -0.15, 1.0);
+      const double due_dxi = bdf2 ? cx0 * edges[i].ue + cx1 * edges[i - 1].ue +
+                                        cx2 * edges[i - 2].ue
+                                  : cx0 * (edges[i].ue - edges[i - 1].ue);
+      beta = std::clamp(2.0 * xi[i] / ed.ue * due_dxi, -0.15, 1.0);
       beta *= ed.vigneron_omega;
     }
-    const double two_xi_dxi =
-        i == 0 ? 0.0
-               : 2.0 * xi[i] / std::max(xi[i] - xi[i - 1], 1e-30);
 
-    F_prev = F;  // upstream station profiles (history terms)
+    F_prev2 = F_prev;  // station i-2 profiles (BDF2 history)
+    g_prev2 = g_prev;
+    F_prev = F;  // station i-1 profiles (history terms)
     g_prev = g;
 
+    // Stream functions of the history profiles (for the f_xi term);
+    // fixed during the Picard iterations, so integrate them once per
+    // station. The i-2 integral only feeds the cx2 term, so it is skipped
+    // whenever that coefficient is zero (startup stations, BDF1 marches —
+    // any stale values are multiplied by cx2 = 0).
+    for (std::size_t j = 1; j < ne; ++j) {
+      f_prev_int[j] =
+          f_prev_int[j - 1] + 0.5 * (F_prev[j] + F_prev[j - 1]) * d_eta;
+      if (bdf2)
+        f_prev2_int[j] =
+            f_prev2_int[j - 1] + 0.5 * (F_prev2[j] + F_prev2[j - 1]) * d_eta;
+    }
+
     // Picard iterations at this station.
-    std::vector<double> f_int(ne), a(ne), b(ne), c(ne), d(ne);
+    std::vector<double> f_int(ne), a(ne), b(ne), c(ne), d(ne), fx(ne, 0.0);
     for (std::size_t pic = 0; pic < opt_.picard_iters; ++pic) {
       // Stream function from F.
       f_int[0] = 0.0;
       for (std::size_t j = 1; j < ne; ++j)
         f_int[j] = f_int[j - 1] + 0.5 * (F[j] + F[j - 1]) * d_eta;
-      // Streamwise derivative of f (history term).
-      std::vector<double> fx(ne, 0.0);
+      // Streamwise derivative of f (history term): fx = xi * df/dxi,
+      // carried as the advective addition to the f coefficient below
+      // (fx stays all-zero at station 0, where there is no history).
       if (i > 0) {
-        // f at the upstream station from F_prev.
-        double acc = 0.0;
-        for (std::size_t j = 0; j < ne; ++j) {
-          if (j > 0) acc += 0.5 * (F_prev[j] + F_prev[j - 1]) * d_eta;
-          fx[j] = two_xi_dxi * (f_int[j] - acc) / 2.0;
-          // (2xi/dxi)(f - f_im)/2 == 2 xi fx / 2: carried as the advective
-          // addition to the f coefficient below (factor folded here).
-        }
+        for (std::size_t j = 0; j < ne; ++j)
+          fx[j] = xi[i] * (cx0 * f_int[j] + cx1 * f_prev_int[j] +
+                           cx2 * f_prev2_int[j]);
       }
 
       // Properties per node.
@@ -198,9 +306,13 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
         const double upwind = conv / (2.0 * d_eta);
         a[j] = Cm / (d_eta * d_eta) - upwind;
         c[j] = Cp / (d_eta * d_eta) + upwind;
+        // History term -2 xi F dF/dxi, Picard-linearized: the implicit
+        // part (cx0, on the new profile) lands in b, the known upstream
+        // stations (cx1, cx2) on the right-hand side.
         b[j] = -(Cm + Cp) / (d_eta * d_eta) - beta * F[j] -
-               two_xi_dxi * F[j];
-        d[j] = -beta * rrn[j] - two_xi_dxi * F[j] * F_prev[j];
+               two_xi * cx0 * F[j];
+        d[j] = -beta * rrn[j] +
+               two_xi * F[j] * (cx1 * F_prev[j] + cx2 * F_prev2[j]);
         if (opt_.momentum_source)
           d[j] -= opt_.momentum_source(ed.s,
                                        static_cast<double>(j) * d_eta);
@@ -229,7 +341,7 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
         const double upwind = conv / (2.0 * d_eta);
         a[j] = Km / (d_eta * d_eta) - upwind;
         c[j] = Kp / (d_eta * d_eta) + upwind;
-        b[j] = -(Km + Kp) / (d_eta * d_eta) - two_xi_dxi * F[j];
+        b[j] = -(Km + Kp) / (d_eta * d_eta) - two_xi * cx0 * F[j];
         // Viscous dissipation transport (Pr != 1): d/deta[ C(1-1/Pr)
         // d_kin d(F^2)/deta ] with lagged profiles.
         const double pr_j = Cn[j] / CPrn[j];
@@ -238,7 +350,8 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
         const double pr_m = Cn[j - 1] / CPrn[j - 1];
         const double diss_m = Cn[j - 1] * (1.0 - 1.0 / pr_m) * d_kin *
                               (F[j] * F[j] - F[j - 1] * F[j - 1]) / d_eta;
-        d[j] = -two_xi_dxi * F[j] * g_prev[j] - (diss_p - diss_m) / d_eta;
+        d[j] = two_xi * F[j] * (cx1 * g_prev[j] + cx2 * g_prev2[j]) -
+               (diss_p - diss_m) / d_eta;
         if (opt_.energy_source)
           d[j] -= opt_.energy_source(ed.s, static_cast<double>(j) * d_eta);
       }
@@ -295,20 +408,12 @@ std::vector<MarchEdge> VslSolver::build_edges(const geometry::Body& body,
   const double q_dyn = 0.5 * fs.rho * fs.velocity * fs.velocity;
 
   // Stagnation pressure coefficient from the equilibrium normal shock
-  // (fixed point on the density ratio, as in the stagnation solver).
-  double eps = 0.1;
-  for (int it = 0; it < 40; ++it) {
-    const double p2 = fs.p + fs.rho * fs.velocity * fs.velocity * (1.0 - eps);
-    const double h2 =
-        cold.h + 0.5 * fs.velocity * fs.velocity * (1.0 - eps * eps);
-    const auto post = eq_.solve_ph(p2, h2);
-    const double eps_new = fs.rho / post.rho;
-    if (std::fabs(eps_new - eps) < 1e-12) break;
-    eps = 0.5 * (eps + eps_new);
-  }
-  const double p_stag = fs.p + fs.rho * fs.velocity * fs.velocity *
-                                   (1.0 - eps) * (1.0 + 0.5 * eps);
-  const double cp_max = (p_stag - fs.p) / q_dyn;
+  // (Rayleigh-pitot density-ratio fixed point, shared with the PNS
+  // front end).
+  const PitotSolution pitot = solve_rayleigh_pitot(
+      [this](double p2, double h2) { return eq_.solve_ph(p2, h2).rho; }, fs,
+      cold.h);
+  const double cp_max = (pitot.p_stag - fs.p) / q_dyn;
 
   std::vector<MarchEdge> edges;
   edges.reserve(n);
@@ -320,7 +425,7 @@ std::vector<MarchEdge> VslSolver::build_edges(const geometry::Body& body,
     const double sth = std::sin(std::clamp(pt.theta, 0.02, 0.5 * M_PI));
     MarchEdge e;
     e.s = s;
-    e.r = std::max(pt.r, 1e-6);
+    e.r = metric_radius(pt.r, s, body.nose_radius());
     e.p_e = fs.p + cp_max * q_dyn * sth * sth;
     // Thin shock layer: tangential velocity preserved across the shock.
     e.ue = std::max(fs.velocity * std::cos(pt.theta), 30.0);

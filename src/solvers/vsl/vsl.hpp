@@ -57,6 +57,12 @@ struct MarchOptions {
   double eta_max = 8.0;
   std::size_t n_table = 36;
   std::size_t picard_iters = 10;
+  /// Order of the streamwise (dxi) history differences: 2 = variable-step
+  /// three-point BDF2 with a one-point (BDF1) startup station, 1 = the
+  /// legacy backward-Euler march. The verify ladders gate both settings
+  /// (march_dxi_mms at p ~ 2, march_dxi_bdf1 at p ~ 1), so a regression
+  /// to first order in dxi can no longer hide behind wall-normal orders.
+  std::size_t streamwise_order = 2;
   /// Verification hooks (src/verify): manufactured forcing added to the
   /// momentum (F) and total-enthalpy (g) equations at interior eta nodes,
   /// as S(s, eta) on the same side as the diffusion term — the converged
@@ -88,6 +94,69 @@ PropertyProvider make_equilibrium_props(const gas::EquilibriumSolver& eq);
 PropertyProvider make_ideal_props(double gamma, double r_gas,
                                   double prandtl = 0.72);
 
+/// Variable-step backward-difference coefficients for the streamwise
+/// derivative at the current station:
+///   d(phi)/dxi ~ c0 phi_i + c1 phi_{i-1} + c2 phi_{i-2},
+/// with d1 = xi_i - xi_{i-1} and d2 = xi_{i-1} - xi_{i-2}. Three-point
+/// BDF2 (design order 2 on arbitrary nonuniform spacing) when \p bdf2 is
+/// set, one-point backward Euler (c2 = 0, \p d2 ignored) otherwise.
+/// Shared by the ParabolicMarcher history terms and the BL solver's
+/// due/dxi difference so the two marching front ends cannot drift apart.
+struct StreamwiseCoeffs {
+  double c0, c1, c2;
+};
+StreamwiseCoeffs streamwise_coeffs(double d1, double d2, bool bdf2);
+
+/// Enthalpy at which \p props reports temperature \p t at pressure \p p
+/// (the provider's T(h) at fixed p is monotone non-decreasing). The
+/// bracket is validated and widened geometrically when \p t lies outside
+/// it; throws SolverError when the provider cannot reach \p t at all
+/// (the legacy hard-coded bracket silently clamped such targets to an
+/// endpoint). Shared by the marching core's wall-enthalpy solve and the
+/// PNS freestream-enthalpy lookup.
+double enthalpy_at_temperature(const PropertyProvider& props, double p,
+                               double t);
+
+/// Freestream description shared by the marching front ends.
+struct MarchFreestream {
+  double velocity, rho, p, t;
+};
+
+/// Density lookup rho(p, h) for the Rayleigh-pitot iteration below.
+using DensityProvider = std::function<double(double p, double h)>;
+
+/// Equilibrium Rayleigh-pitot stagnation state behind a normal shock:
+/// fixed-point iteration on the density ratio eps = rho_inf/rho_2 with
+/// the post-shock state evaluated through \p rho_of_ph. Shared by the VSL
+/// and PNS front ends (it used to be duplicated in both, each exiting its
+/// iteration loop silently when unconverged). Throws SolverError when the
+/// damped iteration has not converged to \p tol after \p max_iters. The
+/// default tolerance is loose enough (eps is O(0.1), so 1e-10 is ~1e-9
+/// relative — far beyond the physics) that O(1e-11) interpolation
+/// non-smoothness of table-backed rho(p, h) providers cannot limit-cycle
+/// a physically-converged iteration into the throw.
+struct PitotSolution {
+  double eps;     ///< post-shock density ratio rho_inf/rho_2
+  double p_stag;  ///< stagnation-point pressure [Pa]
+};
+PitotSolution solve_rayleigh_pitot(const DensityProvider& rho_of_ph,
+                                   const MarchFreestream& fs, double h_inf,
+                                   double eps0 = 1.0 / 6.0,
+                                   int max_iters = 80, double tol = 1e-10);
+
+/// Marching metric radius for a generator point (r, s) of a body with
+/// nose radius \p rn, shared by the VSL/PNS/E+BL front ends. Any positive
+/// geometry radius passes through untouched — the generator is
+/// authoritative, including genuinely small radii on bodies closing
+/// toward the axis, which the old absolute clamps (max(r, 1e-6)/1e-5/
+/// 1e-4 m, one per front end) silently inflated along with xi and the
+/// heating metric. A degenerate generator (r <= 0) gets the analytic
+/// stagnation limit r -> s near the nose (s < rn; exact to O(s^3/Rn^2)
+/// for any smooth blunt nose) and throws SolverError aft of it, where no
+/// analytic limit exists and any substitute — tiny or nose-scale — would
+/// silently distort xi and q_w.
+double metric_radius(double r, double s, double rn);
+
 /// Nonsimilar parabolic marching core shared by the VSL and PNS solvers.
 class ParabolicMarcher {
  public:
@@ -101,11 +170,6 @@ class ParabolicMarcher {
  private:
   PropertyProvider props_;
   MarchOptions opt_;
-};
-
-/// Freestream description shared by the marching front ends.
-struct MarchFreestream {
-  double velocity, rho, p, t;
 };
 
 /// VSL solver over an axisymmetric body: builds thin-shock-layer edge

@@ -41,6 +41,11 @@ ObservedOrder pair_order(const LevelResult& c, const LevelResult& f) {
           observed_order(c.error.linf, f.error.linf, c.h, f.h)};
 }
 
+bool order_in_band(const StudyConfig& cfg, double p) {
+  return p >= cfg.design_order - cfg.tolerance &&
+         p <= cfg.design_order + cfg.upper_band();
+}
+
 }  // namespace
 
 StudyResult run_convergence_study(const StudyConfig& cfg,
@@ -50,6 +55,9 @@ StudyResult run_convergence_study(const StudyConfig& cfg,
   if (cfg.kind == StudyKind::kOrder)
     CAT_REQUIRE(n_levels >= cfg.gate_pairs + 1,
                 "order study needs gate_pairs + 1 levels");
+  if (cfg.kind == StudyKind::kFunctionalOrder)
+    CAT_REQUIRE(n_levels >= cfg.gate_pairs + 2,
+                "functional-order study needs gate_pairs + 2 levels");
 
   StudyResult out;
   out.config = cfg;
@@ -71,9 +79,7 @@ StudyResult run_convergence_study(const StudyConfig& cfg,
       out.passed = true;
       const std::size_t first_gated = out.orders.size() - cfg.gate_pairs;
       for (std::size_t k = first_gated; k < out.orders.size(); ++k) {
-        const double p = out.orders[k].l2;
-        if (std::fabs(p - cfg.design_order) > cfg.tolerance)
-          out.passed = false;
+        if (!order_in_band(cfg, out.orders[k].l2)) out.passed = false;
       }
       std::snprintf(buf, sizeof buf,
                     "observed L2 order on the %zu finest pairs:", cfg.gate_pairs);
@@ -82,8 +88,8 @@ StudyResult run_convergence_study(const StudyConfig& cfg,
         std::snprintf(buf, sizeof buf, " %.3f", out.orders[k].l2);
         out.detail += buf;
       }
-      std::snprintf(buf, sizeof buf, " (design %.2f +/- %.2f)",
-                    cfg.design_order, cfg.tolerance);
+      std::snprintf(buf, sizeof buf, " (design %.2f -%.2f/+%.2f)",
+                    cfg.design_order, cfg.tolerance, cfg.upper_band());
       out.detail += buf;
       break;
     }
@@ -97,7 +103,8 @@ StudyResult run_convergence_study(const StudyConfig& cfg,
       out.detail = buf;
       break;
     }
-    case StudyKind::kReport: {
+    case StudyKind::kReport:
+    case StudyKind::kFunctionalOrder: {
       for (std::size_t k = 0; k + 2 < out.levels.size(); ++k) {
         const double d1 =
             out.levels[k].functional - out.levels[k + 1].functional;
@@ -117,11 +124,38 @@ StudyResult run_convergence_study(const StudyConfig& cfg,
         out.richardson = f.functional + (f.functional - c.functional) /
                                             (std::pow(r, p) - 1.0);
       }
-      out.passed = true;  // reported, not gated
+      if (cfg.kind == StudyKind::kReport) {
+        out.passed = true;  // reported, not gated
+        std::snprintf(buf, sizeof buf,
+                      "functional ladder (not gated); Richardson estimate %.6g",
+                      out.richardson);
+        out.detail = buf;
+        break;
+      }
+      // kFunctionalOrder: gate the self-convergence order of the finest
+      // triplets exactly as kOrder gates the exact-error pairs.
+      out.passed = out.orders.size() >= cfg.gate_pairs;
+      const std::size_t first_gated =
+          out.orders.size() >= cfg.gate_pairs
+              ? out.orders.size() - cfg.gate_pairs
+              : 0;
+      for (std::size_t k = first_gated; k < out.orders.size(); ++k) {
+        if (!order_in_band(cfg, out.orders[k].l2)) out.passed = false;
+      }
       std::snprintf(buf, sizeof buf,
-                    "functional ladder (not gated); Richardson estimate %.6g",
-                    out.richardson);
+                    "functional self-convergence order on the %zu finest "
+                    "triplets:",
+                    cfg.gate_pairs);
       out.detail = buf;
+      for (std::size_t k = first_gated; k < out.orders.size(); ++k) {
+        std::snprintf(buf, sizeof buf, " %.3f", out.orders[k].l2);
+        out.detail += buf;
+      }
+      std::snprintf(buf, sizeof buf,
+                    " (design %.2f -%.2f/+%.2f; Richardson %.6g)",
+                    cfg.design_order, cfg.tolerance, cfg.upper_band(),
+                    out.richardson);
+      out.detail += buf;
       break;
     }
   }
@@ -137,7 +171,9 @@ io::Table StudyResult::order_table() const {
     double p = 0.0;
     if (config.kind == StudyKind::kOrder && k >= 1)
       p = orders[k - 1].l2;
-    if (config.kind == StudyKind::kReport && k >= 2)
+    if ((config.kind == StudyKind::kReport ||
+         config.kind == StudyKind::kFunctionalOrder) &&
+        k >= 2)
       p = orders[k - 2].l2;
     t.add_row({static_cast<double>(k), static_cast<double>(l.n), l.h,
                l.error.l1, l.error.l2, l.error.linf, l.functional, p,

@@ -15,6 +15,11 @@
 ///  - kReport: solution verification without an exact solution (scenario
 ///    ladders); observed order from Richardson triplets of a scalar
 ///    functional, reported but not gated.
+///  - kFunctionalOrder: like kReport (self-convergence of a scalar
+///    functional, no exact solution needed) but GATED — the observed
+///    order of the finest gate_pairs triplets must sit within tolerance
+///    of the design order. Used where an exact solution is impractical
+///    (the equilibrium-gas E+BL dxi ladder) but the order still matters.
 
 #include <functional>
 #include <string>
@@ -54,7 +59,7 @@ struct ObservedOrder {
   double l1 = 0.0, l2 = 0.0, linf = 0.0;
 };
 
-enum class StudyKind { kOrder, kExactness, kReport };
+enum class StudyKind { kOrder, kExactness, kReport, kFunctionalOrder };
 
 struct StudyConfig {
   std::string name;
@@ -62,17 +67,31 @@ struct StudyConfig {
   std::string quantity;         ///< what the error/functional measures
   StudyKind kind = StudyKind::kOrder;
   double design_order = 2.0;
-  double tolerance = 0.25;      ///< |p - design| gate (kOrder)
+  double tolerance = 0.25;      ///< p >= design - tolerance gate (kOrder)
   std::size_t gate_pairs = 2;   ///< finest level pairs the gate checks
   double exact_tolerance = 0.0; ///< L_inf gate (kExactness)
+  /// Upper half of the order band: p <= design + upper_tolerance. Negative
+  /// (the default) keeps the band symmetric (uses `tolerance`). Studies on
+  /// smooth mapped grids set this wider: limited-MUSCL reconstructions
+  /// superconverge benignly there (error-cancellation between the mapping
+  /// and the limiter), and the gate's job is to catch *degradation* of the
+  /// design order, not to outlaw doing better than it.
+  double upper_tolerance = -1.0;
+
+  /// The resolved upper half-band (the single place the sentinel rule
+  /// lives; the driver, the cat_verify JSON artifact and the tests all
+  /// read it from here).
+  double upper_band() const {
+    return upper_tolerance >= 0.0 ? upper_tolerance : tolerance;
+  }
 };
 
 struct StudyResult {
   StudyConfig config;
   std::vector<LevelResult> levels;
   /// kOrder: orders[k] compares levels[k] and levels[k+1] (size n-1).
-  /// kReport: orders[k] from the functional triplet (k, k+1, k+2)
-  /// (size n-2).
+  /// kReport / kFunctionalOrder: orders[k] from the functional triplet
+  /// (k, k+1, k+2) (size n-2).
   std::vector<ObservedOrder> orders;
   double richardson = 0.0;  ///< extrapolated functional (kReport)
   bool passed = false;

@@ -206,6 +206,117 @@ double MarchManufactured::energy_source(double eta) const {
   return -(gpp(eta) + f_stream(eta) * gp(eta));
 }
 
+double MarchStreamwiseManufactured::ue(double s) const {
+  return u0 + u1 * (s - s0);
+}
+double MarchStreamwiseManufactured::omega(double s) const {
+  return omega0 + omega1 * (s - s0);
+}
+double MarchStreamwiseManufactured::xi(double s) const {
+  const double fac = rho_c * mu_c * r_body * r_body;
+  return 0.25 * fac * u0 * s0 +
+         fac * (u0 * (s - s0) + 0.5 * u1 * (s - s0) * (s - s0));
+}
+double MarchStreamwiseManufactured::dxi_ds(double s) const {
+  return rho_c * mu_c * r_body * r_body * ue(s);
+}
+double MarchStreamwiseManufactured::beta_eff(double s) const {
+  return omega(s) * 2.0 * xi(s) * u1 / (dxi_ds(s) * ue(s));
+}
+
+double MarchStreamwiseManufactured::F(double eta, double s) const {
+  const double z = eta / eta_max;
+  return z + (a_f + a_x * std::sin(k_f * s + phase_f)) * std::sin(M_PI * z);
+}
+double MarchStreamwiseManufactured::g(double eta, double s) const {
+  const double z = eta / eta_max;
+  return g_w + (1.0 - g_w) * z +
+         (a_g + a_gx * std::sin(k_g * s + phase_g)) * std::sin(M_PI * z);
+}
+double MarchStreamwiseManufactured::F_eta(double eta, double s) const {
+  const double z = eta / eta_max;
+  return (1.0 + (a_f + a_x * std::sin(k_f * s + phase_f)) * M_PI *
+                    std::cos(M_PI * z)) /
+         eta_max;
+}
+double MarchStreamwiseManufactured::F_etaeta(double eta, double s) const {
+  const double z = eta / eta_max;
+  return -(a_f + a_x * std::sin(k_f * s + phase_f)) * M_PI * M_PI *
+         std::sin(M_PI * z) / (eta_max * eta_max);
+}
+double MarchStreamwiseManufactured::g_eta(double eta, double s) const {
+  const double z = eta / eta_max;
+  return ((1.0 - g_w) + (a_g + a_gx * std::sin(k_g * s + phase_g)) * M_PI *
+                            std::cos(M_PI * z)) /
+         eta_max;
+}
+double MarchStreamwiseManufactured::g_etaeta(double eta, double s) const {
+  const double z = eta / eta_max;
+  return -(a_g + a_gx * std::sin(k_g * s + phase_g)) * M_PI * M_PI *
+         std::sin(M_PI * z) / (eta_max * eta_max);
+}
+double MarchStreamwiseManufactured::f_stream(double eta, double s) const {
+  const double z = eta / eta_max;
+  return eta_max * (0.5 * z * z + (a_f + a_x * std::sin(k_f * s + phase_f)) *
+                                      (1.0 - std::cos(M_PI * z)) / M_PI);
+}
+double MarchStreamwiseManufactured::F_xi(double eta, double s) const {
+  const double z = eta / eta_max;
+  return a_x * k_f * std::cos(k_f * s + phase_f) * std::sin(M_PI * z) /
+         dxi_ds(s);
+}
+double MarchStreamwiseManufactured::g_xi(double eta, double s) const {
+  const double z = eta / eta_max;
+  return a_gx * k_g * std::cos(k_g * s + phase_g) * std::sin(M_PI * z) /
+         dxi_ds(s);
+}
+double MarchStreamwiseManufactured::f_stream_xi(double eta, double s) const {
+  const double z = eta / eta_max;
+  return eta_max * a_x * k_f * std::cos(k_f * s + phase_f) *
+         (1.0 - std::cos(M_PI * z)) / (M_PI * dxi_ds(s));
+}
+
+double MarchStreamwiseManufactured::momentum_source(double eta, double s,
+                                                    bool station0) const {
+  const double Fv = F(eta, s);
+  if (station0) {
+    return -(F_etaeta(eta, s) + f_stream(eta, s) * F_eta(eta, s) +
+             0.5 * (1.0 - Fv * Fv));
+  }
+  const double x = xi(s);
+  const double conv = f_stream(eta, s) + x * f_stream_xi(eta, s);
+  return -(F_etaeta(eta, s) + conv * F_eta(eta, s) +
+           beta_eff(s) * (1.0 - Fv * Fv) - 2.0 * x * Fv * F_xi(eta, s));
+}
+double MarchStreamwiseManufactured::energy_source(double eta, double s,
+                                                  bool station0) const {
+  if (station0) {
+    return -(g_etaeta(eta, s) + f_stream(eta, s) * g_eta(eta, s));
+  }
+  const double x = xi(s);
+  const double conv = f_stream(eta, s) + x * f_stream_xi(eta, s);
+  return -(g_etaeta(eta, s) + conv * g_eta(eta, s) -
+           2.0 * x * F(eta, s) * g_xi(eta, s));
+}
+
+solvers::MarchEdge MarchStreamwiseManufactured::edge(double s) const {
+  solvers::MarchEdge e;
+  e.s = s;
+  e.r = r_body;
+  e.p_e = p_edge;
+  e.ue = ue(s);
+  e.h_e = h_total - 0.5 * e.ue * e.ue;
+  e.rho_e = rho_c;
+  e.mu_e = mu_c;
+  e.t_e = e.h_e / cp;
+  e.vigneron_omega = omega(s);
+  return e;
+}
+double MarchStreamwiseManufactured::q_wall_exact(double s) const {
+  const double metric = ue(s) * r_body / std::sqrt(2.0 * xi(s));
+  return g_eta(0.0, s) * h_total * metric * rho_c * mu_c;
+}
+
 solvers::PropertyProvider make_constant_props(double rho_c, double mu_c,
                                               double cp) {
   return [=](double /*p*/, double h) {

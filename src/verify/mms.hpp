@@ -109,4 +109,76 @@ struct MarchManufactured {
 solvers::PropertyProvider make_constant_props(double rho_c, double mu_c,
                                               double cp);
 
+/// Streamwise (dxi) manufactured solution for the parabolic marching
+/// core: the similarity profiles are modulated along the body,
+///   F(eta, s) = z + [a_f + a_x phi(s)] sin(pi z)
+///   g(eta, s) = g_w + (1 - g_w) z + [a_g + a_gx psi(s)] sin(pi z)
+/// with z = eta/eta_max and phi/psi = sin(k s + phase), so the history
+/// terms 2 xi F F_xi, 2 xi F g_xi and the xi f_xi convective addition are
+/// all nonzero and the streamwise difference order of the march is
+/// directly observable (the xi-independent MarchManufactured made every
+/// history term vanish — which is exactly how the BDF1 march stayed
+/// hidden behind the second-order eta sweeps until PR 5).
+///
+/// Edges carry a linear ue(s) = u0 + u1 (s - s0) — the marcher's
+/// trapezoidal xi quadrature is exact for it, so xi(s) is analytic — and
+/// a prescribed Vigneron fraction omega(s), so the PNS splitting path
+/// beta = omega * clamp(2 xi / ue * due/dxi) is exercised with a
+/// manufactured beta_eff that the discrete backward difference must
+/// reproduce at design order. With the constant-property Pr = 1 gas
+/// (make_constant_props) the marcher's continuum equations reduce to
+///   F'' + (f + xi f_xi) F' + beta_eff (1 - F^2) - 2 xi F F_xi + S_F = 0
+///   g'' + (f + xi f_xi) g'                      - 2 xi F g_xi + S_g = 0
+/// downstream, and to the pinned beta = 0.5 similarity equations (no
+/// history terms) at station 0.
+struct MarchStreamwiseManufactured {
+  double eta_max = 8.0;
+  double a_f = 0.12, a_g = 0.08, g_w = 0.5;
+  double a_x = 0.15;   ///< streamwise momentum modulation amplitude
+  double a_gx = 0.10;  ///< streamwise enthalpy modulation amplitude
+  double k_f = 0.40, phase_f = 0.3;
+  double k_g = 0.55, phase_g = 1.1;
+  /// Constant-property gas and edge law.
+  double cp = 1000.0, h_total = 1.2e6;
+  double rho_c = 0.05, mu_c = 2.0e-4, r_body = 0.5;
+  double p_edge = 1000.0;
+  double s0 = 1.0, s_end = 9.0;
+  double u0 = 200.0, u1 = 0.0;        ///< ue(s) = u0 + u1 (s - s0)
+  double omega0 = 1.0, omega1 = 0.0;  ///< omega(s) = omega0 + omega1 (s - s0)
+
+  double ue(double s) const;
+  double omega(double s) const;
+  /// The marcher's own xi(s): stagnation startup 0.25 f(s0) s0 plus the
+  /// (exact) trapezoid of the linear integrand f = rho mu ue r^2.
+  double xi(double s) const;
+  double dxi_ds(double s) const;
+  /// Analytic beta the discrete march must reproduce downstream:
+  /// omega(s) * (2 xi / ue) due/dxi (the clamp window is never active
+  /// for the catalog parameters; asserted by the study).
+  double beta_eff(double s) const;
+
+  double F(double eta, double s) const;
+  double g(double eta, double s) const;
+  double F_eta(double eta, double s) const;
+  double F_etaeta(double eta, double s) const;
+  double g_eta(double eta, double s) const;
+  double g_etaeta(double eta, double s) const;
+  double f_stream(double eta, double s) const;   ///< int_0^eta F
+  double F_xi(double eta, double s) const;
+  double g_xi(double eta, double s) const;
+  double f_stream_xi(double eta, double s) const;
+
+  /// Manufactured forcing for MarchOptions::momentum_source /
+  /// energy_source. station0 = true drops the history terms and pins
+  /// beta = 0.5 (the marcher's similarity start at its first station).
+  double momentum_source(double eta, double s, bool station0) const;
+  double energy_source(double eta, double s, bool station0) const;
+
+  /// Edge-station row for the marcher at arc position s.
+  solvers::MarchEdge edge(double s) const;
+  double t_wall() const { return g_w * h_total / cp; }
+  /// Exact wall heat flux at station s (C = C/Pr = 1 at the wall).
+  double q_wall_exact(double s) const;
+};
+
 }  // namespace cat::verify

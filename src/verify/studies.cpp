@@ -23,12 +23,48 @@ namespace {
 // Finite-volume MMS ladders (Euler / thin-layer NS).
 // ---------------------------------------------------------------------------
 
-grid::StructuredGrid uniform_cartesian(std::size_t n, double extent) {
+/// Grid families for the FV ladders. All are smooth mappings of the unit
+/// square scaled to the domain extent, so second-order convergence is the
+/// correct expectation on every one of them:
+///  - kCartesian: the uniform grid of the original PR 4 studies;
+///  - kSkewed: sinusoidal interior distortion of BOTH coordinates (cell
+///    faces tilt against the flow — the full curvilinear metric path);
+///  - kStretched: smooth non-uniform tensor-product stretching that keeps
+///    j-faces y-aligned, matching the thin-layer viscous model whose
+///    fluxes are wall-normal by construction (a skewed grid would change
+///    the continuum operator the NS discretization approximates, not just
+///    its order).
+enum class FvGrid { kCartesian, kSkewed, kStretched };
+
+grid::StructuredGrid make_fv_grid(FvGrid shape, std::size_t n,
+                                  double extent) {
   grid::StructuredGrid g(n, n);
   for (std::size_t i = 0; i <= n; ++i) {
     for (std::size_t j = 0; j <= n; ++j) {
-      g.xn(i, j) = extent * static_cast<double>(i) / static_cast<double>(n);
-      g.rn(i, j) = extent * static_cast<double>(j) / static_cast<double>(n);
+      const double u = static_cast<double>(i) / static_cast<double>(n);
+      const double v = static_cast<double>(j) / static_cast<double>(n);
+      double x = u, y = v;
+      switch (shape) {
+        case FvGrid::kCartesian:
+          break;
+        case FvGrid::kSkewed: {
+          // Interior sinusoidal skew (vanishes on the boundary); the
+          // amplitudes keep the Jacobian within ~30% of unity while
+          // tilting faces against both sweep directions.
+          const double bump =
+              std::sin(2.0 * M_PI * u) * std::sin(2.0 * M_PI * v);
+          x = u + 0.045 * bump;
+          y = v + 0.032 * bump;
+          break;
+        }
+        case FvGrid::kStretched:
+          // Monotone 1-D stretchings (|c| < 1), different per direction.
+          x = u + 0.30 / (2.0 * M_PI) * std::sin(2.0 * M_PI * u);
+          y = v - 0.25 / (2.0 * M_PI) * std::sin(2.0 * M_PI * v);
+          break;
+      }
+      g.xn(i, j) = extent * x;
+      g.rn(i, j) = extent * y;
     }
   }
   g.compute_metrics(/*axisymmetric=*/false);
@@ -36,9 +72,10 @@ grid::StructuredGrid uniform_cartesian(std::size_t n, double extent) {
 }
 
 LevelResult run_fv_level(const FvManufactured& field, bool viscous,
-                         numerics::Limiter limiter, std::size_t n) {
+                         numerics::Limiter limiter, std::size_t n,
+                         FvGrid shape = FvGrid::kCartesian) {
   const double extent = fv_domain_extent(field);
-  const grid::StructuredGrid g = uniform_cartesian(n, extent);
+  const grid::StructuredGrid g = make_fv_grid(shape, n, extent);
   auto gas = std::make_shared<core::IdealGasModel>(
       gas::IdealGas(field.gamma, field.r_gas));
 
@@ -172,6 +209,117 @@ LevelResult run_march_level(std::size_t n_eta) {
   // which must keep up with the interior order (it did not, before the
   // second-order gradient fix in the marching core).
   lr.functional = std::fabs(out.back().q_w - su.q_wall_exact());
+  return lr;
+}
+
+// ---------------------------------------------------------------------------
+// Streamwise (dxi) MMS ladders for the parabolic marching core.
+// ---------------------------------------------------------------------------
+
+/// One Δξ-ladder level: march the MarchStreamwiseManufactured field over a
+/// station ladder that refines the streamwise spacing AND the eta grid
+/// together (fixed dη/Δs ratio), so the combined error is
+/// C1 Δξ^p_stream + C2 dη² and the streamwise order is what the finest
+/// pairs observe — p≈2 for the BDF2 history terms, p≈1 for the forced
+/// legacy BDF1 march. omega0/omega1 prescribe the Vigneron fraction
+/// omega(s) carried by the edges (1/0 = the pure-VSL path, <1 exercises
+/// the PNS splitting beta *= omega).
+LevelResult run_march_dxi_level(std::size_t level, std::size_t order,
+                                double omega0, double omega1) {
+  MarchStreamwiseManufactured m;
+  m.u1 = 4.0;  // ue(s) linear: due/dxi and the beta path are live
+  m.omega0 = omega0;
+  m.omega1 = omega1;
+
+  const std::size_t n_st = 8u << level;
+  const std::size_t n_eta = (40u << level) + 1u;
+  const double span = m.s_end - m.s0;
+  const double ds = span / static_cast<double>(n_st - 1);
+  const double d_eta = m.eta_max / static_cast<double>(n_eta - 1);
+
+  // Uniform Δs ladder plus one graded startup station at s0 + Δs²/span:
+  // the marcher's first downstream station is necessarily BDF1, and
+  // shrinking that single interval ~ Δs² keeps its larger one-point
+  // truncation error at the ladder's design order (the variable-step BDF2
+  // coefficients absorb the nonuniform spacing exactly).
+  std::vector<solvers::MarchEdge> edges;
+  edges.reserve(n_st + 1);
+  edges.push_back(m.edge(m.s0));
+  edges.push_back(m.edge(m.s0 + ds * ds / span));
+  for (std::size_t i = 1; i < n_st; ++i)
+    edges.push_back(m.edge(m.s0 + ds * static_cast<double>(i)));
+  // The study's premise: the manufactured beta never reaches the marcher's
+  // clamp window [-0.15, 1], so the clamp is the identity on this ladder.
+  for (const auto& e : edges) {
+    const double b = m.beta_eff(e.s);
+    CAT_REQUIRE(b > -0.1 && b < 0.9, "manufactured beta hits the clamp");
+  }
+
+  solvers::MarchOptions opt;
+  opt.wall_temperature = m.t_wall();
+  opt.n_eta = n_eta;
+  opt.eta_max = m.eta_max;
+  opt.n_table = 12;
+  opt.picard_iters = 600;
+  opt.streamwise_order = order;
+  const double s0 = m.s0;
+  opt.momentum_source = [m, s0](double s, double eta) {
+    return m.momentum_source(eta, s, /*station0=*/s == s0);
+  };
+  opt.energy_source = [m, s0](double s, double eta) {
+    return m.energy_source(eta, s, /*station0=*/s == s0);
+  };
+  std::vector<double> f_last, g_last;
+  opt.profile_observer = [&](std::size_t /*station*/, double /*s*/,
+                             std::span<const double> f,
+                             std::span<const double> g) {
+    f_last.assign(f.begin(), f.end());
+    g_last.assign(g.begin(), g.end());
+  };
+
+  solvers::ParabolicMarcher marcher(
+      make_constant_props(m.rho_c, m.mu_c, m.cp), opt);
+  const auto out = marcher.march(edges, m.h_total);
+  CAT_REQUIRE(f_last.size() == n_eta, "profile observer missed the march");
+
+  const double s_last = edges.back().s;
+  NormAccumulator acc;
+  for (std::size_t j = 0; j < n_eta; ++j) {
+    const double eta = static_cast<double>(j) * d_eta;
+    acc.add(f_last[j] - m.F(eta, s_last), d_eta);
+    acc.add(g_last[j] - m.g(eta, s_last), d_eta);
+  }
+  LevelResult lr;
+  lr.h = ds;
+  lr.n = n_st;
+  lr.error = acc.finalize();
+  lr.functional = std::fabs(out.back().q_w - m.q_wall_exact(s_last));
+  return lr;
+}
+
+// ---------------------------------------------------------------------------
+// E+BL streamwise ladder (scenario layer, gated functional order).
+// ---------------------------------------------------------------------------
+
+/// aft_q_w of the orbiter E+BL scenario vs marching-station count. The BL
+/// solver is local-similarity, so its only streamwise discretizations are
+/// the trapezoidal xi quadrature and the backward difference feeding beta
+/// — both second order now, and both evaluated at the FIXED aft station
+/// x/L = 0.95, so the functional self-converges at the streamwise design
+/// order (no exact solution exists for the equilibrium-gas pipeline;
+/// kFunctionalOrder gates the Richardson-triplet order instead).
+LevelResult run_ebl_dxi_level(std::size_t n_stations) {
+  const scenario::Case* base = scenario::find_scenario("orbiter_windward_ebl");
+  CAT_REQUIRE(base != nullptr, "registry lost orbiter_windward_ebl");
+  scenario::Case c = *base;
+  c.fidelity = scenario::Fidelity::kSmoke;
+  c.n_stations = n_stations;
+  const auto result = scenario::run_case(c);
+
+  LevelResult lr;
+  lr.h = 1.0 / static_cast<double>(n_stations);
+  lr.n = n_stations;
+  lr.functional = result.metric("aft_q_w");
   return lr;
 }
 
@@ -366,6 +514,34 @@ std::vector<StudyEntry> make_entries() {
        }});
 
   entries.push_back(
+      {{"fv_euler_curvilinear",
+        "FV Euler on sinusoidally-skewed curvilinear grids: the full "
+        "metric path (tilted faces) must keep design order",
+        "density error vs exact", StudyKind::kOrder, 2.0, 0.35, 2, 0.0,
+        /*upper_tolerance=*/1.1},
+       3,
+       5,
+       [](std::size_t level) {
+         return run_fv_level(supersonic_euler_field(), false,
+                             numerics::Limiter::kMinmod, 8u << level,
+                             FvGrid::kSkewed);
+       }});
+
+  entries.push_back(
+      {{"fv_ns_stretched",
+        "FV Navier-Stokes on smoothly-stretched non-uniform grids "
+        "(y-aligned j-faces match the thin-layer viscous model)",
+        "density error vs exact", StudyKind::kOrder, 2.0, 0.35, 2, 0.0,
+        /*upper_tolerance=*/1.1},
+       3,
+       5,
+       [](std::size_t level) {
+         return run_fv_level(viscous_ns_field(), true,
+                             numerics::Limiter::kMinmod, 8u << level,
+                             FvGrid::kStretched);
+       }});
+
+  entries.push_back(
       {{"bl_march_mms",
         "Parabolic BL/VSL march: implicit tridiagonal eta sweeps on "
         "manufactured similarity profiles",
@@ -376,6 +552,54 @@ std::vector<StudyEntry> make_entries() {
        [](std::size_t level) {
          return run_march_level((40u << level) + 1u);
        }});
+
+  entries.push_back(
+      {{"march_dxi_mms",
+        "VSL/PNS marching core, streamwise Δξ ladder: variable-step BDF2 "
+        "history terms on an s-modulated manufactured field",
+        "F/g profile error at the last station", StudyKind::kOrder, 2.0,
+        0.25, 2, 0.0},
+       4,
+       5,
+       [](std::size_t level) {
+         return run_march_dxi_level(level, /*order=*/2, /*omega0=*/1.0,
+                                    /*omega1=*/0.0);
+       }});
+
+  entries.push_back(
+      {{"march_dxi_bdf1",
+        "VSL/PNS marching core, forced legacy BDF1 history terms: the "
+        "ladder must detect the old first-order streamwise march",
+        "F/g profile error at the last station", StudyKind::kOrder, 1.0,
+        0.25, 2, 0.0},
+       4,
+       5,
+       [](std::size_t level) {
+         return run_march_dxi_level(level, /*order=*/1, /*omega0=*/1.0,
+                                    /*omega1=*/0.0);
+       }});
+
+  entries.push_back(
+      {{"pns_vigneron_mms",
+        "PNS Vigneron splitting: streamwise Δξ ladder with a prescribed "
+        "omega(s) < 1 scaling the admitted pressure gradient",
+        "F/g profile error at the last station", StudyKind::kOrder, 2.0,
+        0.25, 2, 0.0},
+       4,
+       5,
+       [](std::size_t level) {
+         return run_march_dxi_level(level, /*order=*/2, /*omega0=*/0.75,
+                                    /*omega1=*/0.025);
+       }});
+
+  entries.push_back(
+      {{"ebl_dxi_ladder",
+        "E+BL pipeline: aft heating vs station count through the scenario "
+        "layer (gated functional self-convergence, design order 2)",
+        "aft_q_w [W/m^2]", StudyKind::kFunctionalOrder, 2.0, 0.35, 1, 0.0},
+       4,
+       5,
+       [](std::size_t level) { return run_ebl_dxi_level(8u << level); }});
 
   entries.push_back(
       {{"reactor_time_order",
@@ -441,6 +665,8 @@ StudyResult run_study(std::string_view name, const StudyOptions& opt) {
     levels = std::min(levels, e.max_levels);
     if (e.cfg.kind == StudyKind::kOrder)
       levels = std::max(levels, e.cfg.gate_pairs + 1);
+    if (e.cfg.kind == StudyKind::kFunctionalOrder)
+      levels = std::max(levels, e.cfg.gate_pairs + 2);
     if (e.cfg.kind == StudyKind::kReport)
       levels = std::max<std::size_t>(levels, 3);
     return run_convergence_study(e.cfg, levels, e.runner);

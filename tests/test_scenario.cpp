@@ -386,6 +386,27 @@ TEST(RunCase, EulerBlMarchHeatsAndDecays) {
   EXPECT_LT(r.metric("aft_q_w"), r.metric("peak_q_w"));
 }
 
+TEST(RunCase, StreamwiseOrderOptionReachesMarchingSolvers) {
+  // Case::streamwise_order must plumb through to the VSL marching core:
+  // the legacy BDF1 setting produces a measurably different (but same-
+  // physics) heating curve than the default BDF2 march. The Δξ ladder
+  // studies gate the orders themselves; this pins the scenario wiring.
+  const auto* base = scenario::find_scenario("sphere_cone_vsl");
+  ASSERT_NE(base, nullptr);
+  scenario::Case c2 = *base;
+  c2.fidelity = scenario::Fidelity::kSmoke;
+  c2.n_stations = 12;
+  scenario::Case c1 = c2;
+  c1.streamwise_order = 1;
+  const auto r2 = scenario::run_case(c2);
+  const auto r1 = scenario::run_case(c1);
+  const double q2 = r2.metric("aft_q_w"), q1 = r1.metric("aft_q_w");
+  EXPECT_GT(q2, 0.0);
+  EXPECT_GT(q1, 0.0);
+  EXPECT_NEAR(q2, q1, 0.08 * q1);          // same physics
+  EXPECT_NE(q2, q1) << "streamwise_order is not reaching the marcher";
+}
+
 // ---------- batch driver ----------
 
 TEST(Batch, MatchesSerialRunsAndKeepsOrder) {

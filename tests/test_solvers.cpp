@@ -9,6 +9,7 @@
 
 #include "atmosphere/atmosphere.hpp"
 #include "chemistry/reaction.hpp"
+#include "core/error.hpp"
 #include "core/heating.hpp"
 #include "gas/eos_table.hpp"
 #include "geometry/body.hpp"
@@ -360,6 +361,197 @@ TEST(Marching, PnsEquilibriumExceedsIdealModestly) {
   }
   // Heating decays along the windward ray.
   EXPECT_LT(eqr.back().q_w, eqr.front().q_w);
+}
+
+// ---------- marching front-end helpers ----------
+
+TEST(MarchFrontEnd, EnthalpyAtTemperatureRoundTripsIdealGas) {
+  const double gamma = 1.4, r_gas = 287.053;
+  const double cp = gamma * r_gas / (gamma - 1.0);
+  const auto props = solvers::make_ideal_props(gamma, r_gas);
+  for (const double t : {220.0, 1200.0, 6500.0}) {
+    const double h = solvers::enthalpy_at_temperature(props, 1.0e4, t);
+    EXPECT_NEAR(h, cp * t, 1e-6 * cp * t) << t;
+    EXPECT_NEAR(props(1.0e4, h).t, t, 1e-6 * t);
+  }
+}
+
+TEST(MarchFrontEnd, EnthalpyBracketWidensBeyondLegacyLimits) {
+  // The old hard-coded bisection bracket [-5e6, 5e7] J/kg silently clamped
+  // any target outside it. Both out-of-bracket sides must now resolve.
+  const double cp = 1004.6855;
+  // Above: T = 60000 K needs h ~ 6.0e7 > 5e7.
+  const auto hot = solvers::make_ideal_props(1.4, 287.053);
+  const double t_hot = 60000.0;
+  EXPECT_NEAR(solvers::enthalpy_at_temperature(hot, 1.0e5, t_hot),
+              cp * t_hot, 1e-5 * cp * t_hot);
+  // Below: a provider with a shifted enthalpy datum puts cold targets
+  // at h ~ -2e7 < -5e6.
+  const double h0 = -2.0e7;
+  const solvers::PropertyProvider shifted = [=](double /*p*/, double h) {
+    solvers::PhState st;
+    st.h = h;
+    st.t = (h - h0) / cp;
+    st.rho = 1.0;
+    st.mu = 1.8e-5;
+    st.pr = 0.72;
+    return st;
+  };
+  const double t_cold = 150.0;
+  EXPECT_NEAR(solvers::enthalpy_at_temperature(shifted, 1.0e5, t_cold),
+              h0 + cp * t_cold, 1e-5 * std::fabs(h0 + cp * t_cold));
+}
+
+TEST(MarchFrontEnd, EnthalpyThrowsWhenTargetUnreachable) {
+  // A provider whose temperature saturates can never reach the target;
+  // the old bisection silently returned the bracket endpoint instead.
+  const solvers::PropertyProvider saturating = [](double /*p*/, double h) {
+    solvers::PhState st;
+    st.h = h;
+    st.t = std::min(h / 1004.0, 1000.0);
+    st.rho = 1.0;
+    st.mu = 1.8e-5;
+    st.pr = 0.72;
+    return st;
+  };
+  EXPECT_THROW(solvers::enthalpy_at_temperature(saturating, 1.0e5, 2000.0),
+               SolverError);
+}
+
+TEST(MarchFrontEnd, RayleighPitotConvergesForIdealGas) {
+  // Calorically perfect strong shock: the density-ratio fixed point must
+  // converge to eps ~ (gamma-1)/(gamma+1) = 1/6 and the pitot pressure to
+  // the Rayleigh value ~0.9 rho V^2.
+  const double gamma = 1.4, r_gas = 287.053, cp = gamma * r_gas / (gamma - 1.0);
+  const solvers::DensityProvider rho_of_ph = [=](double p, double h) {
+    return p / (r_gas * (h / cp));
+  };
+  const double t_inf = 220.0, p_inf = 100.0;
+  const solvers::MarchFreestream fs{6000.0, p_inf / (r_gas * t_inf), p_inf,
+                                    t_inf};
+  const auto pitot = solvers::solve_rayleigh_pitot(rho_of_ph, fs, cp * t_inf);
+  EXPECT_NEAR(pitot.eps, 1.0 / 6.0, 0.02);
+  const double q2 = fs.rho * fs.velocity * fs.velocity;
+  EXPECT_NEAR(pitot.p_stag, 0.90 * q2, 0.03 * q2);
+}
+
+TEST(MarchFrontEnd, RayleighPitotThrowsWhenUnconverged) {
+  // The legacy copies in the VSL and PNS front ends exited their fixed
+  // 40-iteration loops silently; the shared helper must report a stall.
+  const double gamma = 1.4, r_gas = 287.053, cp = gamma * r_gas / (gamma - 1.0);
+  const solvers::DensityProvider rho_of_ph = [=](double p, double h) {
+    return p / (r_gas * (h / cp));
+  };
+  const double t_inf = 220.0, p_inf = 100.0;
+  const solvers::MarchFreestream fs{6000.0, p_inf / (r_gas * t_inf), p_inf,
+                                    t_inf};
+  EXPECT_THROW(solvers::solve_rayleigh_pitot(rho_of_ph, fs, cp * t_inf,
+                                             /*eps0=*/0.5, /*max_iters=*/1),
+               SolverError);
+  EXPECT_THROW(
+      solvers::solve_rayleigh_pitot(
+          [](double, double) { return -1.0; }, fs, cp * t_inf),
+      SolverError);
+}
+
+/// Degenerate axisymmetric body whose generator reports r = 0 on an early
+/// arc span — the failure mode the old absolute nose-radius clamps
+/// (max(r, 1e-6) in VSL, max(r, 1e-5) in PNS) papered over.
+class DegenerateNose final : public geometry::Body {
+ public:
+  explicit DegenerateNose(double rn) : rn_(rn) {}
+  geometry::SurfacePoint at(double s) const override {
+    geometry::SurfacePoint pt;
+    pt.s = s;
+    pt.theta = std::max(0.05, 0.5 * M_PI - s / rn_);
+    pt.x = s * std::cos(pt.theta);
+    pt.r = s < 0.05 * rn_ ? 0.0 : rn_ * std::sin(std::min(s / rn_, 1.4));
+    pt.curvature = 1.0 / rn_;
+    return pt;
+  }
+  double nose_radius() const override { return rn_; }
+  double total_arc_length() const override { return 0.5 * M_PI * rn_; }
+  std::string name() const override { return "degenerate-nose"; }
+
+ private:
+  double rn_;
+};
+
+TEST(MarchFrontEnd, NoseRadiusMetricUsesStagnationLimit) {
+  // Where the generator degenerates (r = 0 at s > 0) the edge metric must
+  // fall back to the analytic stagnation limit r -> s, not an absolute
+  // clamp: for any smooth blunt nose r(s) = s + O(s^3/Rn^2), so r/s -> 1.
+  // The shared helper itself: every positive geometry radius passes
+  // through (including genuinely small aft radii on closing bodies, which
+  // the old absolute clamps inflated); a degenerate generator (r <= 0)
+  // falls back to the stagnation limit r -> s near the nose and fails
+  // loudly aft of it, where no analytic limit exists.
+  EXPECT_EQ(solvers::metric_radius(0.2, 0.1, 0.3), 0.2);
+  EXPECT_EQ(solvers::metric_radius(1e-7, 1.2, 0.3), 1e-7);
+  EXPECT_EQ(solvers::metric_radius(0.0, 0.1, 0.3), 0.1);
+  EXPECT_THROW((void)solvers::metric_radius(0.0, 2.0, 0.3), SolverError);
+
+  gas::EquilibriumSolver eq(gas::make_air5(), {{"N2", 0.79}, {"O2", 0.21}});
+  solvers::VslSolver vsl(eq);
+  atmosphere::EarthAtmosphere atmo;
+  const auto a = atmo.at(65000.0);
+  const solvers::MarchFreestream fs{6500.0, a.density, a.pressure,
+                                    a.temperature};
+  const DegenerateNose body(0.3);
+  const auto edges =
+      vsl.build_edges(body, fs, 0.002, 0.12, 8, /*vigneron=*/false);
+  for (const auto& e : edges) {
+    if (body.at(e.s).r == 0.0) {
+      EXPECT_NEAR(e.r, e.s, 1e-12) << "stagnation-limit fallback at s=" << e.s;
+    } else {
+      EXPECT_EQ(e.r, body.at(e.s).r) << "geometry radius must pass through";
+    }
+  }
+  // The sphere's own r(s) = Rn sin(s/Rn) stays within the analytic-limit
+  // band near the nose, so the fallback is consistent with the geometry it
+  // replaces: r/s in [2/pi, 1] over the whole quarter arc.
+  const geometry::Sphere sphere(0.3);
+  for (const double s : {1e-4, 1e-3, 1e-2, 0.1}) {
+    const double ratio = sphere.at(s).r / s;
+    EXPECT_GT(ratio, 2.0 / M_PI);
+    EXPECT_LE(ratio, 1.0 + 1e-12);
+  }
+  // And the march over the degenerate body still produces finite positive
+  // heating (the old 1e-6 m clamp collapsed xi near the axis).
+  const auto res = vsl.solve(body, fs, 0.002, 0.12, 8);
+  for (const auto& st : res) {
+    EXPECT_TRUE(std::isfinite(st.q_w)) << st.s;
+    EXPECT_GT(st.q_w, 0.0) << st.s;
+  }
+}
+
+TEST(MarchFrontEnd, StreamwiseOrderUpgradeShiftsHeatingSlightly) {
+  // BDF2 vs the legacy BDF1 history terms on a real sphere-cone: the two
+  // marches must stay in the same physical band (the upgrade is a
+  // discretization-order change, not a model change) while differing
+  // measurably enough that the ladder studies can observe the order.
+  gas::EquilibriumSolver eq(gas::make_air5(), {{"N2", 0.79}, {"O2", 0.21}});
+  atmosphere::EarthAtmosphere atmo;
+  const auto a = atmo.at(65000.0);
+  const solvers::MarchFreestream fs{6500.0, a.density, a.pressure,
+                                    a.temperature};
+  geometry::SphereCone body(0.3, 45.0 * M_PI / 180.0, 1.2);
+  solvers::MarchOptions o2;
+  solvers::MarchOptions o1;
+  o1.streamwise_order = 1;
+  const auto r2 = solvers::VslSolver(eq, o2).solve(
+      body, fs, 0.02, 0.9 * body.total_arc_length(), 16);
+  const auto r1 = solvers::VslSolver(eq, o1).solve(
+      body, fs, 0.02, 0.9 * body.total_arc_length(), 16);
+  ASSERT_EQ(r1.size(), r2.size());
+  double max_rel = 0.0;
+  for (std::size_t k = 0; k < r1.size(); ++k) {
+    const double rel = std::fabs(r2[k].q_w - r1[k].q_w) / r1[k].q_w;
+    max_rel = std::max(max_rel, rel);
+    EXPECT_LT(rel, 0.08) << "k=" << k << ": order change moved q_w by "
+                         << rel;
+  }
+  EXPECT_GT(max_rel, 1e-8) << "streamwise_order=1 is not reaching the core";
 }
 
 }  // namespace

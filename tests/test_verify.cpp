@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "chemistry/reaction.hpp"
 #include "chemistry/source.hpp"
@@ -159,6 +160,59 @@ TEST(verify_order, bl_march_wall_heating_second_order) {
   EXPECT_GT(p, 1.6) << "wall q_w error order degraded: " << p;
 }
 
+TEST(verify_order, march_dxi_bdf2_second_order) {
+  // The tentpole gate: variable-step BDF2 history terms in the VSL/PNS
+  // marching core must carry design order 2 in the streamwise spacing.
+  expect_order_study_passes("march_dxi_mms");
+}
+
+TEST(verify_order, march_dxi_forced_bdf1_first_order) {
+  // Negative control: the same ladder forced back to the legacy BDF1
+  // history terms must observe p ~ 1 — proving the study detects the
+  // defect this PR fixes (and would catch a regression to it).
+  expect_order_study_passes("march_dxi_bdf1");
+}
+
+TEST(verify_order, pns_vigneron_splitting_second_order) {
+  // The Vigneron path: a prescribed omega(s) < 1 scales the admitted
+  // streamwise pressure gradient; the march must still close at order 2.
+  expect_order_study_passes("pns_vigneron_mms");
+}
+
+/// Like expect_order_study_passes but honoring the study's asymmetric
+/// order band (smooth mapped grids superconverge benignly; the gate
+/// catches degradation below design order, not doing better than it).
+void expect_banded_study_passes(const char* name) {
+  const verify::StudyResult r = verify::run_study(name);
+  ASSERT_EQ(r.config.kind, verify::StudyKind::kOrder);
+  ASSERT_GE(r.orders.size(), r.config.gate_pairs);
+  const double up = r.config.upper_band();
+  for (std::size_t k = r.orders.size() - r.config.gate_pairs;
+       k < r.orders.size(); ++k) {
+    EXPECT_GE(r.orders[k].l2, r.config.design_order - r.config.tolerance)
+        << name << " pair " << k << ": " << r.detail;
+    EXPECT_LE(r.orders[k].l2, r.config.design_order + up)
+        << name << " pair " << k << ": " << r.detail;
+  }
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(verify_order, fv_euler_curvilinear_keeps_design_order) {
+  expect_banded_study_passes("fv_euler_curvilinear");
+}
+
+TEST(verify_order, fv_ns_stretched_keeps_design_order) {
+  expect_banded_study_passes("fv_ns_stretched");
+}
+
+TEST(verify_order, ebl_ladder_functional_second_order) {
+  // Gated solution verification (no exact solution): the E+BL aft-heating
+  // functional must self-converge at the streamwise design order.
+  const verify::StudyResult r = verify::run_study("ebl_dxi_ladder");
+  ASSERT_EQ(r.config.kind, verify::StudyKind::kFunctionalOrder);
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
 TEST(verify_order, reactor_path_bdf2_second_order) {
   expect_order_study_passes("reactor_time_order");
 }
@@ -224,6 +278,64 @@ TEST(verify_hooks, fv_dirichlet_preserves_uniform_state) {
       EXPECT_NEAR(solver.primitive(i, j)[1], 600.0, 1e-9);
       EXPECT_NEAR(solver.primitive(i, j)[2], 80.0, 1e-9);
     }
+}
+
+/// Free-stream preservation (discrete GCL) on a randomly-perturbed
+/// curvilinear grid: with every face metric computed from the perturbed
+/// node coordinates, the face-area vectors of each cell must still close
+/// (sum to zero), so a uniform state has identically zero residual. This
+/// is the cheap canary for metric bugs that the curvilinear MMS ladders
+/// (fv_euler_curvilinear / fv_ns_stretched) would only find through an
+/// expensive order collapse.
+void expect_freestream_preserved_on_perturbed_grid(bool viscous) {
+  constexpr std::size_t n = 12;
+  grid::StructuredGrid g(n, n);
+  std::mt19937 rng(20260730u);  // deterministic perturbation
+  std::uniform_real_distribution<double> jitter(-0.3, 0.3);
+  const double h = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i <= n; ++i)
+    for (std::size_t j = 0; j <= n; ++j) {
+      const bool interior = i > 0 && i < n && j > 0 && j < n;
+      g.xn(i, j) = h * (static_cast<double>(i) +
+                        (interior ? jitter(rng) : 0.0));
+      g.rn(i, j) = h * (static_cast<double>(j) +
+                        (interior ? jitter(rng) : 0.0));
+    }
+  g.compute_metrics(/*axisymmetric=*/false);
+
+  auto gas =
+      std::make_shared<core::IdealGasModel>(gas::IdealGas(1.4, 287.053));
+  const double rho0 = 0.8, u0 = 450.0, v0 = 130.0, p0 = 4.0e4;
+  const double e0 = gas->energy(rho0, p0);
+  solvers::FvOptions opt;
+  opt.startup_iters = 0;
+  opt.viscous = viscous;
+  opt.dirichlet = [=](double, double) {
+    return std::array<double, 4>{rho0, u0, v0, e0};
+  };
+  opt.source = [](double, double) { return std::array<double, 4>{}; };
+  solvers::EulerSolver solver(g, gas, opt);
+  solver.initialize({rho0, u0, v0, p0});
+  solver.advance(60);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(solver.primitive(i, j)[0], rho0, 1e-11 * rho0)
+          << "(" << i << "," << j << ")";
+      EXPECT_NEAR(solver.primitive(i, j)[1], u0, 1e-9 * u0)
+          << "(" << i << "," << j << ")";
+      EXPECT_NEAR(solver.primitive(i, j)[2], v0, 1e-9 * u0)
+          << "(" << i << "," << j << ")";
+      EXPECT_NEAR(solver.primitive(i, j)[3], e0, 1e-9 * e0)
+          << "(" << i << "," << j << ")";
+    }
+}
+
+TEST(verify_hooks, euler_freestream_preserved_on_perturbed_grid) {
+  expect_freestream_preserved_on_perturbed_grid(/*viscous=*/false);
+}
+
+TEST(verify_hooks, ns_freestream_preserved_on_perturbed_grid) {
+  expect_freestream_preserved_on_perturbed_grid(/*viscous=*/true);
 }
 
 TEST(verify_hooks, advance_split_rejects_source_hook) {

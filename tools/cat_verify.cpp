@@ -26,9 +26,10 @@ namespace {
 
 const char* kind_name(verify::StudyKind k) {
   switch (k) {
-    case verify::StudyKind::kOrder:     return "order";
-    case verify::StudyKind::kExactness: return "exact";
-    case verify::StudyKind::kReport:    return "report";
+    case verify::StudyKind::kOrder:           return "order";
+    case verify::StudyKind::kExactness:       return "exact";
+    case verify::StudyKind::kReport:          return "report";
+    case verify::StudyKind::kFunctionalOrder: return "forder";
   }
   return "?";
 }
@@ -71,6 +72,9 @@ std::string summary_json(const std::vector<verify::StudyResult>& results) {
     std::snprintf(buf, sizeof buf, "\"design_order\": %g, ", r.config.design_order);
     text += buf;
     std::snprintf(buf, sizeof buf, "\"tolerance\": %g, ", r.config.tolerance);
+    text += buf;
+    std::snprintf(buf, sizeof buf, "\"upper_tolerance\": %g, ",
+                  r.config.upper_band());
     text += buf;
     std::snprintf(buf, sizeof buf, "\"gate_pairs\": %zu, ",
                   r.config.gate_pairs);
