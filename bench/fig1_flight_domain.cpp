@@ -22,8 +22,8 @@ void emit_vehicle(io::Table& table, const trajectory::Vehicle& v,
                   const trajectory::EntryState& entry, double id) {
   atmosphere::EarthAtmosphere atmo;
   trajectory::TrajectoryOptions opt;
-  opt.dt_sample = 2.0;
-  opt.end_velocity = 600.0;
+  opt.dt_sample_s = 2.0;
+  opt.end_velocity_mps = 600.0;
   const auto traj = trajectory::integrate_entry(
       v, entry, atmo, gas::constants::kEarthRadius, gas::constants::kEarthG0,
       opt);

@@ -33,15 +33,15 @@ int main() {
   trajectory::Vehicle probe = trajectory::titan_probe();
   trajectory::EntryState entry{12000.0, -24.0 * M_PI / 180.0, 600000.0};
   trajectory::TrajectoryOptions topt;
-  topt.dt_sample = 1.0;
-  topt.end_velocity = 1000.0;
+  topt.dt_sample_s = 1.0;
+  topt.end_velocity_mps = 1000.0;
   const auto traj = trajectory::integrate_entry(
       probe, entry, atmo, gas::constants::kTitanRadius,
       gas::constants::kTitanG0, topt);
 
   core::HeatingPulseOptions hopt;
   hopt.max_points = 36;
-  hopt.wall_temperature = 1800.0;
+  hopt.wall_temperature_K = 1800.0;
   const auto pulse = core::heating_pulse(traj, probe, stag, hopt);
 
   io::Table table(

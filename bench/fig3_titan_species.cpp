@@ -35,7 +35,7 @@ int main() {
   c.p_inf = a.pressure;
   c.t_inf = a.temperature;
   c.nose_radius = trajectory::titan_probe().nose_radius;
-  c.wall_temperature = 1800.0;
+  c.wall_temperature_K = 1800.0;
 
   const auto sol = stag.solve(c);
   std::printf(

@@ -21,7 +21,7 @@ using namespace cat;
 int main() {
   gas::EquilibriumSolver eq(gas::make_air5(), {{"N2", 0.79}, {"O2", 0.21}});
   solvers::MarchOptions mopt;
-  mopt.wall_temperature = 1100.0;  // hot Orbiter tile surface
+  mopt.wall_temperature_K = 1100.0;  // hot Orbiter tile surface
   solvers::PnsSolver pns(eq, mopt);
 
   atmosphere::EarthAtmosphere atmo;

@@ -19,7 +19,7 @@ using namespace cat;
 int main() {
   const auto mech = chemistry::park_air11();
   solvers::Relax1dOptions opt;
-  opt.x_max = 0.05;  // the paper plots ~the first few cm
+  opt.x_max_m = 0.05;  // the paper plots ~the first few cm
   opt.n_samples = 120;
   solvers::PostShockRelaxation solver(mech, opt);
 
@@ -45,7 +45,7 @@ int main() {
     std::vector<double> y(mech.n_species());
     for (std::size_t s = 0; s < mech.n_species(); ++s) y[s] = prof.y[s][k];
     const auto x = mix.mole_fractions(y);
-    table.add_row({prof.x[k] / opt.x_max, prof.t[k], prof.tv[k],
+    table.add_row({prof.x[k] / opt.x_max_m, prof.t[k], prof.tv[k],
                    x[set.local_index("N2")], x[set.local_index("O2")],
                    x[set.local_index("N")], x[set.local_index("O")],
                    x[set.local_index("NO")], x[set.local_index("e-")]});

@@ -38,7 +38,7 @@ std::vector<double> number_densities(const chemistry::Mechanism& mech,
 int main() {
   const auto mech = chemistry::park_air11();
   solvers::Relax1dOptions opt;
-  opt.x_max = 0.5;
+  opt.x_max_m = 0.5;
   opt.n_samples = 160;
   solvers::PostShockRelaxation solver(mech, opt);
   const solvers::ShockTubeFreestream fs{13.0, 300.0, 10000.0};

@@ -38,7 +38,7 @@ int main() {
   opt.cfl = 0.4;
   opt.max_iter = 6000;
   opt.residual_tol = 1e-4;
-  opt.wall_temperature = 1500.0;
+  opt.wall_temperature_K = 1500.0;
   solvers::NavierStokesSolver solver(grid, gas_model, opt);
   solver.initialize({a.density, v, 0.0, a.pressure});
   std::printf("solving M=20 equilibrium-air NS over hemisphere (48x48)...\n");

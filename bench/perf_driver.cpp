@@ -36,8 +36,8 @@ struct PulseFixture {
         }()) {
     atmosphere::TitanAtmosphere atmo;
     trajectory::TrajectoryOptions topt;
-    topt.dt_sample = 2.0;
-    topt.end_velocity = 3000.0;
+    topt.dt_sample_s = 2.0;
+    topt.end_velocity_mps = 3000.0;
     traj = trajectory::integrate_entry(
         trajectory::titan_probe(), {12000.0, -24.0 * M_PI / 180.0, 600000.0},
         atmo, gas::constants::kTitanRadius, gas::constants::kTitanG0, topt);
@@ -53,7 +53,7 @@ scenario::PulseResult run_pulse(std::size_t threads) {
   const auto& f = PulseFixture::get();
   scenario::PulseOptions opt;
   opt.max_points = 24;
-  opt.wall_temperature = 1800.0;
+  opt.wall_temperature_K = 1800.0;
   opt.threads = threads;
   return scenario::heating_pulse(f.traj, trajectory::titan_probe(), f.stag,
                                  opt);

@@ -28,7 +28,7 @@ int main() {
   c.gas = scenario::GasModelKind::kAir9;
   c.vehicle = trajectory::aotv();
   c.condition = {9000.0, 75000.0};
-  c.wall_temperature = 1600.0;
+  c.wall_temperature_K = 1600.0;
 
   const auto r = scenario::run_case(c);
 

@@ -18,6 +18,7 @@ struct Builder {
   /// Third-body efficiencies: atoms (and atomic ions) are roughly an order
   /// of magnitude more effective dissociation partners; free electrons are
   /// excluded from the heavy-particle third-body sum.
+  // cat-lint: allow-alloc (Builder runs once, at mechanism construction)
   std::vector<double> efficiencies(double atom_eff,
                                    double base = 1.0) const {
     std::vector<double> eff(set.size(), base);
@@ -106,6 +107,7 @@ enum class AirLevel { kNeutral, kIonizing9, kIonizing11 };
 /// dissociation/exchange core, optionally extended with the ionizing set
 /// (associative ionization, electron impact, charge exchange) and, at the
 /// 11-species level, the molecular-ion channels.
+// cat-lint: allow-alloc (mechanism construction happens once, at setup)
 std::vector<Reaction> air_reactions(const Builder& b, AirLevel level) {
   std::vector<Reaction> rx = {
       // Park-type dissociation set (A in cm^3/mol/s).
@@ -142,6 +144,7 @@ std::vector<Reaction> air_reactions(const Builder& b, AirLevel level) {
   return rx;
 }
 
+// cat-lint: allow-alloc (mechanism construction happens once, at setup)
 Mechanism make_air_mechanism(gas::SpeciesSet set, AirLevel level) {
   Builder b{std::move(set)};
   // Build the reactions before handing the set to the Mechanism: braced

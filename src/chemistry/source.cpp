@@ -11,6 +11,7 @@ namespace cat::chemistry {
 
 using gas::constants::kRu;
 
+// cat-lint: allow-alloc (one-time construction: per-species tables)
 IsochoricReactor::IsochoricReactor(const Mechanism& mech) : mech_(mech) {
   const std::size_t ns = mech_.n_species();
   h_const_.reserve(ns);
@@ -59,7 +60,7 @@ void IsochoricReactor::advance_coupled(State& state, double rho,
     dudt[ns] = -esum / std::max(cv, 1e-6);
     if (source_) source_(t_now, u, dudt);
   };
-  u_scratch_.resize(ns + 1);
+  u_scratch_.resize(ns + 1);  // cat-lint: allow-alloc (no-op after 1st call)
   std::copy(state.y.begin(), state.y.end(), u_scratch_.begin());
   u_scratch_[ns] = state.t;
   numerics::StiffIntegrator integ(rhs, nullptr, stiff_opt_);
@@ -88,7 +89,7 @@ void IsochoricReactor::advance_split(State& state, double rho,
     const double inv_rho = 1.0 / rho;
     for (std::size_t s = 0; s < ns; ++s) dudt[s] *= inv_rho;
   };
-  u_scratch_.resize(ns);
+  u_scratch_.resize(ns);  // cat-lint: allow-alloc (no-op after 1st call)
   std::copy(state.y.begin(), state.y.end(), u_scratch_.begin());
   numerics::StiffIntegrator integ(rhs, nullptr, stiff_opt_);
   integ.integrate(0.0, dt, std::span<double>(u_scratch_), stiff_);
@@ -99,6 +100,7 @@ void IsochoricReactor::advance_split(State& state, double rho,
                                                     state.t);
 }
 
+// cat-lint: allow-alloc (one-time construction: per-species tables)
 TwoTemperatureReactor::TwoTemperatureReactor(const Mechanism& mech)
     : mech_(mech), ttg_(mech.species_set()) {
   const std::size_t ns = mech_.n_species();
@@ -177,7 +179,7 @@ void TwoTemperatureReactor::advance(State& state, double rho,
     if (source_) source_(t_now, u, dudt);
   };
 
-  u_scratch_.resize(ns + 2);
+  u_scratch_.resize(ns + 2);  // cat-lint: allow-alloc (no-op after 1st call)
   std::copy(state.y.begin(), state.y.end(), u_scratch_.begin());
   u_scratch_[ns] = state.t;
   u_scratch_[ns + 1] = state.tv;

@@ -14,7 +14,7 @@ std::vector<HeatingPoint> heating_pulse(
   scenario::PulseOptions popt;
   popt.start_velocity_fraction = opt.start_velocity_fraction;
   popt.max_points = opt.max_points;
-  popt.wall_temperature = opt.wall_temperature;
+  popt.wall_temperature_K = opt.wall_temperature_K;
   popt.threads = 1;
   return std::move(scenario::heating_pulse(traj, vehicle, solver, popt)
                        .points);

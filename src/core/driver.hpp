@@ -26,9 +26,9 @@ struct HeatingPoint {
 
 /// Options for the heating-pulse driver.
 struct HeatingPulseOptions {
-  double start_velocity_fraction = 0.15;  ///< skip points below this V/V_entry
+  double start_velocity_fraction = 0.15;  ///< skip points below this V/V_entry  // cat-lint: dimensionless
   std::size_t max_points = 80;            ///< stagnation solves along the pulse
-  double wall_temperature = 1500.0;
+  double wall_temperature_K = 1500.0;
 };
 
 /// Compute the stagnation heating pulse along a trajectory (serial shim

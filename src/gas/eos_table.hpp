@@ -47,6 +47,9 @@ class EquilibriumEosTable {
 
   /// Inverse query: internal energy from (rho, p) — Newton on the table;
   /// needed to initialize states from pressure boundary conditions.
+  /// Invert p(rho, e) for e by bisection on the tabulated range; throws
+  /// cat::SolverError when \p p falls outside the tabulated pressure range
+  /// at this density (the inverse does not exist on the table).
   double energy_from_pressure(double rho, double p) const;
 
   const Range& range() const { return range_; }

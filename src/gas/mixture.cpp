@@ -92,7 +92,8 @@ double Mixture::temperature_from_energy(std::span<const double> y, double e,
   double t = std::clamp(t_guess, t_min, t_max);
   // Newton with cv = cp - R; the energy curve is monotone so safeguard by
   // bisection bracket expansion only when Newton leaves [t_min, t_max].
-  for (int it = 0; it < 100; ++it) {
+  // Exhaustion is benign: the bisection fallback below always answers.
+  for (int it = 0; it < 100; ++it) {  // cat-lint: converges-by-construction
     const double f = internal_energy_mass(y, t) - e;
     const double cv = cp_mass(y, t) - r;
     double tn = t - f / std::max(cv, 1e-3);
@@ -101,9 +102,12 @@ double Mixture::temperature_from_energy(std::span<const double> y, double e,
     t = tn;
   }
   // Newton cycling (can happen at vibrational turn-on): fall back to
-  // bisection on the monotone residual.
+  // bisection on the monotone residual. Each pass halves the bracket, so
+  // 200 iterations overshoot the 1e-9 width target by construction;
+  // energies beyond the bracket saturate at t_min/t_max (documented API:
+  // "result clamped to [t_min, t_max]").
   double lo = t_min, hi = t_max;
-  for (int it = 0; it < 200; ++it) {
+  for (int it = 0; it < 200; ++it) {  // cat-lint: converges-by-construction
     const double mid = 0.5 * (lo + hi);
     if (internal_energy_mass(y, mid) > e) {
       hi = mid;
@@ -117,18 +121,38 @@ double Mixture::temperature_from_energy(std::span<const double> y, double e,
 
 double Mixture::temperature_from_enthalpy(std::span<const double> y, double h,
                                           double t_guess) const {
-  const double r = gas_constant(y);
-  double t = std::clamp(t_guess, 10.0, 60000.0);
-  for (int it = 0; it < 100; ++it) {
+  constexpr double kTMin = 10.0, kTMax = 60000.0;
+  // The enthalpy curve is monotone in T: a target outside the bracket has
+  // no solution, and silently returning the last Newton iterate (the
+  // pre-lint behavior) handed callers an arbitrary clamped temperature.
+  if (h < enthalpy_mass(y, kTMin) || h > enthalpy_mass(y, kTMax)) {
+    throw SolverError(
+        "temperature_from_enthalpy: target enthalpy outside the "
+        "representable range [h(10 K), h(60000 K)]");
+  }
+  double t = std::clamp(t_guess, kTMin, kTMax);
+  // Exhaustion is benign: the bisection fallback below always answers.
+  for (int it = 0; it < 100; ++it) {  // cat-lint: converges-by-construction
     const double f = enthalpy_mass(y, t) - h;
     const double cp = cp_mass(y, t);
     double tn = t - f / std::max(cp, 1e-3);
-    tn = std::clamp(tn, 10.0, 60000.0);
+    tn = std::clamp(tn, kTMin, kTMax);
     if (std::fabs(tn - t) < 1e-10 * std::max(1.0, t)) return tn;
     t = tn;
   }
-  (void)r;
-  return t;
+  // Newton cycling: bisect the (validated) bracket — halving 200 times
+  // lands far below the relative width target by construction.
+  double lo = kTMin, hi = kTMax;
+  for (int it = 0; it < 200; ++it) {  // cat-lint: converges-by-construction
+    const double mid = 0.5 * (lo + hi);
+    if (enthalpy_mass(y, mid) > h) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (hi - lo < 1e-9 * hi) break;
+  }
+  return 0.5 * (lo + hi);
 }
 
 double Mixture::gamma_frozen(std::span<const double> y, double t) const {

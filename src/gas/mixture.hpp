@@ -57,7 +57,9 @@ class Mixture {
                                  double t_min = 10.0,
                                  double t_max = 60000.0) const;
 
-  /// Same inversion from enthalpy h = e + R T.
+  /// Same inversion from enthalpy h = e + R T over the fixed bracket
+  /// [10 K, 60000 K]; throws cat::SolverError when \p h lies outside the
+  /// enthalpy range of that bracket (no solution exists).
   double temperature_from_enthalpy(std::span<const double> y, double h,
                                    double t_guess = 1000.0) const;
 

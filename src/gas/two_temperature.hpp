@@ -38,7 +38,10 @@ class TwoTemperatureGas {
   /// Translational-rotational heat capacity d(e - ev)/dT [J/(kg K)].
   double trans_rot_cv(std::span<const double> y) const;
 
-  /// Invert vibronic_energy for Tv (Newton, monotone).
+  /// Invert vibronic_energy for Tv (safeguarded Newton with a bisection
+  /// fallback on the monotone curve). Energies outside the representable
+  /// [20 K, 80000 K] bracket saturate at the bracket ends — stiff-solver
+  /// trial states overshoot transiently and rely on that clamp.
   double tv_from_vibronic_energy(std::span<const double> y, double ev,
                                  double tv_guess = 1000.0) const;
 

@@ -49,6 +49,8 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+// cat-lint: allow-alloc (value-returning convenience API; the stiff hot
+// loop uses lu_solve_inplace with workspace scratch instead)
 std::vector<double> Matrix::operator*(std::span<const double> x) const {
   CAT_REQUIRE(cols_ == x.size(), "matrix-vector shape mismatch");
   std::vector<double> y(rows_, 0.0);
@@ -64,6 +66,7 @@ LuFactor::LuFactor(const Matrix& a) : n_(a.rows()), lu_(a), piv_(a.rows()) {
   lu_factor_inplace(lu_, piv_);
   // Permutation parity for the determinant sign: count transpositions by
   // walking the cycles of piv_.
+  // cat-lint: allow-alloc (factor-time parity walk, not the solve path)
   std::vector<bool> seen(n_, false);
   for (std::size_t i = 0; i < n_; ++i) {
     if (seen[i]) continue;
@@ -76,17 +79,21 @@ LuFactor::LuFactor(const Matrix& a) : n_(a.rows()), lu_(a), piv_(a.rows()) {
   }
 }
 
+// cat-lint: allow-alloc (convenience API; the stiff hot loop calls the
+// free lu_solve_inplace with workspace scratch instead)
 void LuFactor::solve_inplace(std::span<double> b) const {
   std::vector<double> scratch(n_);
   lu_solve_inplace(lu_, piv_, b, scratch);
 }
 
+// cat-lint: allow-alloc (value-returning convenience API)
 std::vector<double> LuFactor::solve(std::span<const double> b) const {
   std::vector<double> x(b.begin(), b.end());
   solve_inplace(x);
   return x;
 }
 
+// cat-lint: allow-alloc (value-returning convenience API)
 Matrix LuFactor::solve(const Matrix& b) const {
   CAT_REQUIRE(b.rows() == n_, "matrix rhs shape mismatch");
   Matrix x(n_, b.cols());
@@ -156,6 +163,7 @@ void lu_solve_inplace(const Matrix& lu, std::span<const std::size_t> piv,
   for (std::size_t i = 0; i < n; ++i) b[i] = x[i];
 }
 
+// cat-lint: allow-alloc (value-returning convenience API)
 std::vector<double> solve(const Matrix& a, std::span<const double> b) {
   return LuFactor(a).solve(b);
 }

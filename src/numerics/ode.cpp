@@ -7,6 +7,9 @@
 
 namespace cat::numerics {
 
+// cat-lint: allow-alloc (explicit RK helpers serve the verification and
+// trajectory layers; the chemistry hot path uses StiffIntegrator with a
+// caller-held StiffWorkspace)
 void rk4_step(const OdeRhs& f, double t, double h, std::vector<double>& y) {
   const std::size_t n = y.size();
   std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
@@ -57,8 +60,10 @@ std::size_t integrate_rkf45(const OdeRhs& f, double t0, double t1,
   const double h_min =
       opt.h_min != 0.0 ? opt.h_min : 1e-14 * std::fabs(span);
 
+  // cat-lint: allow-alloc (per-integration setup of the adaptive RK45
+  // stage buffers; not the chemistry hot path)
   std::vector<std::vector<double>> k(6, std::vector<double>(n));
-  std::vector<double> ytmp(n), y5(n), y4(n);
+  std::vector<double> ytmp(n), y5(n), y4(n);  // cat-lint: allow-alloc
   double t = t0;
   std::size_t accepted = 0;
 
@@ -109,6 +114,8 @@ std::size_t integrate_rkf45(const OdeRhs& f, double t0, double t1,
 StiffIntegrator::StiffIntegrator(OdeRhs f, OdeJacobian jac, Options opt)
     : f_(std::move(f)), jac_(std::move(jac)), opt_(opt) {}
 
+// cat-lint: allow-alloc (this IS the designated growth point: capacity is
+// established here once and every later call is a no-op)
 void StiffWorkspace::resize(std::size_t n) {
   if (jac.rows() != n) {
     jac = Matrix(n, n);
@@ -153,7 +160,7 @@ std::size_t StiffIntegrator::integrate(double t0, double t1,
                                        const OdeObserver& observer) const {
   const std::size_t n = y.size();
   CAT_REQUIRE(t1 > t0, "stiff integrator marches forward only");
-  ws.resize(n);
+  ws.resize(n);  // cat-lint: allow-alloc (no-op once the workspace is sized)
   double t = t0;
   const bool fixed = opt_.fixed_step > 0.0;
   double h = fixed ? opt_.fixed_step : opt_.h_initial;
@@ -194,6 +201,9 @@ std::size_t StiffIntegrator::integrate(double t0, double t1,
     } else {
       numerical_jacobian(t + h, ynew, ws);
     }
+    // cat-lint: converges-by-construction (a Newton stall leaves
+    // !converged set and the step controller below rejects the step and
+    // halves h — exhaustion is recorded, not swallowed)
     for (std::size_t it = 0; it < opt_.max_newton; ++it) {
       f_(t + h, ynew, fval);
       double rnorm = 0.0;

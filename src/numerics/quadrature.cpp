@@ -49,6 +49,7 @@ void gauss_legendre(std::size_t n, std::vector<double>& nodes,
     double x = std::cos(M_PI * (static_cast<double>(i) + 0.75) /
                         (static_cast<double>(n) + 0.5));
     double pp = 0.0;
+    bool converged = false;
     for (int iter = 0; iter < 100; ++iter) {
       double p0 = 1.0, p1 = 0.0;
       for (std::size_t j = 0; j < n; ++j) {
@@ -61,7 +62,17 @@ void gauss_legendre(std::size_t n, std::vector<double>& nodes,
       pp = static_cast<double>(n) * (x * p0 - p1) / (x * x - 1.0);
       const double dx = p0 / pp;
       x -= dx;
-      if (std::fabs(dx) < 1e-15) break;
+      if (std::fabs(dx) < 1e-15) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      // Newton from the Chebyshev seed converges in a handful of steps for
+      // every reachable n; exhausting the budget means the node (and with
+      // it every downstream quadrature) would be silently inaccurate.
+      throw SolverError("gauss_legendre: Newton failed to converge on a "
+                        "Legendre root");
     }
     nodes[i] = -x;
     nodes[n - 1 - i] = x;

@@ -49,7 +49,7 @@ PulseResult heating_pulse(
     const auto& p = traj[idx[i]];
     core::HeatingPoint hp{p.time, p.velocity, p.altitude, 0.0, 0.0};
     PulsePointStatus st;
-    if (p.density < opt.continuum_density_floor) {
+    if (p.density < opt.continuum_density_floor_kg_m3) {
       // Free-molecular fringe: no continuum shock layer yet.
       st = PulsePointStatus::kFreeMolecular;
     } else {
@@ -59,7 +59,7 @@ PulseResult heating_pulse(
       c.p_inf = p.pressure;
       c.t_inf = p.temperature;
       c.nose_radius = vehicle.nose_radius;
-      c.wall_temperature = opt.wall_temperature;
+      c.wall_temperature_K = opt.wall_temperature_K;
       try {
         const auto sol = solver.solve(c);
         hp.q_conv = sol.q_conv;

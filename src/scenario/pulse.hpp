@@ -21,13 +21,13 @@ namespace cat::scenario {
 /// Options for the batch pulse driver (superset of the legacy
 /// core::HeatingPulseOptions).
 struct PulseOptions {
-  double start_velocity_fraction = 0.15;  ///< skip points below this V/V_entry
+  double start_velocity_fraction = 0.15;  ///< skip points below this V/V_entry  // cat-lint: dimensionless
   std::size_t max_points = 80;            ///< stagnation solves along the pulse
-  double wall_temperature = 1500.0;
+  double wall_temperature_K = 1500.0;
   std::size_t threads = 1;                ///< 0 = hardware concurrency
   /// Continuum floor: below this freestream density the point is reported
   /// as free-molecular (zero continuum heating) without a solve.
-  double continuum_density_floor = 1e-9;  ///< [kg/m^3]
+  double continuum_density_floor_kg_m3 = 1e-9;  ///< [kg/m^3]
 };
 
 /// Outcome of one pulse point.

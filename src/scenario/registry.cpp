@@ -22,9 +22,9 @@ std::vector<Case> build_registry() {
     c.gas = GasModelKind::kTitan;
     c.vehicle = trajectory::titan_probe();
     c.entry = {12000.0, deg(-24.0), 600000.0};
-    c.traj_opt.dt_sample = 2.0;
-    c.traj_opt.end_velocity = 1500.0;
-    c.wall_temperature = 1800.0;
+    c.traj_opt.dt_sample_s = 2.0;
+    c.traj_opt.end_velocity_mps = 1500.0;
+    c.wall_temperature_K = 1800.0;
     c.max_pulse_points = 16;
     cases.push_back(c);
   }
@@ -38,7 +38,7 @@ std::vector<Case> build_registry() {
     c.gas = GasModelKind::kTitan;
     c.vehicle = trajectory::titan_probe();
     c.condition = {10500.0, 250000.0};
-    c.wall_temperature = 1800.0;
+    c.wall_temperature_K = 1800.0;
     cases.push_back(c);
   }
 
@@ -50,8 +50,8 @@ std::vector<Case> build_registry() {
     c.family = SolverFamily::kTrajectoryDomain;
     c.vehicle = trajectory::shuttle_orbiter();
     c.entry = {7800.0, deg(-1.2), 120000.0};
-    c.traj_opt.dt_sample = 5.0;
-    c.traj_opt.end_velocity = 500.0;
+    c.traj_opt.dt_sample_s = 5.0;
+    c.traj_opt.end_velocity_mps = 500.0;
     cases.push_back(c);
   }
   {
@@ -61,8 +61,8 @@ std::vector<Case> build_registry() {
     c.family = SolverFamily::kTrajectoryDomain;
     c.vehicle = trajectory::tav();
     c.entry = {6500.0, deg(-0.8), 90000.0};
-    c.traj_opt.dt_sample = 5.0;
-    c.traj_opt.end_velocity = 800.0;
+    c.traj_opt.dt_sample_s = 5.0;
+    c.traj_opt.end_velocity_mps = 800.0;
     cases.push_back(c);
   }
 
@@ -75,9 +75,9 @@ std::vector<Case> build_registry() {
     c.gas = GasModelKind::kAir5;
     c.vehicle = trajectory::shuttle_orbiter();
     c.entry = {7800.0, deg(-1.2), 120000.0};
-    c.traj_opt.dt_sample = 5.0;
-    c.traj_opt.end_velocity = 1500.0;
-    c.wall_temperature = 1400.0;
+    c.traj_opt.dt_sample_s = 5.0;
+    c.traj_opt.end_velocity_mps = 1500.0;
+    c.wall_temperature_K = 1400.0;
     c.max_pulse_points = 24;
     cases.push_back(c);
   }
@@ -89,9 +89,9 @@ std::vector<Case> build_registry() {
     c.gas = GasModelKind::kAir9;
     c.vehicle = trajectory::aotv();
     c.entry = {9500.0, deg(-4.5), 120000.0};
-    c.traj_opt.dt_sample = 1.0;
-    c.traj_opt.end_velocity = 2000.0;
-    c.wall_temperature = 1600.0;
+    c.traj_opt.dt_sample_s = 1.0;
+    c.traj_opt.end_velocity_mps = 2000.0;
+    c.wall_temperature_K = 1600.0;
     c.max_pulse_points = 20;
     cases.push_back(c);
   }
@@ -103,9 +103,9 @@ std::vector<Case> build_registry() {
     c.gas = GasModelKind::kAir9;
     c.vehicle = trajectory::galileo_class_probe();
     c.entry = {11000.0, deg(-15.0), 120000.0};
-    c.traj_opt.dt_sample = 1.0;
-    c.traj_opt.end_velocity = 2000.0;
-    c.wall_temperature = 2500.0;
+    c.traj_opt.dt_sample_s = 1.0;
+    c.traj_opt.end_velocity_mps = 2000.0;
+    c.wall_temperature_K = 2500.0;
     c.max_pulse_points = 20;
     cases.push_back(c);
   }
@@ -119,8 +119,8 @@ std::vector<Case> build_registry() {
     c.gas = GasModelKind::kAir5;
     c.vehicle = trajectory::shuttle_orbiter();
     c.condition = {6740.0, 71300.0};
-    c.angle_of_attack = deg(40.0);
-    c.wall_temperature = 1100.0;
+    c.angle_of_attack_rad = deg(40.0);
+    c.wall_temperature_K = 1100.0;
     c.n_stations = 16;
     cases.push_back(c);
   }
@@ -132,8 +132,8 @@ std::vector<Case> build_registry() {
     c.gas = GasModelKind::kAir5;
     c.vehicle = trajectory::shuttle_orbiter();
     c.condition = {6740.0, 71300.0};
-    c.angle_of_attack = deg(40.0);
-    c.wall_temperature = 1100.0;
+    c.angle_of_attack_rad = deg(40.0);
+    c.wall_temperature_K = 1100.0;
     c.n_stations = 16;
     cases.push_back(c);
   }
@@ -146,8 +146,8 @@ std::vector<Case> build_registry() {
     c.ideal_gamma = 1.2;
     c.vehicle = trajectory::shuttle_orbiter();
     c.condition = {6740.0, 71300.0};
-    c.angle_of_attack = deg(40.0);
-    c.wall_temperature = 1100.0;
+    c.angle_of_attack_rad = deg(40.0);
+    c.wall_temperature_K = 1100.0;
     c.n_stations = 16;
     cases.push_back(c);
   }
@@ -161,9 +161,9 @@ std::vector<Case> build_registry() {
     c.gas = GasModelKind::kAir5;
     c.vehicle = {"VSL-sphere-cone", 500.0, 1.0, 1.0, 0.0, 0.3};
     c.condition = {6500.0, 65000.0};
-    c.cone_half_angle = deg(45.0);
-    c.body_length = 1.2;
-    c.wall_temperature = 1200.0;
+    c.cone_half_angle_rad = deg(45.0);
+    c.body_length_m = 1.2;
+    c.wall_temperature_K = 1200.0;
     c.n_stations = 16;
     cases.push_back(c);
   }
@@ -178,7 +178,7 @@ std::vector<Case> build_registry() {
     c.viscous = false;
     c.vehicle = {"hemisphere", 100.0, 0.073, 1.0, 0.0, 0.1524};
     c.condition = {5900.0, 30000.0};
-    c.wall_temperature = 1500.0;
+    c.wall_temperature_K = 1500.0;
     cases.push_back(c);
   }
   {
@@ -190,7 +190,7 @@ std::vector<Case> build_registry() {
     c.viscous = true;
     c.vehicle = {"hemisphere", 100.0, 0.073, 1.0, 0.0, 0.1524};
     c.condition = {5950.0, 20000.0};
-    c.wall_temperature = 1500.0;
+    c.wall_temperature_K = 1500.0;
     cases.push_back(c);
   }
 
@@ -201,9 +201,9 @@ std::vector<Case> build_registry() {
     c.title = "10 km/s shock into 0.1 Torr air: two-T relaxation (Fig. 7/8)";
     c.family = SolverFamily::kShockTubeRelaxation;
     c.gas = GasModelKind::kAir11;
-    c.condition.velocity = 10000.0;
-    c.condition.pressure = 13.0;      // 0.1 Torr
-    c.condition.temperature = 300.0;
+    c.condition.velocity_mps = 10000.0;
+    c.condition.pressure_Pa = 13.0;      // 0.1 Torr
+    c.condition.temperature_K = 300.0;
     cases.push_back(c);
   }
 

@@ -101,20 +101,20 @@ std::vector<trajectory::TrajectoryPoint> integrate_case_trajectory(
 solvers::StagnationConditions stagnation_conditions(
     const Case& c, const PlanetModel& planet) {
   solvers::StagnationConditions sc;
-  sc.velocity = c.condition.velocity;
+  sc.velocity = c.condition.velocity_mps;
   sc.nose_radius = c.vehicle.nose_radius;
-  sc.wall_temperature = c.wall_temperature;
-  if (c.condition.pressure >= 0.0 && c.condition.temperature >= 0.0) {
-    sc.p_inf = c.condition.pressure;
-    sc.t_inf = c.condition.temperature;
+  sc.wall_temperature_K = c.wall_temperature_K;
+  if (c.condition.pressure_Pa >= 0.0 && c.condition.temperature_K >= 0.0) {
+    sc.p_inf = c.condition.pressure_Pa;
+    sc.t_inf = c.condition.temperature_K;
     // Density from the cold perfect-gas law of the planet's base gas; for
     // explicit overrides the caller usually also has rho, but the pair
     // (p, T) defines it through the cold composition.
-    const auto a = planet.atmosphere->at(c.condition.altitude);
+    const auto a = planet.atmosphere->at(c.condition.altitude_m);
     sc.rho_inf = a.density * (sc.p_inf / std::max(a.pressure, 1e-300)) *
                  (a.temperature / std::max(sc.t_inf, 1e-300));
   } else {
-    const auto a = planet.atmosphere->at(c.condition.altitude);
+    const auto a = planet.atmosphere->at(c.condition.altitude_m);
     sc.rho_inf = a.density;
     sc.p_inf = a.pressure;
     sc.t_inf = a.temperature;
@@ -202,7 +202,7 @@ class StagnationPulseRunner final : public Runner {
 
     PulseOptions popt;
     popt.max_points = c.max_pulse_points;
-    popt.wall_temperature = c.wall_temperature;
+    popt.wall_temperature_K = c.wall_temperature_K;
     popt.threads = opt.threads;
     const PulseResult pulse = heating_pulse(traj, c.vehicle, stag, popt);
 

@@ -68,7 +68,7 @@ class FiniteVolumeFieldRunner final : public Runner {
     opt.cfl = 0.4;
     opt.max_iter = preset.max_iter;
     opt.residual_tol = preset.residual_tol;
-    opt.wall_temperature = c.wall_temperature;
+    opt.wall_temperature_K = c.wall_temperature_K;
     std::unique_ptr<solvers::EulerSolver> solver_ptr;
     if (c.viscous) {
       solver_ptr = std::make_unique<solvers::NavierStokesSolver>(

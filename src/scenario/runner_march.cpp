@@ -20,7 +20,7 @@ using detail::seconds_since;
 
 solvers::MarchOptions march_options(const Case& c) {
   solvers::MarchOptions mopt;
-  mopt.wall_temperature = c.wall_temperature;
+  mopt.wall_temperature_K = c.wall_temperature_K;
   mopt.streamwise_order = c.streamwise_order;
   if (c.fidelity == Fidelity::kSmoke) {
     mopt.n_eta = 100;
@@ -51,8 +51,8 @@ class VslRunner final : public Runner {
 
     const double rn = c.vehicle.nose_radius;
     CAT_REQUIRE(rn > 0.0, "VSL case needs a positive nose radius");
-    const double length = c.body_length > 0.0 ? c.body_length : 4.0 * rn;
-    const geometry::SphereCone body(rn, c.cone_half_angle, length);
+    const double length = c.body_length_m > 0.0 ? c.body_length_m : 4.0 * rn;
+    const geometry::SphereCone body(rn, c.cone_half_angle_rad, length);
     const auto fs = march_freestream(c, planet);
     const auto res = vsl.solve(body, fs, 0.02 * body.total_arc_length(),
                                0.9 * body.total_arc_length(), c.n_stations);
@@ -94,12 +94,12 @@ class PnsRunner final : public Runner {
       // the edge construction interface; air5 is the cheapest.
       const auto eq = make_equilibrium(GasModelKind::kAir5, c.planet);
       const solvers::PnsSolver pns(eq, march_options(c));
-      march = pns.solve_ideal(orb, fs, c.angle_of_attack, c.ideal_gamma,
+      march = pns.solve_ideal(orb, fs, c.angle_of_attack_rad, c.ideal_gamma,
                               c.n_stations);
     } else {
       const auto eq = make_equilibrium(c.gas, c.planet);
       const solvers::PnsSolver pns(eq, march_options(c));
-      march = pns.solve_equilibrium(orb, fs, c.angle_of_attack,
+      march = pns.solve_equilibrium(orb, fs, c.angle_of_attack_rad,
                                     c.n_stations);
     }
 
@@ -138,7 +138,7 @@ class EulerBlRunner final : public Runner {
     const auto eq = make_equilibrium(c.gas, c.planet);
     const geometry::OrbiterGeometry orb;
     const geometry::Hyperboloid body =
-        orb.equivalent_hyperboloid(c.angle_of_attack);
+        orb.equivalent_hyperboloid(c.angle_of_attack_rad);
 
     Case point = c;
     point.vehicle.nose_radius = body.nose_radius();
@@ -157,11 +157,22 @@ class EulerBlRunner final : public Runner {
       const double xl = 0.05 + 0.90 * static_cast<double>(k) /
                                    static_cast<double>(c.n_stations - 1);
       double slo = 1e-4, shi = body.total_arc_length();
-      for (int it = 0; it < 50; ++it) {
+      // Bisection on the monotone x(s) mapping: 50 halvings pin the
+      // station arc length to ~2^-50 of the body length by construction.
+      for (int it = 0; it < 50; ++it) {  // cat-lint: converges-by-construction
         const double mid = 0.5 * (slo + shi);
         (body.at(mid).x / orb.length > xl ? shi : slo) = mid;
       }
       const auto pt = body.at(0.5 * (slo + shi));
+      // A target x/L outside the body's [x(slo), x(shi)] span makes the
+      // bisection collapse silently onto an endpoint — the station would
+      // then sit at the wrong place with no signal. Guard it.
+      if (std::fabs(pt.x / orb.length - xl) > 1e-3) {
+        throw SolverError(
+            "E+BL station placement: x/L target not reachable on the "
+            "equivalent-hyperboloid arc (bisection collapsed to an "
+            "endpoint)");
+      }
       const double sth = std::sin(std::max(pt.theta, 0.02));
       stations.push_back(
           {pt.s, solvers::metric_radius(pt.r, pt.s, body.nose_radius()),
@@ -169,7 +180,7 @@ class EulerBlRunner final : public Runner {
       x_over_l.push_back(xl);
     }
     solvers::BlOptions bopt;
-    bopt.wall_temperature = c.wall_temperature;
+    bopt.wall_temperature_K = c.wall_temperature_K;
     bopt.streamwise_order = c.streamwise_order;
     if (c.fidelity == Fidelity::kSmoke) {
       bopt.n_eta = 120;

@@ -38,22 +38,22 @@ class RelaxationRunner final : public Runner {
 
   CaseResult run(const Case& c, const RunOptions&) const override {
     const auto t0 = detail::Clock::now();
-    CAT_REQUIRE(c.condition.pressure >= 0.0 && c.condition.temperature >= 0.0,
+    CAT_REQUIRE(c.condition.pressure_Pa >= 0.0 && c.condition.temperature_K >= 0.0,
                 "shock-tube cases define the upstream state explicitly "
-                "(condition.pressure/temperature)");
+                "(condition.pressure_Pa/temperature_K)");
     const auto mech = make_mechanism(c.gas);
     solvers::Relax1dOptions opt;
     if (c.fidelity == Fidelity::kSmoke) {
-      opt.x_max = 0.05;
+      opt.x_max_m = 0.05;
       opt.n_samples = 48;
     } else {
-      opt.x_max = 0.10;
+      opt.x_max_m = 0.10;
       opt.n_samples = 200;
     }
     const solvers::PostShockRelaxation solver(mech, opt);
 
     const solvers::ShockTubeFreestream fs{
-        c.condition.pressure, c.condition.temperature, c.condition.velocity};
+        c.condition.pressure_Pa, c.condition.temperature_K, c.condition.velocity_mps};
     std::vector<double> y1(mech.n_species(), 0.0);
     y1[mech.species_set().local_index("N2")] = 0.767;
     y1[mech.species_set().local_index("O2")] = 0.233;

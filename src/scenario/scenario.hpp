@@ -58,10 +58,10 @@ enum class Fidelity {
 /// the planet atmosphere at \p altitude; setting them explicitly bypasses
 /// the atmosphere (shock-tube cases).
 struct FlightCondition {
-  double velocity = 0.0;      ///< [m/s]
-  double altitude = 0.0;      ///< [m]
-  double pressure = -1.0;     ///< [Pa] override when >= 0
-  double temperature = -1.0;  ///< [K] override when >= 0
+  double velocity_mps = 0.0;   ///< [m/s]
+  double altitude_m = 0.0;     ///< [m]
+  double pressure_Pa = -1.0;   ///< [Pa] override when >= 0
+  double temperature_K = -1.0; ///< [K] override when >= 0
 };
 
 /// A complete, solver-independent description of one CAT computation.
@@ -78,11 +78,11 @@ struct Case {
   trajectory::TrajectoryOptions traj_opt{};
   FlightCondition condition{};          ///< point/march/field families
 
-  double wall_temperature = 1500.0;     ///< [K]
-  double angle_of_attack = 0.0;         ///< [rad] windward-plane marches
-  double ideal_gamma = 1.2;             ///< for GasModelKind::kIdealGamma
-  double cone_half_angle = 0.7853981633974483;  ///< [rad] VSL sphere-cone
-  double body_length = 0.0;             ///< [m] VSL body (0 = 4 nose radii)
+  double wall_temperature_K = 1500.0;     ///< [K]
+  double angle_of_attack_rad = 0.0;         ///< [rad] windward-plane marches
+  double ideal_gamma = 1.2;  ///< for GasModelKind::kIdealGamma  // cat-lint: dimensionless
+  double cone_half_angle_rad = 0.7853981633974483;  ///< [rad] VSL sphere-cone
+  double body_length_m = 0.0;             ///< [m] VSL body (0 = 4 nose radii)
   std::size_t n_stations = 16;          ///< marching families
   /// Streamwise difference order of the marching families (VSL/PNS/E+BL):
   /// 2 = variable-step BDF2 history terms (design order 2 in dxi),

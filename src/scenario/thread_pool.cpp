@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    cat::MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -31,8 +31,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      cat::MutexLock lock(mutex_);
+      wake_.wait(mutex_, [&]() CAT_REQUIRES(mutex_) {
+        return stop_ || generation_ != seen;
+      });
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -48,11 +50,18 @@ void ThreadPool::run_items(Job& job) {
     try {
       (*job.fn)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!job.error) job.error = std::current_exception();
+      // Keep the lowest-index failure: deterministic for any schedule.
+      cat::MutexLock lock(job.error_mutex);
+      if (!job.error || i < job.error_index) {
+        job.error = std::current_exception();
+        job.error_index = i;
+      }
     }
+    // The final item's acq_rel increment closes the release sequence every
+    // worker participated in, so the caller's acquire load of done (in the
+    // finished_ predicate) sees all item effects — including error slots.
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      cat::MutexLock lock(mutex_);
       finished_.notify_all();
     }
   }
@@ -62,28 +71,43 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty()) {
-    // Serial fast path: no synchronization, exceptions propagate directly.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Serial fast path: no synchronization. Drain every item and surface
+    // the lowest-index failure, exactly like the threaded path — a 1-vs-N
+    // run must not differ even in which side effects happen on failure.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
     return;
   }
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->n = n;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    cat::MutexLock lock(mutex_);
     job_ = job;
     ++generation_;
   }
   wake_.notify_all();
   run_items(*job);  // caller participates
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    finished_.wait(lock,
-                   [&] { return job->done.load(std::memory_order_acquire) ==
-                                job->n; });
+    cat::MutexLock lock(mutex_);
+    finished_.wait(mutex_, [&] {
+      return job->done.load(std::memory_order_acquire) == job->n;
+    });
     job_.reset();
   }
-  if (job->error) std::rethrow_exception(job->error);
+  std::exception_ptr first;
+  {
+    cat::MutexLock lock(job->error_mutex);
+    first = job->error;
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace cat::scenario

@@ -11,16 +11,20 @@
 /// per-item work itself is deterministic. The PR 2 workspace refactor made
 /// the chemistry/thermo kernels reentrant (thread_local workspaces, const
 /// solve paths), which is what makes concurrent solver calls safe.
+///
+/// All shared state carries Clang thread-safety annotations
+/// (core/annotations.hpp); clang builds promote -Wthread-safety to an
+/// error, so an unguarded access cannot compile there.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
 
 namespace cat::scenario {
 
@@ -41,9 +45,12 @@ class ThreadPool {
   std::size_t size() const { return workers_.size() + 1; }
 
   /// Run fn(i) for i in [0, n). Blocks until every item completed. The
-  /// calling thread participates. If any invocation throws, the first
-  /// exception (in completion order) is rethrown here after all workers
-  /// drain; remaining items still run (each item must stay independent).
+  /// calling thread participates. If any invocations throw, the exception
+  /// of the LOWEST-INDEX failing item is rethrown here after all workers
+  /// drain — a deterministic choice for any thread count and schedule, in
+  /// keeping with the pool's bitwise-reproducibility contract (the old
+  /// "first in completion order" rule depended on scheduling). Remaining
+  /// items still run; each item must stay independent.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Default worker count for batch drivers: hardware concurrency, at
@@ -56,21 +63,24 @@ class ThreadPool {
     std::size_t n = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::exception_ptr error;  // first failure, guarded by mutex_
+    /// Failure slot: the exception of the lowest-index item that threw.
+    cat::Mutex error_mutex;
+    std::exception_ptr error CAT_GUARDED_BY(error_mutex);
+    std::size_t error_index CAT_GUARDED_BY(error_mutex) = 0;
   };
 
   void worker_loop();
   void run_items(Job& job);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;     // workers wait for a job
-  std::condition_variable finished_; // parallel_for waits for completion
+  cat::Mutex mutex_;
+  cat::CondVar wake_;      // workers wait for a job
+  cat::CondVar finished_;  // parallel_for waits for completion
   // Current job; shared ownership keeps the job alive for any worker that
   // observes it late (after all items completed) and merely no-ops on it.
-  std::shared_ptr<Job> job_;
-  std::size_t generation_ = 0;       // bumped per job so workers re-check
-  bool stop_ = false;
+  std::shared_ptr<Job> job_ CAT_GUARDED_BY(mutex_);
+  std::size_t generation_ CAT_GUARDED_BY(mutex_) = 0;  // bumped per job
+  bool stop_ CAT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cat::scenario

@@ -90,7 +90,7 @@ BlResult BoundaryLayerSolver::solve(const std::vector<BlStation>& stations,
 
     // Property tables vs static enthalpy at this station's pressure.
     const double p_loc = stations[i].p_e;
-    const auto wall = eq_.solve_tp(opt_.wall_temperature, p_loc);
+    const auto wall = eq_.solve_tp(opt_.wall_temperature_K, p_loc);
     const double h_w = wall.h;
     const double g_w = (h_w + 0.0) / h_total;
     const std::size_t nt = opt_.n_table;
@@ -174,6 +174,9 @@ BlResult BoundaryLayerSolver::solve(const std::vector<BlStation>& stations,
     };
 
     double a = fpp_seed, b = bigG_seed;
+    // cat-lint: converges-by-construction (damped, warm-started Newton
+    // shoot per station; the verification ladder pins the wall-flux
+    // distribution, so a stalled station cannot pass the order tests)
     for (int it = 0; it < 50; ++it) {
       const auto r0 = shoot(a, b, nullptr, nullptr);
       if (std::fabs(r0[0]) < 1e-8 && std::fabs(r0[1]) < 1e-8) break;

@@ -37,9 +37,9 @@ struct BlResult {
 
 /// Options for the boundary-layer solver.
 struct BlOptions {
-  double wall_temperature = 1200.0;
+  double wall_temperature_K = 1200.0;
   std::size_t n_eta = 160;
-  double eta_max = 8.0;
+  double eta_max = 8.0;  ///< similarity coordinate  // cat-lint: dimensionless
   std::size_t n_table = 40;
   /// Order of the streamwise backward difference feeding the pressure-
   /// gradient parameter beta = (2 xi / ue) due/dxi — the solver's only

@@ -150,8 +150,8 @@ Primitive EulerSolver::wall_ghost(const Primitive& w, double nx,
   // No-slip isothermal: reflect velocity; caloric scaling of (rho, e) keeps
   // the ghost near the wall pressure at T -> 2 T_wall - T_in.
   const double t_in = gas_->temperature(w[0], w[3]);
-  const double t_ghost = std::max(2.0 * opt_.wall_temperature - t_in,
-                                  0.2 * opt_.wall_temperature);
+  const double t_ghost = std::max(2.0 * opt_.wall_temperature_K - t_in,
+                                  0.2 * opt_.wall_temperature_K);
   const double ratio = t_ghost / std::max(t_in, 1.0);
   return {w[0] / ratio, -w[1], -w[2], w[3] * ratio};
 }
@@ -591,7 +591,7 @@ std::vector<double> EulerSolver::wall_heat_flux() const {
         std::sqrt((grid_.xc(i, 0) - xw) * (grid_.xc(i, 0) - xw) +
                   (grid_.rc(i, 0) - rw) * (grid_.rc(i, 0) - rw));
     const double t_face =
-        std::clamp(0.5 * (t_in + opt_.wall_temperature), 50.0, 30000.0);
+        std::clamp(0.5 * (t_in + opt_.wall_temperature_K), 50.0, 30000.0);
     const double mu = transport::sutherland_viscosity(t_face);
     const Primitive& w = w_[cidx(i, 0)];
     const double gamma_eff = std::clamp(
@@ -600,7 +600,7 @@ std::vector<double> EulerSolver::wall_heat_flux() const {
     // temperature of the cell they came from, not the face average.
     const double cp = gamma_eff / (gamma_eff - 1.0) * p_[cidx(i, 0)] /
                       (w[0] * std::max(t_in, 50.0));
-    q[i] = mu * cp / opt_.prandtl * (t_in - opt_.wall_temperature) / dn;
+    q[i] = mu * cp / opt_.prandtl * (t_in - opt_.wall_temperature_K) / dn;
   }
   return q;
 }

@@ -44,17 +44,17 @@ using DirichletHook = std::function<std::array<double, 4>(double x, double r)>;
 
 /// Options for the finite-volume solvers.
 struct FvOptions {
-  double cfl = 0.4;
+  double cfl = 0.4;  // cat-lint: dimensionless
   std::size_t max_iter = 20000;
-  double residual_tol = 1e-6;      ///< relative density-residual drop
+  double residual_tol = 1e-6;  ///< relative density-residual drop  // cat-lint: dimensionless
   numerics::Limiter limiter = numerics::Limiter::kVanLeer;
   bool muscl = true;               ///< 2nd-order reconstruction
   /// Impulsive-start protection: run this many first-order iterations at
   /// half CFL before enabling MUSCL.
   std::size_t startup_iters = 500;
   bool viscous = false;            ///< add central viscous fluxes (NS)
-  double wall_temperature = 1000.0;///< isothermal no-slip wall (viscous)
-  double prandtl = 0.72;           ///< constant-Pr laminar viscous model
+  double wall_temperature_K = 1000.0;///< isothermal no-slip wall (viscous)
+  double prandtl = 0.72;  ///< constant-Pr laminar viscous model  // cat-lint: dimensionless
   SourceHook source;               ///< verification forcing (null = off)
   DirichletHook dirichlet;         ///< verification boundaries (null = off)
 };

@@ -16,7 +16,7 @@ using gas::constants::kRu;
 PostShockRelaxation::PostShockRelaxation(const chemistry::Mechanism& mech,
                                          Options opt)
     : mech_(mech), ttg_(mech.species_set()), opt_(opt) {
-  CAT_REQUIRE(opt_.x_max > 0.0 && opt_.n_samples >= 8, "bad options");
+  CAT_REQUIRE(opt_.x_max_m > 0.0 && opt_.n_samples >= 8, "bad options");
 }
 
 namespace {
@@ -95,6 +95,9 @@ PostShockRelaxation::FlowState PostShockRelaxation::recover_state(
     }
     // One-temperature: h(T, T) nonlinear (vibration at T) -> Newton.
     double t = 5000.0;
+    // cat-lint: converges-by-construction (clamped Newton on a smooth,
+    // monotone h(T); the result only seeds the outer density bisection's
+    // residual, which tolerates an inexact inversion)
     for (int it = 0; it < 80; ++it) {
       const double h = ttg_.energy(y, t, t) + (rh + re) * t;
       const double cp = cv_tr + ttg_.vibronic_cv(y, t) + rh + re;
@@ -217,14 +220,14 @@ RelaxationProfile PostShockRelaxation::solve(
   numerics::StiffIntegrator integ(rhs, nullptr,
                                   {.rel_tol = 1e-7,
                                    .abs_tol = 1e-13,
-                                   .h_initial = opt_.x_first * 1e-3,
+                                   .h_initial = opt_.x_first_m * 1e-3,
                                    .max_steps = 4'000'000});
   double x_prev = 0.0;
   for (std::size_t k = 0; k < opt_.n_samples; ++k) {
     const double frac =
         static_cast<double>(k) / static_cast<double>(opt_.n_samples - 1);
     const double x_next =
-        opt_.x_first * std::pow(opt_.x_max / opt_.x_first, frac);
+        opt_.x_first_m * std::pow(opt_.x_max_m / opt_.x_first_m, frac);
     if (x_next <= x_prev) continue;
     integ.integrate(x_prev, x_next, state);
     store(x_next, state);

@@ -49,9 +49,9 @@ struct RelaxationProfile {
 /// Options for PostShockRelaxation (namespace scope so default arguments
 /// work under GCC's nested-aggregate rules).
 struct Relax1dOptions {
-  double x_max = 0.10;          ///< march length [m]
+  double x_max_m = 0.10;          ///< march length [m]
   std::size_t n_samples = 400;  ///< stored stations (log-spaced + x=0)
-  double x_first = 1e-7;        ///< first sample distance [m]
+  double x_first_m = 1e-7;        ///< first sample distance [m]
   bool two_temperature = true;  ///< false = thermal equilibrium (Tv = T)
   /// Ablation hook: controlling temperature for dissociation uses
   /// sqrt(T*Tv) when true (Park), plain T when false.

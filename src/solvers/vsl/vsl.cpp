@@ -181,7 +181,7 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
 
     // Property tables vs static enthalpy at this station's pressure.
     const double h_wall_state =
-        enthalpy_at_temperature(props_, ed.p_e, opt_.wall_temperature);
+        enthalpy_at_temperature(props_, ed.p_e, opt_.wall_temperature_K);
     const double g_w = h_wall_state / h_total;
     const double h_lo =
         std::min(h_wall_state, ed.h_e) - 0.02 * std::fabs(h_total);

@@ -52,9 +52,9 @@ struct MarchStationResult {
 
 /// Options for the marching core.
 struct MarchOptions {
-  double wall_temperature = 1200.0;
+  double wall_temperature_K = 1200.0;
   std::size_t n_eta = 120;
-  double eta_max = 8.0;
+  double eta_max = 8.0;  ///< similarity coordinate  // cat-lint: dimensionless
   std::size_t n_table = 36;
   std::size_t picard_iters = 10;
   /// Order of the streamwise (dxi) history differences: 2 = variable-step

@@ -64,15 +64,15 @@ std::vector<TrajectoryPoint> integrate_entry(
                         entry.altitude, 0.0};
   double t = 0.0;
   sample(t, u);
-  const double dt = opt.dt_sample;
-  while (t < opt.t_max) {
+  const double dt = opt.dt_sample_s;
+  while (t < opt.t_max_s) {
     // Fixed sampling cadence; RKF45 adapts internally between samples.
     numerics::integrate_rkf45(rhs, t, t + dt, u,
                               {.rel_tol = 1e-9, .abs_tol = 1e-9});
     t += dt;
     sample(t, u);
-    if (u[0] < opt.end_velocity) break;
-    if (u[2] < opt.end_altitude) break;
+    if (u[0] < opt.end_velocity_mps) break;
+    if (u[2] < opt.end_altitude_m) break;
     if (u[2] > 1.5 * entry.altitude) break;  // skipped back out
   }
   return out;

@@ -50,10 +50,10 @@ struct TrajectoryPoint {
 };
 
 struct TrajectoryOptions {
-  double dt_sample = 1.0;       ///< output sampling interval [s]
-  double t_max = 4000.0;        ///< [s]
-  double end_velocity = 200.0;  ///< stop when V drops below [m/s]
-  double end_altitude = 0.0;    ///< stop on surface [m]
+  double dt_sample_s = 1.0;       ///< output sampling interval [s]
+  double t_max_s = 4000.0;        ///< [s]
+  double end_velocity_mps = 200.0;  ///< stop when V drops below [m/s]
+  double end_altitude_m = 0.0;    ///< stop on surface [m]
   /// Optional bank/lift modulation: multiplies L/D as f(time).
   std::function<double(double)> lift_modulation;
 };

@@ -168,7 +168,7 @@ LevelResult run_march_level(std::size_t n_eta) {
   const double d_eta = su.m.eta_max / static_cast<double>(n_eta - 1);
 
   solvers::MarchOptions opt;
-  opt.wall_temperature = su.t_wall();
+  opt.wall_temperature_K = su.t_wall();
   opt.n_eta = n_eta;
   opt.eta_max = su.m.eta_max;
   opt.n_table = 12;
@@ -256,7 +256,7 @@ LevelResult run_march_dxi_level(std::size_t level, std::size_t order,
   }
 
   solvers::MarchOptions opt;
-  opt.wall_temperature = m.t_wall();
+  opt.wall_temperature_K = m.t_wall();
   opt.n_eta = n_eta;
   opt.eta_max = m.eta_max;
   opt.n_table = 12;
@@ -417,9 +417,9 @@ LevelResult run_relax1d_exactness() {
   };
 
   solvers::Relax1dOptions opt;
-  opt.x_max = 0.01;
+  opt.x_max_m = 0.01;
   opt.n_samples = 60;
-  opt.x_first = 1e-5;
+  opt.x_first_m = 1e-5;
   opt.two_temperature = false;
   opt.source = [&](double x, std::span<const double> /*u*/,
                    std::span<double> du) {
@@ -438,7 +438,7 @@ LevelResult run_relax1d_exactness() {
     acc.add(prof.y[1][k] - (1.0 - y_n2(prof.x[k])));
   }
   LevelResult lr;
-  lr.h = opt.x_max / static_cast<double>(opt.n_samples);
+  lr.h = opt.x_max_m / static_cast<double>(opt.n_samples);
   lr.n = opt.n_samples;
   lr.error = acc.finalize();
   return lr;

@@ -1,0 +1,35 @@
+// Compliant: one handler stores std::current_exception() for deferred
+// rethrow (the thread-pool pattern), the other rethrows after cleanup,
+// and the third absorbs with a justified waiver — cat_lint must stay
+// quiet on all three.
+#include <exception>
+
+void risky();
+void cleanup();
+
+std::exception_ptr capture() {
+  try {
+    risky();
+  } catch (...) {
+    return std::current_exception();
+  }
+  return nullptr;
+}
+
+void guarded() {
+  try {
+    risky();
+  } catch (...) {
+    cleanup();
+    throw;
+  }
+}
+
+void best_effort_log() {
+  try {
+    risky();
+    // cat-lint: catch-absorbs (fixture: logging must never take the
+    // process down, and the caller cannot act on the failure)
+  } catch (...) {
+  }
+}

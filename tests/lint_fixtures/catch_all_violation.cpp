@@ -1,0 +1,12 @@
+// Seeded violation: the catch (...) swallows the exception without
+// rethrowing or storing it. cat_lint must flag the handler.
+void risky();
+
+bool try_risky() {
+  try {
+    risky();
+    return true;
+  } catch (...) {
+    return false;
+  }
+}

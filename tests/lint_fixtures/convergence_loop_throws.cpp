@@ -1,0 +1,16 @@
+// Compliant: exhaustion falls through into an explicit throw, the
+// preferred resolution — cat_lint must stay quiet.
+bool step(double& x);
+
+double solve(double x0) {
+  double x = x0;
+  bool converged = false;
+  for (int it = 0; it < 50; ++it) {
+    if (step(x)) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) throw "solve: Newton exhausted its iteration budget";
+  return x;
+}

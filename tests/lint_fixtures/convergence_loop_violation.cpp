@@ -1,0 +1,12 @@
+// Seeded violation: the Newton loop below can exhaust its 50-iteration
+// budget and fall through silently — exactly the defect class PR 5 found
+// shipping in the pitot/enthalpy inversions. cat_lint must flag it.
+bool step(double& x);
+
+double solve(double x0) {
+  double x = x0;
+  for (int it = 0; it < 50; ++it) {
+    if (step(x)) break;
+  }
+  return x;
+}

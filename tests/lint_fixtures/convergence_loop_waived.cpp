@@ -1,0 +1,13 @@
+// Compliant: the budget loop carries an explicit waiver with its
+// justification, so cat_lint must stay quiet.
+bool step(double& x);
+
+double solve(double x0) {
+  double x = x0;
+  // cat-lint: converges-by-construction (fixture: the step is a clamped
+  // contraction, so the final iterate is always acceptable)
+  for (int it = 0; it < 50; ++it) {
+    if (step(x)) break;
+  }
+  return x;
+}

@@ -1,0 +1,6 @@
+// Seeded violations: trailing whitespace, a tab in indentation, and a
+// missing final newline. cat_lint --format-only must flag all three and
+// --fix-format must repair them.
+int answer() {   
+	return 42;
+}

@@ -1,0 +1,14 @@
+// Seeded violation: a per-call heap allocation in what the meta-test
+// declares an allocation-free TU (--alloc-free-tu). cat_lint must flag
+// the vector definition.
+#include <vector>
+
+double rhs_norm(const double* y, unsigned n) {
+  std::vector<double> scratch(n);
+  double acc = 0.0;
+  for (unsigned i = 0; i < n; ++i) {
+    scratch[i] = y[i] * y[i];
+    acc += scratch[i];
+  }
+  return acc;
+}

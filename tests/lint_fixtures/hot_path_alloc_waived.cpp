@@ -1,0 +1,21 @@
+// Compliant: the construction-time allocation carries a block-scoped
+// waiver, and the allocation inside the throw statement is the cold
+// failure path — cat_lint must stay quiet on both.
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+struct Workspace {
+  std::vector<double> scratch;
+
+  // cat-lint: allow-alloc (fixture: one-time growth at construction)
+  explicit Workspace(unsigned n) { scratch.resize(n); }
+};
+
+double check(double v, unsigned n) {
+  if (n == 0) {
+    throw std::invalid_argument("check: empty state, n = " +
+                                std::to_string(n));
+  }
+  return v;
+}

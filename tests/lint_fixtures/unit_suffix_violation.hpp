@@ -1,0 +1,10 @@
+#pragma once
+// Seeded violation: `wall_temperature` (a dimensioned quantity) carries
+// no unit suffix. cat_lint must flag it and leave the suffixed and
+// non-double fields alone.
+
+struct FixtureCase {
+  double wall_temperature = 300.0;
+  double nose_radius_m = 0.1;
+  int n_points = 32;
+};

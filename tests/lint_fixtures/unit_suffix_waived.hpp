@@ -1,0 +1,11 @@
+#pragma once
+// Compliant: every double field either carries an approved unit suffix or
+// a dimensionless waiver — cat_lint must stay quiet.
+
+struct FixtureOptions {
+  double temperature_K = 300.0;
+  double pressure_Pa = 101325.0;
+  // cat-lint: dimensionless (fixture: ratio of specific heats)
+  double gamma = 1.4;
+  bool enabled = true;
+};

@@ -1,0 +1,4 @@
+// Seeded violation: the waiver token is misspelled, which would silently
+// disable the check it meant to waive. cat_lint must flag it.
+// cat-lint: converges-by-constructon (typo is intentional)
+int id(int x) { return x; }

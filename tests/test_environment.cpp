@@ -134,7 +134,7 @@ TEST(Trajectory, TitanEntrySlowsInUpperAtmosphere) {
   const trajectory::EntryState entry{12000.0, -24.0 * M_PI / 180.0,
                                      600000.0};
   trajectory::TrajectoryOptions opt;
-  opt.end_velocity = 1000.0;
+  opt.end_velocity_mps = 1000.0;
   const auto traj = trajectory::integrate_entry(
       probe, entry, atmo, gas::constants::kTitanRadius,
       gas::constants::kTitanG0, opt);

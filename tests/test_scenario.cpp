@@ -73,6 +73,49 @@ TEST(ThreadPool, ExceptionPropagatesAfterDrain) {
   EXPECT_EQ(ran.load(), 64);  // remaining items still execute
 }
 
+TEST(ThreadPool, ConcurrentThrowsSurfaceLowestIndexDeterministically) {
+  // Many items throw at once from different workers; the pool must (a)
+  // never deadlock while draining, (b) surface exactly the lowest-index
+  // failure regardless of scheduling — the deterministic choice — and
+  // (c) still run every item. Repeated rounds shake out schedule-
+  // dependent orderings; the TSan CI job runs this test instrumented.
+  scenario::ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<int> ran{0};
+    std::string surfaced;
+    try {
+      pool.parallel_for(97, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i % 9 == 3) {  // items 3, 12, 21, ... all throw
+          throw SolverError("item " + std::to_string(i));
+        }
+      });
+      FAIL() << "parallel_for swallowed the failures";
+    } catch (const SolverError& e) {
+      surfaced = e.what();
+    }
+    EXPECT_EQ(surfaced, "item 3");
+    EXPECT_EQ(ran.load(), 97);
+  }
+  // The pool stays usable after failed jobs.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, SerialPathThrowsSameLowestIndexAsThreaded) {
+  // The n_threads == 1 fast path must obey the identical contract.
+  scenario::ThreadPool pool(1);
+  try {
+    pool.parallel_for(20, [&](std::size_t i) {
+      if (i == 5 || i == 17) throw SolverError("item " + std::to_string(i));
+    });
+    FAIL() << "serial parallel_for swallowed the failure";
+  } catch (const SolverError& e) {
+    EXPECT_STREQ(e.what(), "item 5");
+  }
+}
+
 TEST(ThreadPool, ReusableAcrossCalls) {
   scenario::ThreadPool pool(2);
   for (int round = 0; round < 20; ++round) {
@@ -228,8 +271,8 @@ TEST(PulseDeterminism, OneThreadAndManyThreadsBitwiseIdentical) {
   atmosphere::EarthAtmosphere atmo;
   const auto probe = trajectory::galileo_class_probe();
   trajectory::TrajectoryOptions topt;
-  topt.dt_sample = 2.0;
-  topt.end_velocity = 2000.0;
+  topt.dt_sample_s = 2.0;
+  topt.end_velocity_mps = 2000.0;
   const auto traj = trajectory::integrate_entry(
       probe, {9000.0, -6.0 * M_PI / 180.0, 115000.0}, atmo,
       gas::constants::kEarthRadius, gas::constants::kEarthG0, topt);
@@ -275,14 +318,14 @@ TEST(PulseGolden, TitanReferencePulsePinned) {
   atmosphere::TitanAtmosphere atmo;
   const auto probe = trajectory::titan_probe();
   trajectory::TrajectoryOptions topt;
-  topt.dt_sample = 4.0;
-  topt.end_velocity = 3000.0;
+  topt.dt_sample_s = 4.0;
+  topt.end_velocity_mps = 3000.0;
   const auto traj = trajectory::integrate_entry(
       probe, {12000.0, -24.0 * M_PI / 180.0, 600000.0}, atmo,
       gas::constants::kTitanRadius, gas::constants::kTitanG0, topt);
   scenario::PulseOptions popt;
   popt.max_points = 8;
-  popt.wall_temperature = 1800.0;
+  popt.wall_temperature_K = 1800.0;
   const auto pulse = scenario::heating_pulse(traj, probe, stag, popt);
 
   // {time, velocity, altitude, q_conv, q_rad} from capture_golden.
@@ -437,7 +480,7 @@ TEST(Batch, MatchesSerialRunsAndKeepsOrder) {
 TEST(Batch, FailedCaseIsReportedNotFatal) {
   scenario::Case bad = *scenario::find_scenario("titan_probe_peak_species");
   bad.name = "bad_point";
-  bad.condition.velocity = 300.0;  // non-hypersonic: solver throws
+  bad.condition.velocity_mps = 300.0;  // non-hypersonic: solver throws
   const auto batch = scenario::run_batch({bad});
   ASSERT_EQ(batch.results.size(), 1u);
   EXPECT_EQ(batch.results.front().metric("failed"), 1.0);

@@ -127,7 +127,7 @@ TEST(Relax1d, FrozenJumpStrongShockAnchors) {
 TEST(Relax1d, RelaxationConservesFluxes) {
   const auto mech = chemistry::park_air5();
   solvers::Relax1dOptions opt;
-  opt.x_max = 0.02;
+  opt.x_max_m = 0.02;
   opt.n_samples = 24;
   solvers::PostShockRelaxation solver(mech, opt);
   std::vector<double> y1(5, 0.0);
@@ -149,7 +149,7 @@ TEST(Relax1d, RelaxationConservesFluxes) {
 TEST(Relax1d, TvRisesTFallsTowardCommonValue) {
   const auto mech = chemistry::park_air11();
   solvers::Relax1dOptions opt;
-  opt.x_max = 1.0;
+  opt.x_max_m = 1.0;
   opt.n_samples = 48;
   solvers::PostShockRelaxation solver(mech, opt);
   std::vector<double> y1(mech.n_species(), 0.0);
@@ -168,7 +168,7 @@ TEST(Relax1d, ParkSqrtControlSlowsOnset) {
   const auto mech = chemistry::park_air5();
   auto run = [&](bool sqrt_ttv) {
     solvers::Relax1dOptions opt;
-    opt.x_max = 0.01;
+    opt.x_max_m = 0.01;
     opt.n_samples = 32;
     opt.park_sqrt_ttv = sqrt_ttv;
     solvers::PostShockRelaxation solver(mech, opt);

@@ -17,9 +17,9 @@ namespace {
 
 trajectory::TrajectoryOptions fast_options() {
   trajectory::TrajectoryOptions opt;
-  opt.dt_sample = 2.0;
-  opt.t_max = 3000.0;
-  opt.end_velocity = 250.0;
+  opt.dt_sample_s = 2.0;
+  opt.t_max_s = 3000.0;
+  opt.end_velocity_mps = 250.0;
   return opt;
 }
 
@@ -95,7 +95,7 @@ TEST(trajectory, entry_state_propagation_invariants) {
 TEST(trajectory, termination_honors_end_velocity) {
   const trajectory::Vehicle probe = trajectory::galileo_class_probe();
   trajectory::TrajectoryOptions opt = fast_options();
-  opt.end_velocity = 1000.0;
+  opt.end_velocity_mps = 1000.0;
   const auto traj = integrate_earth(
       probe, {7400.0, -20.0 * M_PI / 180.0, 120e3}, opt);
   // Stops at the first sample below the threshold (and not before).
@@ -140,7 +140,7 @@ TEST(trajectory, lift_modulation_changes_the_trajectory) {
   const trajectory::Vehicle shuttle = trajectory::shuttle_orbiter();
   const trajectory::EntryState entry{7500.0, -1.5 * M_PI / 180.0, 100e3};
   trajectory::TrajectoryOptions opt = fast_options();
-  opt.t_max = 1500.0;
+  opt.t_max_s = 1500.0;
   const auto lifting = integrate_earth(shuttle, entry, opt);
   opt.lift_modulation = [](double) { return 0.0; };  // fly it ballistic
   const auto ballistic = integrate_earth(shuttle, entry, opt);

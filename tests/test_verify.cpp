@@ -428,14 +428,14 @@ TEST(verify_consistency, stagnation_ebl_vsl_heating_agree) {
                         atmo.pressure + cp_max * q_dyn * sth * sth});
   }
   solvers::BlOptions bopt;
-  bopt.wall_temperature = t_wall;
+  bopt.wall_temperature_K = t_wall;
   const solvers::BoundaryLayerSolver bl(eq, bopt);
   const auto blr = bl.solve(stations, stag_state, sol.edge.h_stag);
   const double q_ebl = blr.q_w.front();
 
   // VSL march over the same hemisphere from just off the stagnation ray.
   solvers::MarchOptions mopt;
-  mopt.wall_temperature = t_wall;
+  mopt.wall_temperature_K = t_wall;
   const solvers::VslSolver vsl(eq, mopt);
   const double arc = body.total_arc_length();
   const auto march = vsl.solve(

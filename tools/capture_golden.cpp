@@ -58,14 +58,14 @@ void dump_pulse_golden() {
   atmosphere::TitanAtmosphere atmo;
   const auto probe = trajectory::titan_probe();
   trajectory::TrajectoryOptions topt;
-  topt.dt_sample = 4.0;
-  topt.end_velocity = 3000.0;
+  topt.dt_sample_s = 4.0;
+  topt.end_velocity_mps = 3000.0;
   const auto traj = trajectory::integrate_entry(
       probe, {12000.0, -24.0 * M_PI / 180.0, 600000.0}, atmo,
       gas::constants::kTitanRadius, gas::constants::kTitanG0, topt);
   scenario::PulseOptions popt;
   popt.max_points = 8;
-  popt.wall_temperature = 1800.0;
+  popt.wall_temperature_K = 1800.0;
   const auto pulse = scenario::heating_pulse(traj, probe, stag, popt);
   std::printf("// golden Titan pulse: traj %zu samples; %zu points "
               "(%zu solved, %zu fm, %zu skipped)\n",
