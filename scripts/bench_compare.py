@@ -5,6 +5,7 @@ Usage:
   bench_compare.py BEFORE.json AFTER.json [--threshold PCT]
                    [--min-speedup NAME:FACTOR ...]
                    [--intra BASE:CAND:FACTOR ...] [--intra-min-cpus N]
+  bench_compare.py --check-pairs DIR
 
 Compares per-benchmark real_time between matching benchmark names. Exits
 non-zero when any benchmark regresses by more than --threshold percent
@@ -18,10 +19,17 @@ threaded pulse driver is 3x faster than the serial one in the same run).
 Because such ratios depend on the machine's core count, --intra-min-cpus
 skips intra checks (with a note) when the record's context reports fewer
 CPUs — a 1-core container cannot demonstrate a parallel speedup.
+
+--check-pairs DIR scans a baselines directory for orphaned records: every
+BENCH_<name>.before.json must have a matching BENCH_<name>.after.json and
+vice versa. An orphan means a regression gate silently compares nothing,
+so orphans are a hard failure, not a warning.
 """
 
 import argparse
 import json
+import os
+import re
 import sys
 
 
@@ -49,10 +57,39 @@ def to_ns(value, unit):
     return value * UNIT_NS.get(unit, 1.0)
 
 
+def check_pairs(directory):
+    """Fail on orphaned before/after baseline records in `directory`."""
+    pat = re.compile(r"^BENCH_(?P<name>.+)\.(?P<side>before|after)\.json$")
+    sides = {}
+    for entry in sorted(os.listdir(directory)):
+        m = pat.match(entry)
+        if m:
+            sides.setdefault(m.group("name"), set()).add(m.group("side"))
+    if not sides:
+        print(f"error: no BENCH_*.before/after.json records in {directory}",
+              file=sys.stderr)
+        return 2
+    orphans = []
+    for name, found in sorted(sides.items()):
+        for missing in {"before", "after"} - found:
+            have = next(iter(found))
+            orphans.append(
+                f"BENCH_{name}.{have}.json has no matching "
+                f"BENCH_{name}.{missing}.json")
+    if orphans:
+        print("FAIL: orphaned baseline records — every committed "
+              "before/after pair must be complete:", file=sys.stderr)
+        for o in orphans:
+            print(f"  {o}", file=sys.stderr)
+        return 1
+    print(f"PASS: {len(sides)} baseline pair(s) complete in {directory}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("before", help="baseline BENCH_*.json")
-    ap.add_argument("after", help="candidate BENCH_*.json")
+    ap.add_argument("before", nargs="?", help="baseline BENCH_*.json")
+    ap.add_argument("after", nargs="?", help="candidate BENCH_*.json")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="regression threshold in percent (default 10)")
     ap.add_argument("--min-speedup", action="append", default=[],
@@ -66,7 +103,16 @@ def main():
     ap.add_argument("--intra-min-cpus", type=int, default=0,
                     help="skip --intra checks when the AFTER record was "
                          "captured on fewer CPUs than this")
+    ap.add_argument("--check-pairs", metavar="DIR",
+                    help="scan DIR for orphaned BENCH_*.before/after.json "
+                         "records and exit (no comparison)")
     args = ap.parse_args()
+
+    if args.check_pairs:
+        return check_pairs(args.check_pairs)
+    if not args.before or not args.after:
+        ap.error("BEFORE and AFTER records are required "
+                 "(or use --check-pairs DIR)")
 
     before, _ = load_times(args.before)
     after, after_cpus = load_times(args.after)

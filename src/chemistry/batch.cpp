@@ -1,0 +1,315 @@
+#include "chemistry/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "gas/constants.hpp"
+#include "gas/thermo_batch.hpp"
+
+namespace cat::chemistry {
+
+using gas::constants::kPressureRef;
+using gas::constants::kRu;
+
+namespace {
+
+/// Integer power by repeated multiplication — same helper as reaction.cpp
+/// (|dnu| is 0..2 in practice); duplicated so both TUs stay self-contained
+/// while executing identical operations.
+double pow_int(double base, int e) {
+  if (e == 0) return 1.0;
+  const bool neg = e < 0;
+  double r = 1.0;
+  for (int k = neg ? -e : e; k > 0; --k) r *= base;
+  return neg ? 1.0 / r : r;
+}
+
+}  // namespace
+
+// cat-lint: allow-alloc (workspace growth; no-op once bound at capacity)
+void BatchWorkspace::bind(const Mechanism& m, std::size_t capacity) {
+  if (bound_serial_ == m.serial_ && capacity <= cap_) return;
+  bound_serial_ = m.serial_;
+  cap_ = std::max(cap_, capacity);  // growth-only
+  const std::size_t ns = m.n_species(), nr = m.n_reactions();
+  c.resize(ns * cap_);
+  gibbs_t.resize(ns * cap_);
+  gibbs_tv.resize(ns * cap_);
+  wdot_mole.resize(ns * cap_);
+  kf.resize(nr * cap_);
+  kb.resize(nr * cap_);
+  log_t_raw.resize(cap_);
+  log_t.resize(cap_);
+  inv_t.resize(cap_);
+  conc_t.resize(cap_);
+  log_tc_d.resize(cap_);
+  inv_tc_d.resize(cap_);
+  tv_cl.resize(cap_);
+  log_tv.resize(cap_);
+  inv_tv.resize(cap_);
+  conc_tv.resize(cap_);
+  fwd.resize(cap_);
+  bwd.resize(cap_);
+  cm.resize(cap_);
+  kf_tb.resize(cap_);
+  dg.resize(cap_);
+}
+
+void Mechanism::production_rates_batch(std::span<const double> c,
+                                       std::span<const double> t,
+                                       std::span<const double> tv,
+                                       std::span<double> wdot,
+                                       std::size_t stride,
+                                       BatchWorkspace& ws) const {
+  // NOTE: this is the SoA restatement of update_rate_coefficients +
+  // production_rates (reaction.cpp). Every per-cell value is produced by
+  // the same floating-point operations in the same order as the scalar
+  // path — the bitwise contract pinned by the BatchEquivalence tests.
+  // Touch both kernels (and those tests) together when changing the rate
+  // model.
+  const std::size_t n = t.size();
+  const std::size_t ns = n_species(), nr = n_reactions();
+  CAT_REQUIRE(tv.size() == n, "batch temperature spans must match");
+  CAT_REQUIRE(stride >= n, "SoA stride smaller than cell count");
+  CAT_REQUIRE(c.size() >= (ns - 1) * stride + n &&
+                  wdot.size() >= (ns - 1) * stride + n,
+              "SoA plane size mismatch");
+  if (n == 0) return;
+  ws.bind(*this, n);
+  const std::size_t cap = ws.capacity();
+
+  // Which controlling-temperature classes does this mechanism use? (The
+  // scalar path computes these lazily per cell; nr is tiny, so one scan.)
+  bool need_diss = false, need_tv = false;
+  for (const auto& rx : reactions_) {
+    if (rx.type == ReactionType::kDissociation) need_diss = true;
+    if (rx.type == ReactionType::kElectronImpact) need_tv = true;
+  }
+
+  // --- per-cell temperature intermediates -------------------------------
+  static const double kLog50 = std::log(50.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ti = t[i];
+    CAT_REQUIRE(ti > 0.0, "temperature must be positive");
+    ws.log_t_raw[i] = std::log(ti);
+    // log(max(t, 50)) reuses log(t) when the clamp is inactive — bitwise
+    // the same value, one transcendental saved.
+    ws.log_t[i] = ti >= 50.0 ? ws.log_t_raw[i] : kLog50;
+    ws.inv_t[i] = 1.0 / std::max(ti, 50.0);
+    ws.conc_t[i] = kPressureRef / (kRu * ti);
+  }
+  if (need_diss) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double tc = std::max(std::sqrt(t[i] * tv[i]), 50.0);
+      ws.log_tc_d[i] = std::log(tc);
+      ws.inv_tc_d[i] = 1.0 / tc;
+    }
+  }
+  if (need_tv) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double tvc = std::max(tv[i], 50.0);
+      ws.tv_cl[i] = tvc;
+      ws.log_tv[i] = std::log(tvc);
+      ws.inv_tv[i] = 1.0 / tvc;
+      ws.conc_tv[i] = kPressureRef / (kRu * tvc);
+    }
+  }
+
+  // --- per-species Gibbs planes (one log(T) per cell, shared) -----------
+  const std::span<const double> t_span = t.subspan(0, n);
+  for (std::size_t s = 0; s < ns; ++s) {
+    gas::gibbs_mole_fast_batch(
+        set_.species(s), gibbs_const_[s], t_span,
+        std::span<const double>(ws.log_t_raw.data(), n),
+        std::span<double>(ws.gibbs_t.data() + s * cap, n));
+  }
+  if (need_tv) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      gas::gibbs_mole_fast_batch(
+          set_.species(s), gibbs_const_[s],
+          std::span<const double>(ws.tv_cl.data(), n),
+          std::span<const double>(ws.log_tv.data(), n),
+          std::span<double>(ws.gibbs_tv.data() + s * cap, n));
+    }
+  }
+
+  // --- per-reaction rate coefficients -----------------------------------
+  for (std::size_t r = 0; r < nr; ++r) {
+    const Reaction& rx = reactions_[r];
+    const double la = log_a_[r], an = rx.arrhenius_n, th = rx.theta;
+    double* kfr = ws.kf.data() + r * cap;
+    const double* g = ws.gibbs_t.data();  // pitch cap
+    const double* tb = t.data();          // backward controlling T
+    const double* conc_ref = ws.conc_t.data();
+
+    switch (rx.type) {
+      case ReactionType::kDissociation:
+        for (std::size_t i = 0; i < n; ++i)
+          kfr[i] = std::exp(la + an * ws.log_tc_d[i] - th * ws.inv_tc_d[i]);
+        for (std::size_t i = 0; i < n; ++i)
+          ws.kf_tb[i] = std::exp(la + an * ws.log_t[i] - th * ws.inv_t[i]);
+        break;
+      case ReactionType::kElectronImpact:
+        for (std::size_t i = 0; i < n; ++i)
+          kfr[i] = std::exp(la + an * ws.log_tv[i] - th * ws.inv_tv[i]);
+        for (std::size_t i = 0; i < n; ++i) ws.kf_tb[i] = kfr[i];
+        g = ws.gibbs_tv.data();
+        tb = ws.tv_cl.data();
+        conc_ref = ws.conc_tv.data();
+        break;
+      case ReactionType::kExchange:
+      case ReactionType::kAssociativeIonization:
+      default:
+        for (std::size_t i = 0; i < n; ++i)
+          kfr[i] = std::exp(la + an * ws.log_t[i] - th * ws.inv_t[i]);
+        for (std::size_t i = 0; i < n; ++i) ws.kf_tb[i] = kfr[i];
+        break;
+    }
+
+    // Detailed balance: dg accumulated products-then-reactants, same per-
+    // cell order as the scalar loop.
+    std::fill(ws.dg.begin(), ws.dg.begin() + static_cast<std::ptrdiff_t>(n),
+              0.0);
+    for (const auto& st : rx.products) {
+      const double* gs = g + st.species * cap;
+      for (std::size_t i = 0; i < n; ++i) ws.dg[i] += st.nu * gs[i];
+    }
+    for (const auto& st : rx.reactants) {
+      const double* gs = g + st.species * cap;
+      for (std::size_t i = 0; i < n; ++i) ws.dg[i] -= st.nu * gs[i];
+    }
+    const int dnu = delta_nu_[r];
+    double* kbr = ws.kb.data() + r * cap;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kp =
+          std::exp(std::clamp(-ws.dg[i] / (kRu * tb[i]), -300.0, 300.0));
+      const double kc = kp * pow_int(conc_ref[i], dnu);
+      kbr[i] = kc > 0.0 ? ws.kf_tb[i] / kc : 0.0;
+    }
+  }
+
+  // --- production rates --------------------------------------------------
+  for (std::size_t s = 0; s < ns; ++s)
+    std::fill(wdot.begin() + static_cast<std::ptrdiff_t>(s * stride),
+              wdot.begin() + static_cast<std::ptrdiff_t>(s * stride + n),
+              0.0);
+  for (std::size_t r = 0; r < nr; ++r) {
+    const Reaction& rx = reactions_[r];
+    const double* kfr = ws.kf.data() + r * cap;
+    const double* kbr = ws.kb.data() + r * cap;
+    for (std::size_t i = 0; i < n; ++i) ws.fwd[i] = kfr[i];
+    for (std::size_t i = 0; i < n; ++i) ws.bwd[i] = kbr[i];
+    for (const auto& st : rx.reactants) {
+      const double* cs = c.data() + st.species * stride;
+      for (int k = 0; k < st.nu; ++k)
+        for (std::size_t i = 0; i < n; ++i)
+          ws.fwd[i] *= std::max(cs[i], 0.0);
+    }
+    for (const auto& st : rx.products) {
+      const double* cs = c.data() + st.species * stride;
+      for (int k = 0; k < st.nu; ++k)
+        for (std::size_t i = 0; i < n; ++i)
+          ws.bwd[i] *= std::max(cs[i], 0.0);
+    }
+    if (rx.has_third_body) {
+      std::fill(ws.cm.begin(), ws.cm.begin() + static_cast<std::ptrdiff_t>(n),
+                0.0);
+      const double* eff = rx.third_body_efficiency.data();
+      for (std::size_t s = 0; s < ns; ++s) {
+        const double* cs = c.data() + s * stride;
+        const double es = eff[s];
+        for (std::size_t i = 0; i < n; ++i)
+          ws.cm[i] += es * std::max(cs[i], 0.0);
+      }
+      // rate = (fwd - bwd) * cm, same two-step order as the scalar path;
+      // reuse fwd as the rate plane.
+      for (std::size_t i = 0; i < n; ++i)
+        ws.fwd[i] = (ws.fwd[i] - ws.bwd[i]) * ws.cm[i];
+    } else {
+      for (std::size_t i = 0; i < n; ++i) ws.fwd[i] = ws.fwd[i] - ws.bwd[i];
+    }
+    for (const auto& st : rx.reactants) {
+      double* ws_out = wdot.data() + st.species * stride;
+      for (std::size_t i = 0; i < n; ++i) ws_out[i] -= st.nu * ws.fwd[i];
+    }
+    for (const auto& st : rx.products) {
+      double* ws_out = wdot.data() + st.species * stride;
+      for (std::size_t i = 0; i < n; ++i) ws_out[i] += st.nu * ws.fwd[i];
+    }
+  }
+}
+
+void Mechanism::mass_production_rates_batch(std::span<const double> rho,
+                                            std::span<const double> y,
+                                            std::span<const double> t,
+                                            std::span<const double> tv,
+                                            std::span<double> wdot_mass,
+                                            std::size_t stride,
+                                            BatchWorkspace& ws) const {
+  const std::size_t n = rho.size();
+  const std::size_t ns = n_species();
+  CAT_REQUIRE(t.size() == n && tv.size() == n,
+              "batch temperature spans must match");
+  CAT_REQUIRE(stride >= n, "SoA stride smaller than cell count");
+  CAT_REQUIRE(y.size() >= (ns - 1) * stride + n &&
+                  wdot_mass.size() >= (ns - 1) * stride + n,
+              "SoA plane size mismatch");
+  if (n == 0) return;
+  ws.bind(*this, n);
+  const std::size_t cap = ws.capacity();
+  for (std::size_t s = 0; s < ns; ++s) {
+    const double* yi = y.data() + s * stride;
+    const double inv_m = inv_molar_mass_[s];
+    double* cs = ws.c.data() + s * cap;
+    for (std::size_t i = 0; i < n; ++i) cs[i] = rho[i] * yi[i] * inv_m;
+  }
+  production_rates_batch(std::span<const double>(ws.c.data(), ns * cap), t,
+                         tv, std::span<double>(ws.wdot_mole.data(), ns * cap),
+                         cap, ws);
+  for (std::size_t s = 0; s < ns; ++s) {
+    const double* wm = ws.wdot_mole.data() + s * cap;
+    const double m = molar_mass_[s];
+    double* out = wdot_mass.data() + s * stride;
+    for (std::size_t i = 0; i < n; ++i) out[i] = wm[i] * m;
+  }
+}
+
+BatchEvaluator::BatchEvaluator(const Mechanism& m, std::size_t block,
+                               core::ThreadPool* pool)
+    : mech_(&m), block_(std::max<std::size_t>(block, 1)), pool_(pool) {
+  const std::size_t chunks = pool_ ? pool_->size() : 1;
+  ws_.resize(chunks);  // cat-lint: allow-alloc (construction)
+}
+
+void BatchEvaluator::mass_production_rates(std::span<const double> rho,
+                                           std::span<const double> y,
+                                           std::span<const double> t,
+                                           std::span<const double> tv,
+                                           std::span<double> wdot_mass,
+                                           std::size_t stride) {
+  const std::size_t n = rho.size();
+  if (n == 0) return;
+  const std::size_t chunks = ws_.size();
+  // Static contiguous split: chunk k covers [k n / chunks, (k+1) n / chunks).
+  // Every cell is an independent map, so the split (and the block
+  // subdivision below) cannot change any result bit.
+  auto run_chunk = [&](std::size_t k) {
+    const std::size_t lo = k * n / chunks;
+    const std::size_t hi = (k + 1) * n / chunks;
+    BatchWorkspace& ws = ws_[k];
+    for (std::size_t i0 = lo; i0 < hi; i0 += block_) {
+      const std::size_t len = std::min(block_, hi - i0);
+      mech_->mass_production_rates_batch(
+          rho.subspan(i0, len), y.subspan(i0), t.subspan(i0, len),
+          tv.subspan(i0, len), wdot_mass.subspan(i0), stride, ws);
+    }
+  };
+  if (pool_ && chunks > 1) {
+    pool_->parallel_for(chunks, run_chunk);
+  } else {
+    for (std::size_t k = 0; k < chunks; ++k) run_chunk(k);
+  }
+}
+
+}  // namespace cat::chemistry

@@ -1,0 +1,112 @@
+#pragma once
+/// \file batch.hpp
+/// SoA batched chemistry kernels: evaluate finite-rate production rates for
+/// a contiguous block of cells per call instead of re-dispatching the
+/// scalar per-cell path (reaction.cpp) once per cell.
+///
+/// Layout: all batch arrays are structure-of-arrays with a species-major
+/// (or reaction-major) plane pitch — element (s, i) of an N-cell block
+/// lives at [s * stride + i]. Cells are the fast axis, so the inner loops
+/// are contiguous, non-aliased and auto-vectorizable; the transcendental
+/// calls stay scalar libm calls (vector math libraries round differently),
+/// so the hot win is hoisting the per-cell dispatch, the shared log(T) and
+/// the cache traffic, plus thread fan-out through BatchEvaluator.
+///
+/// Bitwise contract: for every cell of every block size the batch kernels
+/// execute the same floating-point operations in the same order as the
+/// scalar Mechanism::mass_production_rates path, so results are bitwise
+/// identical to the scalar loop — for any block size and any thread count.
+/// The BatchEquivalence test suite pins this.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chemistry/reaction.hpp"
+#include "core/thread_pool.hpp"
+
+namespace cat::chemistry {
+
+/// Preallocated SoA scratch for the batch kernels. Plane pitch is
+/// capacity(); growth-only, so spans held by a caller stay valid across a
+/// rebind to the same mechanism at no larger block size. One workspace per
+/// thread (see BatchEvaluator).
+struct BatchWorkspace {
+  /// Size all planes for mechanism \p m and at least \p capacity cells per
+  /// plane. Growth-only: never shrinks, no-op when already bound at
+  /// sufficient capacity.
+  void bind(const Mechanism& m, std::size_t capacity);
+
+  std::size_t capacity() const { return cap_; }
+
+  // --- SoA planes, pitch = capacity() ---
+  std::vector<double> c;          ///< [species][cell] molar concentrations
+  std::vector<double> gibbs_t;    ///< [species][cell] g_s(T, p_ref)
+  std::vector<double> gibbs_tv;   ///< [species][cell] g_s(Tv_cl, p_ref)
+  std::vector<double> wdot_mole;  ///< [species][cell] molar rates
+  std::vector<double> kf;         ///< [reaction][cell] forward coefficients
+  std::vector<double> kb;         ///< [reaction][cell] backward coefficients
+
+  // --- per-cell temperature intermediates ---
+  std::vector<double> log_t_raw;  ///< log(T) (unclamped; Gibbs argument)
+  std::vector<double> log_t;      ///< log(max(T, 50))
+  std::vector<double> inv_t;      ///< 1 / max(T, 50)
+  std::vector<double> conc_t;     ///< p_ref / (Ru T)
+  std::vector<double> log_tc_d;   ///< log(max(sqrt(T Tv), 50)) (dissociation)
+  std::vector<double> inv_tc_d;
+  std::vector<double> tv_cl;      ///< max(Tv, 50) (electron-impact paths)
+  std::vector<double> log_tv;
+  std::vector<double> inv_tv;
+  std::vector<double> conc_tv;    ///< p_ref / (Ru Tv_cl)
+
+  // --- per-cell reaction scratch ---
+  std::vector<double> fwd;    ///< forward progress accumulator
+  std::vector<double> bwd;    ///< backward progress accumulator
+  std::vector<double> cm;     ///< third-body concentration
+  std::vector<double> kf_tb;  ///< k_f at the backward controlling T
+  std::vector<double> dg;     ///< Gibbs reaction energy
+
+ private:
+  std::uint64_t bound_serial_ = 0;  ///< identity of the bound mechanism
+  std::size_t cap_ = 0;
+};
+
+/// Cell-parallel driver over Mechanism::mass_production_rates_batch:
+/// partitions an N-cell sweep into one contiguous chunk per pool thread
+/// (static split — deterministic for a given thread count) and each chunk
+/// into cache-resident blocks of block() cells. Because every cell is an
+/// independent map, results are bitwise identical for ANY thread count and
+/// ANY block size. Owns one BatchWorkspace per chunk; after the first call
+/// at the largest N, evaluation performs zero heap allocations.
+class BatchEvaluator {
+ public:
+  /// Default cells per block: big enough to amortize the per-block setup,
+  /// small enough that the ~(2 n_species + 2 n_reactions + 15) doubles per
+  /// cell of workspace planes stay L1/L2-resident.
+  static constexpr std::size_t kDefaultBlock = 64;
+
+  /// \p pool may be null (serial evaluation). The pool is borrowed, not
+  /// owned, and must outlive the evaluator.
+  explicit BatchEvaluator(const Mechanism& m,
+                          std::size_t block = kDefaultBlock,
+                          core::ThreadPool* pool = nullptr);
+
+  std::size_t block() const { return block_; }
+  const Mechanism& mechanism() const { return *mech_; }
+
+  /// Batched Mechanism::mass_production_rates over n = rho.size() cells.
+  /// \p y and \p wdot_mass are SoA with plane pitch \p stride >= n.
+  void mass_production_rates(std::span<const double> rho,
+                             std::span<const double> y,
+                             std::span<const double> t,
+                             std::span<const double> tv,
+                             std::span<double> wdot_mass, std::size_t stride);
+
+ private:
+  const Mechanism* mech_;
+  std::size_t block_;
+  core::ThreadPool* pool_;
+  std::vector<BatchWorkspace> ws_;  ///< one per chunk (= pool thread)
+};
+
+}  // namespace cat::chemistry

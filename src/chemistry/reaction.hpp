@@ -30,6 +30,8 @@
 
 namespace cat::chemistry {
 
+struct BatchWorkspace;  // chemistry/batch.hpp
+
 /// Reaction classes determining the controlling temperature.
 enum class ReactionType {
   kDissociation,          ///< AB + M -> A + B + M      (T_c = sqrt(T Tv))
@@ -104,6 +106,24 @@ class Mechanism {
   void mass_production_rates(double rho, std::span<const double> y, double t,
                              double tv, std::span<double> wdot_mass) const;
 
+  /// SoA batch forms (chemistry/batch.hpp, implemented in batch.cpp):
+  /// evaluate n = t.size() cells per call. \p c / \p wdot / \p y /
+  /// \p wdot_mass are structure-of-arrays with plane pitch \p stride >= n
+  /// (element (s, i) at [s * stride + i]). Results are bitwise identical to
+  /// the scalar kernels above for every cell, for any block size.
+  void production_rates_batch(std::span<const double> c,
+                              std::span<const double> t,
+                              std::span<const double> tv,
+                              std::span<double> wdot, std::size_t stride,
+                              BatchWorkspace& ws) const;
+  void mass_production_rates_batch(std::span<const double> rho,
+                                   std::span<const double> y,
+                                   std::span<const double> t,
+                                   std::span<const double> tv,
+                                   std::span<double> wdot_mass,
+                                   std::size_t stride,
+                                   BatchWorkspace& ws) const;
+
   /// Vibrational energy gained/lost by chemistry [W/m^3]: Park's
   /// approximation that molecules are created/destroyed carrying the local
   /// average vibronic energy.
@@ -129,6 +149,7 @@ class Mechanism {
 
  private:
   friend struct Workspace;
+  friend struct BatchWorkspace;
 
   gas::SpeciesSet set_;
   gas::Mixture mix_;

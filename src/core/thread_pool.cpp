@@ -1,8 +1,8 @@
-#include "scenario/thread_pool.hpp"
+#include "core/thread_pool.hpp"
 
 #include <algorithm>
 
-namespace cat::scenario {
+namespace cat::core {
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) n_threads = recommended_threads();
@@ -110,4 +110,4 @@ void ThreadPool::parallel_for(std::size_t n,
   if (first) std::rethrow_exception(first);
 }
 
-}  // namespace cat::scenario
+}  // namespace cat::core

@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "gas/constants.hpp"
+#include "gas/thermo_detail.hpp"
 
 namespace cat::gas {
 
@@ -13,46 +14,12 @@ using constants::kBoltzmann;
 using constants::kPlanck;
 using constants::kRu;
 
-/// Vibrational energy of one harmonic mode per mole [J/mol].
-double vib_energy_mode(double theta, double t) {
-  const double x = theta / t;
-  if (x > 500.0) return 0.0;  // fully frozen; avoids exp overflow
-  return kRu * theta / (std::exp(x) - 1.0);
-}
-
-/// d/dT of vib_energy_mode [J/(mol K)].
-double vib_cv_mode(double theta, double t) {
-  const double x = theta / t;
-  if (x > 500.0) return 0.0;
-  const double ex = std::exp(x);
-  const double denom = ex - 1.0;
-  return kRu * x * x * ex / (denom * denom);
-}
-
-/// Electronic partition function and its energy moment.
-struct ElectronicState {
-  double q;       ///< partition function
-  double e;       ///< energy [J/mol]
-  double cv;      ///< heat capacity [J/(mol K)]
-};
-
-ElectronicState electronic_state(const Species& s, double t) {
-  double q = 0.0, e1 = 0.0, e2 = 0.0;  // sums of g e^{-x}, g x e^{-x}, g x^2 e^{-x}
-  for (const auto& lvl : s.electronic) {
-    const double x = lvl.theta / t;
-    if (x > 500.0) continue;
-    const double w = lvl.g * std::exp(-x);
-    q += w;
-    e1 += w * x;
-    e2 += w * x * x;
-  }
-  if (q <= 0.0) {  // only the ground level survives numerically
-    return {static_cast<double>(s.electronic.front().g), 0.0, 0.0};
-  }
-  const double mean_x = e1 / q;
-  const double var_x = e2 / q - mean_x * mean_x;
-  return {q, kRu * t * mean_x, kRu * var_x};
-}
+// Per-mode helpers live in thermo_detail.hpp, shared with the SoA batch
+// kernels (thermo_batch.cpp) so both paths stay bitwise identical.
+using detail::ElectronicState;
+using detail::electronic_state;
+using detail::vib_cv_mode;
+using detail::vib_energy_mode;
 }  // namespace
 
 double internal_energy_thermal(const Species& s, double t) {

@@ -1,0 +1,58 @@
+#pragma once
+/// \file thermo_detail.hpp
+/// Shared per-mode RRHO evaluation helpers used by both the scalar
+/// thermodynamics (thermo.cpp) and the SoA batch kernels
+/// (thermo_batch.cpp). Keeping one definition is what makes the
+/// batch-vs-scalar bitwise-equivalence contract maintainable: both paths
+/// execute the same floating-point operations in the same order per
+/// evaluation point (pinned by the BatchEquivalence test suite).
+
+#include <cmath>
+
+#include "gas/constants.hpp"
+#include "gas/species.hpp"
+
+namespace cat::gas::detail {
+
+/// Vibrational energy of one harmonic mode per mole [J/mol].
+inline double vib_energy_mode(double theta, double t) {
+  const double x = theta / t;
+  if (x > 500.0) return 0.0;  // fully frozen; avoids exp overflow
+  return constants::kRu * theta / (std::exp(x) - 1.0);
+}
+
+/// d/dT of vib_energy_mode [J/(mol K)].
+inline double vib_cv_mode(double theta, double t) {
+  const double x = theta / t;
+  if (x > 500.0) return 0.0;
+  const double ex = std::exp(x);
+  const double denom = ex - 1.0;
+  return constants::kRu * x * x * ex / (denom * denom);
+}
+
+/// Electronic partition function and its energy moment.
+struct ElectronicState {
+  double q;   ///< partition function
+  double e;   ///< energy [J/mol]
+  double cv;  ///< heat capacity [J/(mol K)]
+};
+
+inline ElectronicState electronic_state(const Species& s, double t) {
+  double q = 0.0, e1 = 0.0, e2 = 0.0;  // sums of g e^{-x}, g x e^{-x}, g x^2 e^{-x}
+  for (const auto& lvl : s.electronic) {
+    const double x = lvl.theta / t;
+    if (x > 500.0) continue;
+    const double w = lvl.g * std::exp(-x);
+    q += w;
+    e1 += w * x;
+    e2 += w * x * x;
+  }
+  if (q <= 0.0) {  // only the ground level survives numerically
+    return {static_cast<double>(s.electronic.front().g), 0.0, 0.0};
+  }
+  const double mean_x = e1 / q;
+  const double var_x = e2 / q - mean_x * mean_x;
+  return {q, constants::kRu * t * mean_x, constants::kRu * var_x};
+}
+
+}  // namespace cat::gas::detail

@@ -1,0 +1,86 @@
+#include "numerics/tridiag_batch.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace cat::numerics {
+
+namespace {
+
+/// Same scale-invariant pivot test as tridiag.cpp — the fused sweep must
+/// accept/reject exactly the systems the scalar solver would.
+constexpr double kPivotRelTol = 100.0 * std::numeric_limits<double>::epsilon();
+
+bool pivot_usable(double pivot, double row_scale) {
+  return std::fabs(pivot) > kPivotRelTol * row_scale;
+}
+
+}  // namespace
+
+// cat-lint: allow-alloc (workspace growth; no-op once at capacity)
+void TridiagBatch::resize(std::size_t n, std::size_t k) {
+  CAT_REQUIRE(n > 0 && k > 0, "empty batch system");
+  n_ = n;
+  k_ = k;
+  const std::size_t sz = n * k;
+  if (sz > a_.size()) {
+    a_.resize(sz);
+    b_.resize(sz);
+    c_.resize(sz);
+    d_.resize(sz);
+    cp_.resize(sz);
+    dp_.resize(sz);
+    x_.resize(sz);
+  }
+}
+
+void TridiagBatch::solve() {
+  CAT_REQUIRE(n_ > 0 && k_ > 0, "solve() before resize()");
+  const std::size_t n = n_, k = k_;
+  // Row 0: per system, beta = b[0], scale = |b[0]| + |c[0]| — identical to
+  // solve_tridiagonal's first pivot.
+  for (std::size_t j = 0; j < k; ++j) {
+    const double beta = b_[j];
+    if (!pivot_usable(beta, std::fabs(b_[j]) + std::fabs(c_[j]))) {
+      throw SolverError("tridiag batch: singular pivot in row 0, system " +
+                        std::to_string(j));
+    }
+    cp_[j] = c_[j] / beta;
+    dp_[j] = d_[j] / beta;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const double* ai = a_.data() + i * k;
+    const double* bi = b_.data() + i * k;
+    const double* ci = c_.data() + i * k;
+    const double* di = d_.data() + i * k;
+    const double* cpm = cp_.data() + (i - 1) * k;
+    const double* dpm = dp_.data() + (i - 1) * k;
+    double* cpi = cp_.data() + i * k;
+    double* dpi = dp_.data() + i * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double beta = bi[j] - ai[j] * cpm[j];
+      const double row_scale =
+          std::fabs(ai[j]) + std::fabs(bi[j]) + std::fabs(ci[j]);
+      if (!pivot_usable(beta, row_scale)) {
+        throw SolverError("tridiag batch: singular pivot in row " +
+                          std::to_string(i) + ", system " + std::to_string(j));
+      }
+      cpi[j] = ci[j] / beta;
+      dpi[j] = (di[j] - ai[j] * dpm[j]) / beta;
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j)
+    x_[(n - 1) * k + j] = dp_[(n - 1) * k + j];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const double* cpi = cp_.data() + i * k;
+    const double* dpi = dp_.data() + i * k;
+    const double* xn = x_.data() + (i + 1) * k;
+    double* xi = x_.data() + i * k;
+    for (std::size_t j = 0; j < k; ++j) xi[j] = dpi[j] - cpi[j] * xn[j];
+  }
+}
+
+}  // namespace cat::numerics

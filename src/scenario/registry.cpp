@@ -194,6 +194,22 @@ std::vector<Case> build_registry() {
     cases.push_back(c);
   }
 
+  {
+    Case c;
+    c.name = "hemisphere_fv_neq_air5";
+    c.title =
+        "Mach-18 hemisphere, finite-rate 5-species air through the FV "
+        "field (batched chemistry kernels)";
+    c.family = SolverFamily::kFiniteVolumeField;
+    c.gas = GasModelKind::kAir5;
+    c.viscous = false;
+    c.finite_rate = true;
+    c.vehicle = {"hemisphere", 100.0, 0.073, 1.0, 0.0, 0.1524};
+    c.condition = {5900.0, 30000.0};
+    c.wall_temperature_K = 1500.0;
+    cases.push_back(c);
+  }
+
   // --- Fig. 7/8: shock-tube thermochemical nonequilibrium --------------
   {
     Case c;

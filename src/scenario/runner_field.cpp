@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chemistry/reaction.hpp"
 #include "core/error.hpp"
 #include "core/gas_model.hpp"
 #include "geometry/body.hpp"
@@ -69,6 +70,23 @@ class FiniteVolumeFieldRunner final : public Runner {
     opt.max_iter = preset.max_iter;
     opt.residual_tol = preset.residual_tol;
     opt.wall_temperature_K = c.wall_temperature_K;
+    std::size_t i_n2 = 0, i_o = 0;  // species metric indices (finite_rate)
+    if (c.finite_rate) {
+      CAT_REQUIRE(c.planet == Planet::kEarth,
+                  "finite-rate FV cases use the Park air mechanisms");
+      auto mech = std::make_shared<chemistry::Mechanism>(
+          c.gas == GasModelKind::kAir9    ? chemistry::park_air9()
+          : c.gas == GasModelKind::kAir11 ? chemistry::park_air11()
+                                          : chemistry::park_air5());
+      // Cold-air freestream composition on the mechanism's species list.
+      std::vector<double> y0(mech->n_species(), 0.0);
+      i_n2 = mech->species_set().local_index("N2");
+      i_o = mech->species_set().local_index("O");
+      y0[i_n2] = 0.767;
+      y0[mech->species_set().local_index("O2")] = 0.233;
+      opt.mechanism = std::move(mech);
+      opt.species_y0 = std::move(y0);
+    }
     std::unique_ptr<solvers::EulerSolver> solver_ptr;
     if (c.viscous) {
       solver_ptr = std::make_unique<solvers::NavierStokesSolver>(
@@ -107,6 +125,20 @@ class FiniteVolumeFieldRunner final : public Runner {
     if (c.viscous) {
       r.metrics.push_back(
           {"nose_q_w", solver.wall_heat_flux().front(), "W/m^2"});
+    }
+    if (c.finite_rate) {
+      // Dissociation headline numbers: N2 depletion and peak atomic
+      // oxygen in the shock layer.
+      double y_n2_min = 1.0, y_o_max = 0.0;
+      for (std::size_t i = 0; i < grid.ni(); ++i) {
+        for (std::size_t j = 0; j < grid.nj(); ++j) {
+          y_n2_min =
+              std::min(y_n2_min, solver.species_mass_fraction(i_n2, i, j));
+          y_o_max = std::max(y_o_max, solver.species_mass_fraction(i_o, i, j));
+        }
+      }
+      r.metrics.push_back({"y_n2_min", y_n2_min, "-"});
+      r.metrics.push_back({"y_o_max", y_o_max, "-"});
     }
     r.elapsed_seconds = seconds_since(t0);
     return r;

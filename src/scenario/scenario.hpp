@@ -91,6 +91,11 @@ struct Case {
   std::size_t streamwise_order = 2;
   std::size_t max_pulse_points = 36;    ///< StagnationPulse decimation
   bool viscous = true;                  ///< FiniteVolumeField: NS vs Euler
+  /// FiniteVolumeField: carry finite-rate species continuity equations
+  /// (the Park air mechanism matching \c gas) through the field solve via
+  /// the batched chemistry kernels. One-way coupling: the flow drives the
+  /// chemistry; the bulk EOS stays the case's equilibrium/ideal model.
+  bool finite_rate = false;
 };
 
 /// One named scalar output of a case run.

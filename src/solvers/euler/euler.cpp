@@ -25,6 +25,31 @@ EulerSolver::EulerSolver(const grid::StructuredGrid& grid,
   res_.assign(n, Conservative{});
   u0_scratch_.assign(n, Conservative{});
   dt_scratch_.assign(n, 0.0);
+
+  if (opt_.mechanism) {
+    ns_ = opt_.mechanism->n_species();
+    CAT_REQUIRE(opt_.species_y0.size() == ns_,
+                "species_y0 must provide one mass fraction per species");
+    double ysum = 0.0;
+    for (const double y : opt_.species_y0) {
+      CAT_REQUIRE(y >= 0.0 && y <= 1.0, "species_y0 out of [0, 1]");
+      ysum += y;
+    }
+    CAT_REQUIRE(std::fabs(ysum - 1.0) < 1e-8, "species_y0 must sum to 1");
+    chem_active_ = opt_.finite_rate && opt_.mechanism->n_reactions() > 0;
+    us_.assign(ns_ * n, 0.0);
+    ys_.assign(ns_ * n, 0.0);
+    res_s_.assign(ns_ * n, 0.0);
+    us0_scratch_.assign(ns_ * n, 0.0);
+    if (chem_active_) {
+      wdot_.assign(ns_ * n, 0.0);
+      damp_.assign(ns_ * n, 1.0);
+      chem_rho_.assign(n, 0.0);
+      chem_t_.assign(n, 0.0);
+      chem_ws_.bind(*opt_.mechanism,
+                    std::min(std::max<std::size_t>(opt_.species_block, 1), n));
+    }
+  }
 }
 
 void EulerSolver::initialize(const FreeStream& fs) {
@@ -36,6 +61,15 @@ void EulerSolver::initialize(const FreeStream& fs) {
   std::fill(u_.begin(), u_.end(), c0);
   std::fill(w_.begin(), w_.end(), w0);
   std::fill(p_.begin(), p_.end(), fs.p);
+  const std::size_t n = u_.size();
+  for (std::size_t s = 0; s < ns_; ++s) {
+    const double y0 = opt_.species_y0[s];
+    std::fill(ys_.begin() + static_cast<std::ptrdiff_t>(s * n),
+              ys_.begin() + static_cast<std::ptrdiff_t>((s + 1) * n), y0);
+    std::fill(us_.begin() + static_cast<std::ptrdiff_t>(s * n),
+              us_.begin() + static_cast<std::ptrdiff_t>((s + 1) * n),
+              fs.rho * y0);
+  }
   residual0_ = -1.0;
   residual_ = 1.0;
   iter_count_ = 0;
@@ -92,6 +126,36 @@ void EulerSolver::decode_all() {
     }
     w_[k] = decode(c);
     p_[k] = gas_->pressure(w_[k][0], w_[k][3]);
+  }
+}
+
+void EulerSolver::decode_species() {
+  // Primitive mass fractions from the conservative species planes, with
+  // the same positivity-repair philosophy as decode_all: clip y to [0, 1],
+  // renormalize the sum, and rewrite rho y_s so U and y stay consistent.
+  // For exactly advected fields (frozen MMS) the repair is a no-op to
+  // roundoff: symmetric limiters reconstruct sum(y) = 1 exactly.
+  const std::size_t n = u_.size();
+#ifdef CATAERO_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t kk = 0; kk < static_cast<std::ptrdiff_t>(n); ++kk) {
+    const auto k = static_cast<std::size_t>(kk);
+    const double rho = w_[k][0];
+    const double inv_rho = 1.0 / rho;
+    double sum = 0.0;
+    for (std::size_t s = 0; s < ns_; ++s) {
+      const double y = std::clamp(us_[s * n + k] * inv_rho, 0.0, 1.0);
+      ys_[s * n + k] = y;
+      sum += y;
+    }
+    const double inv_sum = sum > 1e-12 ? 1.0 / sum : 0.0;
+    for (std::size_t s = 0; s < ns_; ++s) {
+      const double y = inv_sum > 0.0 ? ys_[s * n + k] * inv_sum
+                                     : opt_.species_y0[s];
+      ys_[s * n + k] = y;
+      us_[s * n + k] = rho * y;
+    }
   }
 }
 
@@ -202,6 +266,167 @@ Primitive EulerSolver::mms_state_j(std::size_t i, std::ptrdiff_t qj) const {
   return opt_.dirichlet(c[0], c[1]);
 }
 
+void EulerSolver::species_face_i(std::size_t i, std::size_t j, double f0) {
+  const std::size_t ni = grid_.ni(), n = u_.size();
+  const auto lim = opt_.limiter;
+  const bool mms_sp = static_cast<bool>(opt_.species_dirichlet);
+  if (!mms_sp && (i == 0 || i == ni)) {
+    // Physical boundary faces mirror the bulk ghost policy: the axis
+    // mirror and the outflow zero-gradient both leave y unchanged across
+    // the face, so the species flux is f0 times the interior fraction.
+    const std::size_t c = cidx(i == 0 ? 0 : ni - 1, j);
+    for (std::size_t s = 0; s < ns_; ++s) {
+      const double fs = f0 * ys_[s * n + c];
+      if (i > 0) res_s_[s * n + cidx(i - 1, j)] += fs;
+      if (i < ni) res_s_[s * n + cidx(i, j)] -= fs;
+    }
+    return;
+  }
+  // cat-lint: allow-alloc (thread-local stencil scratch; no-op after 1st call)
+  thread_local std::vector<double> ym2, ym1, yp1, yp2;
+  ym2.resize(ns_);
+  ym1.resize(ns_);
+  yp1.resize(ns_);
+  yp2.resize(ns_);
+  auto fetch = [&](std::ptrdiff_t qi, std::vector<double>& out) {
+    if (qi < 0 || qi >= static_cast<std::ptrdiff_t>(ni)) {
+      if (mms_sp) {
+        const auto g = mms_center_i(qi, j);
+        opt_.species_dirichlet(g[0], g[1], out);
+        return;
+      }
+      qi = qi < 0 ? 0 : static_cast<std::ptrdiff_t>(ni) - 1;
+    }
+    const std::size_t c = cidx(static_cast<std::size_t>(qi), j);
+    for (std::size_t s = 0; s < ns_; ++s) out[s] = ys_[s * n + c];
+  };
+  const auto q = static_cast<std::ptrdiff_t>(i);
+  fetch(q - 2, ym2);
+  fetch(q - 1, ym1);
+  fetch(q, yp1);
+  fetch(q + 1, yp2);
+  const bool have_m2 = mms_sp || i >= 2;
+  const bool have_p2 = mms_sp || i + 1 < ni;
+  for (std::size_t s = 0; s < ns_; ++s) {
+    double yl = ym1[s], yr = yp1[s];
+    if (second_order_now_) {
+      if (have_m2)
+        yl += 0.5 * limited_slope(lim, ym1[s] - ym2[s], yp1[s] - ym1[s]);
+      if (have_p2)
+        yr -= 0.5 * limited_slope(lim, yp1[s] - ym1[s], yp2[s] - yp1[s]);
+    }
+    // Upwind on the sign of the bulk mass flux: f0 yl for outflow of the
+    // left cell, f0 yr for inflow — consistent with the HLLE mass flux so
+    // a uniform y field advects exactly.
+    const double fs = 0.5 * (f0 * (yl + yr) - std::fabs(f0) * (yr - yl));
+    if (i > 0) res_s_[s * n + cidx(i - 1, j)] += fs;
+    if (i < ni) res_s_[s * n + cidx(i, j)] -= fs;
+  }
+}
+
+void EulerSolver::species_face_j(std::size_t i, std::size_t j, double f0) {
+  const std::size_t nj = grid_.nj(), n = u_.size();
+  const auto lim = opt_.limiter;
+  const bool mms_sp = static_cast<bool>(opt_.species_dirichlet);
+  if (!mms_sp && (j == 0 || j == nj)) {
+    // Wall faces are non-catalytic (ghost carries the interior fractions);
+    // the outer boundary sees freestream fractions on the exterior side.
+    for (std::size_t s = 0; s < ns_; ++s) {
+      const double y_in = ys_[s * n + cidx(i, j == 0 ? 0 : nj - 1)];
+      const double yl = y_in;
+      const double yr = j == nj ? opt_.species_y0[s] : y_in;
+      const double fs = 0.5 * (f0 * (yl + yr) - std::fabs(f0) * (yr - yl));
+      if (j > 0) res_s_[s * n + cidx(i, j - 1)] += fs;
+      if (j < nj) res_s_[s * n + cidx(i, j)] -= fs;
+    }
+    return;
+  }
+  // cat-lint: allow-alloc (thread-local stencil scratch; no-op after 1st call)
+  thread_local std::vector<double> ym2, ym1, yp1, yp2;
+  ym2.resize(ns_);
+  ym1.resize(ns_);
+  yp1.resize(ns_);
+  yp2.resize(ns_);
+  auto fetch = [&](std::ptrdiff_t qj, std::vector<double>& out) {
+    if (qj < 0 || qj >= static_cast<std::ptrdiff_t>(nj)) {
+      if (mms_sp) {
+        const auto g = mms_center_j(i, qj);
+        opt_.species_dirichlet(g[0], g[1], out);
+        return;
+      }
+      qj = qj < 0 ? 0 : static_cast<std::ptrdiff_t>(nj) - 1;
+    }
+    const std::size_t c = cidx(i, static_cast<std::size_t>(qj));
+    for (std::size_t s = 0; s < ns_; ++s) out[s] = ys_[s * n + c];
+  };
+  const auto q = static_cast<std::ptrdiff_t>(j);
+  fetch(q - 2, ym2);
+  fetch(q - 1, ym1);
+  fetch(q, yp1);
+  fetch(q + 1, yp2);
+  const bool have_m2 = mms_sp || j >= 2;
+  const bool have_p2 = mms_sp || j + 1 < nj;
+  for (std::size_t s = 0; s < ns_; ++s) {
+    double yl = ym1[s], yr = yp1[s];
+    if (second_order_now_) {
+      if (have_m2)
+        yl += 0.5 * limited_slope(lim, ym1[s] - ym2[s], yp1[s] - ym1[s]);
+      if (have_p2)
+        yr -= 0.5 * limited_slope(lim, yp1[s] - ym1[s], yp2[s] - yp1[s]);
+    }
+    const double fs = 0.5 * (f0 * (yl + yr) - std::fabs(f0) * (yr - yl));
+    if (j > 0) res_s_[s * n + cidx(i, j - 1)] += fs;
+    if (j < nj) res_s_[s * n + cidx(i, j)] -= fs;
+  }
+}
+
+void EulerSolver::update_chemistry_source(const std::vector<double>& dts) {
+  // Finite-rate sources for every cell through the SoA batch kernel, plus
+  // the point-implicit damping factors. The source uses the field state of
+  // the previous iteration (lagged), which is steady-state consistent: at
+  // convergence the advective residual balances wdot of the converged
+  // field exactly. Point-implicit form: splitting wdot = P - L (rho y)
+  // with L = max(0, -wdot)/(rho y) >= 0, the update applies
+  // 1/(1 + dt L) to the species residual — unconditionally stable for
+  // stiff destruction, and the damping scales only the transient, never
+  // the converged state.
+  const std::size_t n = u_.size();
+  const chemistry::Mechanism& mech = *opt_.mechanism;
+  for (std::size_t k = 0; k < n; ++k) {
+    chem_rho_[k] = w_[k][0];
+    chem_t_[k] = gas_->temperature(w_[k][0], w_[k][3]);
+  }
+  const std::size_t block = std::max<std::size_t>(opt_.species_block, 1);
+  for (std::size_t i0 = 0; i0 < n; i0 += block) {
+    const std::size_t len = std::min(block, n - i0);
+    // One-temperature coupling: tv = t (the FV gas models are thermally
+    // equilibrated; two-temperature coupling is a roadmap item).
+    mech.mass_production_rates_batch(
+        std::span<const double>(chem_rho_.data() + i0, len),
+        std::span<const double>(ys_.data() + i0, ys_.size() - i0),
+        std::span<const double>(chem_t_.data() + i0, len),
+        std::span<const double>(chem_t_.data() + i0, len),
+        std::span<double>(wdot_.data() + i0, wdot_.size() - i0), n, chem_ws_);
+  }
+  for (std::size_t s = 0; s < ns_; ++s) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = s * n + k;
+      const double w = wdot_[idx];
+      // Destruction: classic point-implicit 1/(1 + dt L), unconditionally
+      // stable for stiff loss. Production is damped on the same relative
+      // scale (floored near y ~ 1e-3 so trace species still ignite):
+      // explicit production at shock-layer rates would otherwise outrun
+      // the damped destruction of its reactants during the transient and
+      // push the composition outside the elemental envelope that the
+      // converged state satisfies exactly.
+      const double scale = w < 0.0
+                               ? std::max(us_[idx], 1e-12)
+                               : std::max(us_[idx], 1e-3 * w_[k][0]);
+      damp_[idx] = 1.0 / (1.0 + dts[k] * std::fabs(w) / scale);
+    }
+  }
+}
+
 void EulerSolver::accumulate_fluxes() {
   const std::size_t ni = grid_.ni(), nj = grid_.nj();
   const auto lim = opt_.limiter;
@@ -272,6 +497,7 @@ void EulerSolver::accumulate_fluxes() {
         for (int k = 0; k < 4; ++k) res_[cidx(i - 1, j)][k] += f[k];
       if (i < ni)
         for (int k = 0; k < 4; ++k) res_[cidx(i, j)][k] -= f[k];
+      if (ns_ > 0) species_face_i(i, j, f[0]);
     }
   }
 
@@ -312,6 +538,7 @@ void EulerSolver::accumulate_fluxes() {
         for (int k = 0; k < 4; ++k) res_[cidx(i, j - 1)][k] += f[k];
       if (j < nj)
         for (int k = 0; k < 4; ++k) res_[cidx(i, j)][k] -= f[k];
+      if (ns_ > 0) species_face_j(i, j, f[0]);
     }
   }
 
@@ -339,6 +566,28 @@ void EulerSolver::accumulate_fluxes() {
                                                     grid_.rc(i, j));
         const double vol = grid_.volume(i, j);
         for (int k = 0; k < 4; ++k) res_[cidx(i, j)][k] -= s[k] * vol;
+      }
+    }
+  }
+
+  // ---- species sources (same sign convention as opt_.source) ----
+  if (chem_active_) {
+    const std::size_t n = u_.size();
+    for (std::size_t s = 0; s < ns_; ++s)
+      for (std::size_t k = 0; k < n; ++k)
+        res_s_[s * n + k] -= wdot_[s * n + k] * grid_.volume(k / nj, k % nj);
+  }
+  if (opt_.species_source) {
+    const std::size_t n = u_.size();
+    // cat-lint: allow-alloc (hook scratch; no-op after 1st call)
+    thread_local std::vector<double> s_hook;
+    s_hook.resize(ns_);
+    for (std::size_t i = 0; i < ni; ++i) {
+      for (std::size_t j = 0; j < nj; ++j) {
+        opt_.species_source(grid_.xc(i, j), grid_.rc(i, j), s_hook);
+        const double vol = grid_.volume(i, j);
+        for (std::size_t s = 0; s < ns_; ++s)
+          res_s_[s * n + cidx(i, j)] -= s_hook[s] * vol;
       }
     }
   }
@@ -516,18 +765,32 @@ double EulerSolver::advance(std::size_t n) {
     // meaningless and trigger spurious early exits).
     if (iter_count_ == opt_.startup_iters + 2) residual0_ = -1.0;
     std::copy(u_.begin(), u_.end(), u0.begin());
+    if (ns_ > 0) std::copy(us_.begin(), us_.end(), us0_scratch_.begin());
     for (std::size_t k = 0; k < cells; ++k)
       dts[k] = local_dt(k / grid_.nj(), k % grid_.nj());
+    if (chem_active_) update_chemistry_source(dts);
 
     double rnorm = 0.0;
     for (int stage = 0; stage < 2; ++stage) {
       std::fill(res_.begin(), res_.end(), Conservative{});
+      if (ns_ > 0) std::fill(res_s_.begin(), res_s_.end(), 0.0);
       accumulate_fluxes();
       if (stage == 0) {
         for (std::size_t k = 0; k < cells; ++k) {
           const double s =
               dts[k] / grid_.volume(k / grid_.nj(), k % grid_.nj());
           for (int q = 0; q < 4; ++q) u_[k][q] = u0[k][q] - s * res_[k][q];
+        }
+        for (std::size_t sp = 0; sp < ns_; ++sp) {
+          for (std::size_t k = 0; k < cells; ++k) {
+            const std::size_t idx = sp * cells + k;
+            const double s =
+                dts[k] / grid_.volume(k / grid_.nj(), k % grid_.nj());
+            // Point-implicit: damp scales the update, not the converged
+            // state (res_s = 0 at steady state regardless of damp).
+            const double dmp = chem_active_ ? damp_[idx] : 1.0;
+            us_[idx] = us0_scratch_[idx] - dmp * s * res_s_[idx];
+          }
         }
       } else {
         rnorm = 0.0;
@@ -540,8 +803,19 @@ double EulerSolver::advance(std::size_t n) {
           rnorm += dr * dr;
         }
         rnorm = std::sqrt(rnorm / static_cast<double>(cells));
+        for (std::size_t sp = 0; sp < ns_; ++sp) {
+          for (std::size_t k = 0; k < cells; ++k) {
+            const std::size_t idx = sp * cells + k;
+            const double s =
+                dts[k] / grid_.volume(k / grid_.nj(), k % grid_.nj());
+            const double dmp = chem_active_ ? damp_[idx] : 1.0;
+            us_[idx] = 0.5 * (us0_scratch_[idx] + us_[idx] -
+                              dmp * s * res_s_[idx]);
+          }
+        }
       }
       decode_all();
+      if (ns_ > 0) decode_species();
     }
     residual_ = rnorm;
     if (residual0_ < 0.0 && rnorm > 0.0) residual0_ = rnorm;

@@ -14,8 +14,10 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "chemistry/batch.hpp"
 #include "core/gas_model.hpp"
 #include "grid/grid.hpp"
 #include "numerics/limiters.hpp"
@@ -42,6 +44,19 @@ using SourceHook = std::function<std::array<double, 4>(double x, double r)>;
 /// unpolluted by boundary closures.
 using DirichletHook = std::function<std::array<double, 4>(double x, double r)>;
 
+/// Per-species volumetric source hook (src/verify): fills s[n_species]
+/// with the steady species source densities [kg/(m^3 s)] at (x, r). The
+/// species-transport MMS study injects the exact advective divergence of
+/// the manufactured mass fractions here.
+using SpeciesSourceHook =
+    std::function<void(double x, double r, std::span<double> s)>;
+
+/// Exact species Dirichlet hook (src/verify): fills y[n_species] with the
+/// manufactured mass fractions at (x, r); active together with the flow
+/// DirichletHook.
+using SpeciesDirichletHook =
+    std::function<void(double x, double r, std::span<double> y)>;
+
 /// Options for the finite-volume solvers.
 struct FvOptions {
   double cfl = 0.4;  // cat-lint: dimensionless
@@ -57,6 +72,21 @@ struct FvOptions {
   double prandtl = 0.72;  ///< constant-Pr laminar viscous model  // cat-lint: dimensionless
   SourceHook source;               ///< verification forcing (null = off)
   DirichletHook dirichlet;         ///< verification boundaries (null = off)
+
+  // ---- finite-rate species transport (null mechanism = single fluid) ----
+  /// Enables species continuity equations d(rho y_s)/dt +
+  /// div(rho u y_s) = wdot_s alongside the bulk flow: SoA species planes,
+  /// MUSCL-reconstructed mass fractions upwinded by the HLLE mass flux,
+  /// and point-implicit finite-rate sources via the batched chemistry
+  /// kernels (chemistry/batch.hpp). First coupling step: one-way (flow
+  /// drives chemistry; no energy/EOS feedback, no species diffusion).
+  std::shared_ptr<const chemistry::Mechanism> mechanism;
+  bool finite_rate = true;         ///< chemistry sources on (false = frozen advection)  // cat-lint: dimensionless
+  std::vector<double> species_y0;  ///< freestream/initial mass fractions  // cat-lint: dimensionless
+  /// Cells per batched-chemistry call (cache blocking).
+  std::size_t species_block = chemistry::BatchEvaluator::kDefaultBlock;  // cat-lint: dimensionless
+  SpeciesSourceHook species_source;        ///< verification forcing (null = off)
+  SpeciesDirichletHook species_dirichlet;  ///< verification boundaries
 };
 
 /// Cell-centered conservative state [rho, rho u, rho v, rho E].
@@ -102,6 +132,17 @@ class EulerSolver {
 
   const grid::StructuredGrid& grid() const { return grid_; }
   const core::GasModel& gas() const { return *gas_; }
+
+  // ---- species field access (n_species() == 0 without a mechanism) ----
+  std::size_t n_species() const { return ns_; }
+  double species_mass_fraction(std::size_t s, std::size_t i,
+                               std::size_t j) const {
+    return ys_[s * u_.size() + cidx(i, j)];
+  }
+  /// Full mass-fraction plane of species s (cell index = i * nj + j).
+  std::span<const double> species_plane(std::size_t s) const {
+    return {ys_.data() + s * u_.size(), u_.size()};
+  }
 
   /// Bow-shock detection: for each i-line, the j-index and physical
   /// location of the steepest inward pressure rise.
@@ -162,6 +203,29 @@ class EulerSolver {
   void accumulate_fluxes();
   void accumulate_viscous();
   double local_dt(std::size_t i, std::size_t j) const;
+
+  // ---- species transport (SoA planes, pitch = cell count; empty when no
+  // mechanism is configured) ----
+  std::size_t ns_ = 0;       ///< species count (0 = single fluid)
+  bool chem_active_ = false; ///< finite-rate sources on (mechanism reacts)
+  std::vector<double> us_;          ///< conservative rho y_s
+  std::vector<double> ys_;          ///< primitive mass fractions
+  std::vector<double> res_s_;       ///< species residuals
+  std::vector<double> us0_scratch_; ///< RK2 stage-0 species state
+  std::vector<double> wdot_;        ///< finite-rate sources [kg/(m^3 s)]
+  std::vector<double> damp_;        ///< point-implicit factors 1/(1+dt L)
+  std::vector<double> chem_rho_;    ///< contiguous rho for the batch kernel
+  std::vector<double> chem_t_;      ///< contiguous T for the batch kernel
+  chemistry::BatchWorkspace chem_ws_;
+
+  void decode_species();
+  /// Batched finite-rate sources + point-implicit damping factors from the
+  /// current field (lagged one iteration — steady-state consistent).
+  void update_chemistry_source(const std::vector<double>& dts);
+  /// Species upwind flux through one face, riding on the HLLE mass flux
+  /// f0; sweep direction picks the stencil axis.
+  void species_face_i(std::size_t i, std::size_t j, double f0);
+  void species_face_j(std::size_t i, std::size_t j, double f0);
 };
 
 }  // namespace cat::solvers

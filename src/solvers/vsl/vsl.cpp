@@ -7,6 +7,7 @@
 #include "core/error.hpp"
 #include "numerics/interp.hpp"
 #include "numerics/tridiag.hpp"
+#include "numerics/tridiag_batch.hpp"
 #include "transport/transport.hpp"
 
 namespace cat::solvers {
@@ -173,6 +174,17 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
   std::vector<double> F(ne), g(ne), F_prev(ne), g_prev(ne), F_prev2(ne),
       g_prev2(ne), f_prev_int(ne, 0.0), f_prev2_int(ne, 0.0);
 
+  // Picard scratch, hoisted out of the station loop, and the fused line
+  // solver: the momentum and energy tridiagonal systems of one Picard
+  // iteration are both assembled from the lagged profiles (the energy
+  // assembly never reads the fresh momentum solution), so they solve as a
+  // single blocked Thomas sweep — bitwise identical to the two scalar
+  // solve_tridiagonal calls it replaces, but one pass over the bands and
+  // no per-iteration allocations.
+  std::vector<double> f_int(ne), fx(ne, 0.0), Cn(ne), CPrn(ne), rrn(ne);
+  numerics::TridiagBatch lines(ne, 2);
+  constexpr std::size_t kMom = 0, kEn = 1;
+
   std::vector<MarchStationResult> out;
   out.reserve(n);
 
@@ -259,7 +271,7 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
     }
 
     // Picard iterations at this station.
-    std::vector<double> f_int(ne), a(ne), b(ne), c(ne), d(ne), fx(ne, 0.0);
+    if (i == 0) std::fill(fx.begin(), fx.end(), 0.0);
     for (std::size_t pic = 0; pic < opt_.picard_iters; ++pic) {
       // Stream function from F.
       f_int[0] = 0.0;
@@ -275,7 +287,6 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
       }
 
       // Properties per node.
-      std::vector<double> Cn(ne), CPrn(ne), rrn(ne);
       for (std::size_t j = 0; j < ne; ++j) {
         const double h = std::clamp(
             h_total * (g[j] - d_kin * F[j] * F[j]), h_lo, h_hi);
@@ -284,64 +295,63 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
         rrn[j] = rho_edge / std::max(rho_of_h(h), 1e-12);
       }
 
-      // ---- momentum tridiagonal for F ----
+      // ---- momentum line (fused system kMom) ----
       for (std::size_t j = 0; j < ne; ++j) {
         if (j == 0) {
-          a[j] = 0.0;
-          b[j] = 1.0;
-          c[j] = 0.0;
-          d[j] = 0.0;  // no slip
+          lines.a(j, kMom) = 0.0;
+          lines.b(j, kMom) = 1.0;
+          lines.c(j, kMom) = 0.0;
+          lines.d(j, kMom) = 0.0;  // no slip
           continue;
         }
         if (j == ne - 1) {
-          a[j] = 0.0;
-          b[j] = 1.0;
-          c[j] = 0.0;
-          d[j] = 1.0;  // edge
+          lines.a(j, kMom) = 0.0;
+          lines.b(j, kMom) = 1.0;
+          lines.c(j, kMom) = 0.0;
+          lines.d(j, kMom) = 1.0;  // edge
           continue;
         }
         const double Cm = 0.5 * (Cn[j] + Cn[j - 1]);
         const double Cp = 0.5 * (Cn[j] + Cn[j + 1]);
         const double conv = f_int[j] + (i > 0 ? fx[j] : 0.0);
         const double upwind = conv / (2.0 * d_eta);
-        a[j] = Cm / (d_eta * d_eta) - upwind;
-        c[j] = Cp / (d_eta * d_eta) + upwind;
+        lines.a(j, kMom) = Cm / (d_eta * d_eta) - upwind;
+        lines.c(j, kMom) = Cp / (d_eta * d_eta) + upwind;
         // History term -2 xi F dF/dxi, Picard-linearized: the implicit
         // part (cx0, on the new profile) lands in b, the known upstream
         // stations (cx1, cx2) on the right-hand side.
-        b[j] = -(Cm + Cp) / (d_eta * d_eta) - beta * F[j] -
-               two_xi * cx0 * F[j];
-        d[j] = -beta * rrn[j] +
-               two_xi * F[j] * (cx1 * F_prev[j] + cx2 * F_prev2[j]);
+        lines.b(j, kMom) = -(Cm + Cp) / (d_eta * d_eta) - beta * F[j] -
+                           two_xi * cx0 * F[j];
+        lines.d(j, kMom) = -beta * rrn[j] +
+                           two_xi * F[j] * (cx1 * F_prev[j] + cx2 * F_prev2[j]);
         if (opt_.momentum_source)
-          d[j] -= opt_.momentum_source(ed.s,
-                                       static_cast<double>(j) * d_eta);
+          lines.d(j, kMom) -= opt_.momentum_source(
+              ed.s, static_cast<double>(j) * d_eta);
       }
-      std::vector<double> F_new = numerics::solve_tridiagonal(a, b, c, d);
 
-      // ---- energy tridiagonal for g ----
+      // ---- energy line (fused system kEn; lagged profiles only) ----
       for (std::size_t j = 0; j < ne; ++j) {
         if (j == 0) {
-          a[j] = 0.0;
-          b[j] = 1.0;
-          c[j] = 0.0;
-          d[j] = g_w;
+          lines.a(j, kEn) = 0.0;
+          lines.b(j, kEn) = 1.0;
+          lines.c(j, kEn) = 0.0;
+          lines.d(j, kEn) = g_w;
           continue;
         }
         if (j == ne - 1) {
-          a[j] = 0.0;
-          b[j] = 1.0;
-          c[j] = 0.0;
-          d[j] = 1.0;
+          lines.a(j, kEn) = 0.0;
+          lines.b(j, kEn) = 1.0;
+          lines.c(j, kEn) = 0.0;
+          lines.d(j, kEn) = 1.0;
           continue;
         }
         const double Km = 0.5 * (CPrn[j] + CPrn[j - 1]);
         const double Kp = 0.5 * (CPrn[j] + CPrn[j + 1]);
         const double conv = f_int[j] + (i > 0 ? fx[j] : 0.0);
         const double upwind = conv / (2.0 * d_eta);
-        a[j] = Km / (d_eta * d_eta) - upwind;
-        c[j] = Kp / (d_eta * d_eta) + upwind;
-        b[j] = -(Km + Kp) / (d_eta * d_eta) - two_xi * cx0 * F[j];
+        lines.a(j, kEn) = Km / (d_eta * d_eta) - upwind;
+        lines.c(j, kEn) = Kp / (d_eta * d_eta) + upwind;
+        lines.b(j, kEn) = -(Km + Kp) / (d_eta * d_eta) - two_xi * cx0 * F[j];
         // Viscous dissipation transport (Pr != 1): d/deta[ C(1-1/Pr)
         // d_kin d(F^2)/deta ] with lagged profiles.
         const double pr_j = Cn[j] / CPrn[j];
@@ -350,20 +360,24 @@ std::vector<MarchStationResult> ParabolicMarcher::march(
         const double pr_m = Cn[j - 1] / CPrn[j - 1];
         const double diss_m = Cn[j - 1] * (1.0 - 1.0 / pr_m) * d_kin *
                               (F[j] * F[j] - F[j - 1] * F[j - 1]) / d_eta;
-        d[j] = two_xi * F[j] * (cx1 * g_prev[j] + cx2 * g_prev2[j]) -
-               (diss_p - diss_m) / d_eta;
+        lines.d(j, kEn) = two_xi * F[j] * (cx1 * g_prev[j] + cx2 * g_prev2[j]) -
+                          (diss_p - diss_m) / d_eta;
         if (opt_.energy_source)
-          d[j] -= opt_.energy_source(ed.s, static_cast<double>(j) * d_eta);
+          lines.d(j, kEn) -=
+              opt_.energy_source(ed.s, static_cast<double>(j) * d_eta);
       }
-      std::vector<double> g_new = numerics::solve_tridiagonal(a, b, c, d);
+
+      lines.solve();  // both systems, one blocked Thomas sweep
 
       double change = 0.0;
       for (std::size_t j = 0; j < ne; ++j) {
-        change = std::max(change, std::fabs(F_new[j] - F[j]));
-        change = std::max(change, std::fabs(g_new[j] - g[j]));
+        const double F_new = lines.x(j, kMom);
+        const double g_new = lines.x(j, kEn);
+        change = std::max(change, std::fabs(F_new - F[j]));
+        change = std::max(change, std::fabs(g_new - g[j]));
         // Under-relax for robustness at strongly nonsimilar stations.
-        F[j] = 0.7 * F_new[j] + 0.3 * F[j];
-        g[j] = 0.7 * g_new[j] + 0.3 * g[j];
+        F[j] = 0.7 * F_new + 0.3 * F[j];
+        g[j] = 0.7 * g_new + 0.3 * g[j];
       }
       if (change < 1e-10) break;
     }

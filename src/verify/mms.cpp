@@ -169,6 +169,41 @@ double fv_domain_extent(const FvManufactured& f) {
   return 0.55 / f.rho.kx;
 }
 
+double SpeciesManufactured::y(std::size_t s, double x, double yy) const {
+  const double v0 = y0.v(x, yy);
+  return s == 0 ? v0 : 1.0 - v0;
+}
+
+double SpeciesManufactured::flux_x(const FvManufactured& flow, std::size_t s,
+                                   double x, double yy) const {
+  return flow.rho.v(x, yy) * flow.u.v(x, yy) * y(s, x, yy);
+}
+
+double SpeciesManufactured::flux_y(const FvManufactured& flow, std::size_t s,
+                                   double x, double yy) const {
+  return flow.rho.v(x, yy) * flow.v.v(x, yy) * y(s, x, yy);
+}
+
+double SpeciesManufactured::source(const FvManufactured& flow, std::size_t s,
+                                   double x, double yy) const {
+  const double r = flow.rho.v(x, yy), uu = flow.u.v(x, yy),
+               vv = flow.v.v(x, yy);
+  const double div_m = flow.rho.dx(x, yy) * uu + r * flow.u.dx(x, yy) +
+                       flow.rho.dy(x, yy) * vv + r * flow.v.dy(x, yy);
+  const double sgn = s == 0 ? 1.0 : -1.0;  // y_1 = 1 - y_0
+  return y(s, x, yy) * div_m +
+         r * sgn * (uu * y0.dx(x, yy) + vv * y0.dy(x, yy));
+}
+
+SpeciesManufactured species_transport_field() {
+  SpeciesManufactured sp;
+  // Shares the supersonic field's monotone sin window (argument stays in
+  // (0.35, 1.30) on the unit domain) so limiters never clip y_0, and the
+  // amplitude keeps y_0 in [0.30, 0.60].
+  sp.y0 = {0.45, 0.15, 0.50, 0.45, 0.35};
+  return sp;
+}
+
 double MarchManufactured::f_profile(double eta) const {
   const double z = eta / eta_max;
   return z + a_f * std::sin(M_PI * z);

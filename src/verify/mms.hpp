@@ -75,6 +75,37 @@ FvManufactured viscous_ns_field();
 /// Domain edge length matching each field's wavenumbers.
 double fv_domain_extent(const FvManufactured& f);
 
+/// Manufactured species mass fractions riding on an FvManufactured flow:
+/// y_0 is a TrigField kept well inside (0, 1) and y_1 = 1 - y_0, so the
+/// pair sums to one exactly and the solver's clip/renormalize decode is
+/// the identity on the manufactured solution. Substituting into the
+/// species continuity equation d(rho y_s)/dt + div(rho u y_s) = S_s
+/// leaves the steady advective residual
+///   S_s = y_s div(rho u) + rho (u dy_s/dx + v dy_s/dy),
+/// injected back through the solver's SpeciesSourceHook. With a frozen
+/// (reaction-free) mechanism this isolates the order of the species
+/// MUSCL/upwind discretization.
+struct SpeciesManufactured {
+  TrigField y0;
+
+  /// y_s at (x, y); s in {0, 1}.
+  double y(std::size_t s, double x, double yy) const;
+  /// Exact advective species fluxes rho u y_s / rho v y_s (for the
+  /// finite-difference self-check).
+  double flux_x(const FvManufactured& flow, std::size_t s, double x,
+                double yy) const;
+  double flux_y(const FvManufactured& flow, std::size_t s, double x,
+                double yy) const;
+  /// Steady source density S_s = div(rho u y_s) [kg/(m^3 s)].
+  double source(const FvManufactured& flow, std::size_t s, double x,
+                double yy) const;
+};
+
+/// The catalog's species field for the supersonic Euler flow: the sin
+/// argument stays in the same monotone window as the flow primitives and
+/// the amplitude keeps y_0 in [0.30, 0.60], far from the [0, 1] clips.
+SpeciesManufactured species_transport_field();
+
 /// Manufactured similarity profiles for the parabolic (VSL/PNS/BL)
 /// marching core with a constant-property gas and Pr = 1:
 ///   F(eta) = z + a_f sin(pi z),   g(eta) = g_w + (1-g_w) z + a_g sin(pi z)

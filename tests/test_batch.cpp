@@ -1,0 +1,254 @@
+// BatchEquivalence: the SoA batch kernels must be BITWISE identical to the
+// scalar paths they restructure, for every cell, every block size (1, 4,
+// 64, full N, odd remainders) and every thread count. This is the contract
+// that lets the finite-volume chemistry coupling switch between scalar and
+// batched evaluation (and between serial and threaded sweeps) without
+// changing a single result bit — any regression here means the batch
+// kernel reordered floating-point operations relative to reaction.cpp /
+// thermo.cpp / tridiag.cpp.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "chemistry/batch.hpp"
+#include "chemistry/reaction.hpp"
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+#include "gas/thermo.hpp"
+#include "gas/thermo_batch.hpp"
+#include "numerics/tridiag.hpp"
+#include "numerics/tridiag_batch.hpp"
+
+namespace {
+
+using namespace cat;
+
+// Deterministic quasi-random sequence (no <random> so the fixture is
+// reproducible across standard library implementations).
+double hash01(std::size_t i, std::size_t salt) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull * (i + 1) + 0x85ebca6bull * salt;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return static_cast<double>(x % 1000000ull) / 1000000.0;
+}
+
+bool bitwise_equal(double a, double b) {
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, 8);
+  std::memcpy(&ub, &b, 8);
+  return ua == ub;
+}
+
+/// A synthetic N-cell nonequilibrium field: mixed hot/cold cells, both
+/// thermal equilibrium (t == tv) and nonequilibrium, plus a couple of
+/// clamped sub-50 K cells to exercise every controlling-temperature
+/// branch.
+struct Field {
+  std::vector<double> rho, t, tv, y;  // y is SoA [s * n + i]
+  std::size_t n = 0;
+
+  Field(const chemistry::Mechanism& mech, std::size_t n_cells) : n(n_cells) {
+    const std::size_t ns = mech.n_species();
+    rho.resize(n);
+    t.resize(n);
+    tv.resize(n);
+    y.resize(ns * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rho[i] = 0.001 + 0.1 * hash01(i, 1);
+      t[i] = 300.0 + 11000.0 * hash01(i, 2);
+      tv[i] = (i % 3 == 0) ? t[i] : 300.0 + 9000.0 * hash01(i, 3);
+      if (i == n / 2) t[i] = 40.0;       // clamp branch: t < 50
+      if (i == n / 2 + 1 && n > 2) tv[i] = 30.0;  // clamp branch: tv < 50
+      double sum = 0.0;
+      for (std::size_t s = 0; s < ns; ++s) {
+        y[s * n + i] = 0.01 + hash01(i, 10 + s);
+        sum += y[s * n + i];
+      }
+      for (std::size_t s = 0; s < ns; ++s) y[s * n + i] /= sum;
+    }
+  }
+};
+
+/// Scalar reference: per-cell mass_production_rates into SoA output.
+std::vector<double> scalar_rates(const chemistry::Mechanism& mech,
+                                 const Field& f) {
+  const std::size_t ns = mech.n_species(), n = f.n;
+  std::vector<double> wdot(ns * n), yc(ns), wc(ns);
+  chemistry::Workspace ws;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < ns; ++s) yc[s] = f.y[s * n + i];
+    mech.mass_production_rates(f.rho[i], yc, f.t[i], f.tv[i], wc, ws);
+    for (std::size_t s = 0; s < ns; ++s) wdot[s * n + i] = wc[s];
+  }
+  return wdot;
+}
+
+void expect_bitwise(const std::vector<double>& ref,
+                    const std::vector<double>& got, const char* what) {
+  ASSERT_EQ(ref.size(), got.size());
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (!bitwise_equal(ref[i], got[i])) {
+      if (++bad <= 3) {
+        ADD_FAILURE() << what << ": element " << i << " differs: "
+                      << ref[i] << " vs " << got[i]
+                      << " (delta " << got[i] - ref[i] << ")";
+      }
+    }
+  }
+  EXPECT_EQ(bad, 0u) << what << ": " << bad << " of " << ref.size()
+                     << " elements differ";
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<const char*> {
+ protected:
+  chemistry::Mechanism make_mech() const {
+    const std::string which = GetParam();
+    if (which == "air5") return chemistry::park_air5();
+    if (which == "air9") return chemistry::park_air9();
+    return chemistry::park_air11();
+  }
+};
+
+TEST_P(BatchEquivalence, RatesMatchScalarForAllBlockSizes) {
+  const auto mech = make_mech();
+  const std::size_t n = 103;  // odd: every block size leaves a remainder
+  const Field f(mech, n);
+  const auto ref = scalar_rates(mech, f);
+
+  chemistry::BatchWorkspace ws;
+  for (std::size_t block : {std::size_t{1}, std::size_t{4}, std::size_t{64},
+                            std::size_t{7}, n}) {
+    std::vector<double> wdot(mech.n_species() * n, -1.0);
+    for (std::size_t i0 = 0; i0 < n; i0 += block) {
+      const std::size_t len = std::min(block, n - i0);
+      mech.mass_production_rates_batch(
+          std::span<const double>(f.rho.data() + i0, len),
+          std::span<const double>(f.y.data() + i0, f.y.size() - i0),
+          std::span<const double>(f.t.data() + i0, len),
+          std::span<const double>(f.tv.data() + i0, len),
+          std::span<double>(wdot.data() + i0, wdot.size() - i0), n, ws);
+    }
+    expect_bitwise(ref, wdot,
+                   (std::string(GetParam()) + " block " +
+                    std::to_string(block)).c_str());
+  }
+}
+
+TEST_P(BatchEquivalence, EvaluatorMatchesScalarForAnyThreadCount) {
+  const auto mech = make_mech();
+  const std::size_t n = 257;
+  const Field f(mech, n);
+  const auto ref = scalar_rates(mech, f);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+    core::ThreadPool pool(threads);
+    chemistry::BatchEvaluator eval(mech, 64, &pool);
+    std::vector<double> wdot(mech.n_species() * n, -1.0);
+    eval.mass_production_rates(f.rho, f.y, f.t, f.tv, wdot, n);
+    expect_bitwise(ref, wdot,
+                   (std::string(GetParam()) + " threads " +
+                    std::to_string(threads)).c_str());
+  }
+  // Serial (no pool) path.
+  chemistry::BatchEvaluator eval(mech, 32);
+  std::vector<double> wdot(mech.n_species() * n, -1.0);
+  eval.mass_production_rates(f.rho, f.y, f.t, f.tv, wdot, n);
+  expect_bitwise(ref, wdot, "serial evaluator");
+}
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, BatchEquivalence,
+                         ::testing::Values("air5", "air9", "air11"));
+
+TEST(ThermoBatch, GibbsMatchesScalarBitwise) {
+  const auto set = gas::make_air11();
+  const std::size_t n = 97;
+  std::vector<double> t(n), log_t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = 200.0 + 14000.0 * hash01(i, 4);
+    log_t[i] = std::log(t[i]);
+  }
+  std::vector<double> out(n);
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    const gas::Species& sp = set.species(s);
+    const auto gc = gas::make_gibbs_constants(sp, 101325.0);
+    gas::gibbs_mole_fast_batch(sp, gc, t, log_t, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(bitwise_equal(out[i], gas::gibbs_mole_fast(sp, gc, t[i])))
+          << sp.name << " cell " << i;
+    }
+  }
+}
+
+TEST(ThermoBatch, CpAndEnthalpyMatchScalarBitwise) {
+  const auto set = gas::make_air11();
+  const std::size_t n = 41;
+  std::vector<double> t(n), cp(n), h(n);
+  for (std::size_t i = 0; i < n; ++i) t[i] = 250.0 + 12000.0 * hash01(i, 5);
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    const gas::Species& sp = set.species(s);
+    gas::cp_mole_batch(sp, t, cp);
+    gas::enthalpy_mole_batch(sp, t, h);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(bitwise_equal(cp[i], gas::cp_mole(sp, t[i])))
+          << sp.name << " cp cell " << i;
+      EXPECT_TRUE(bitwise_equal(h[i], gas::enthalpy_mole(sp, t[i])))
+          << sp.name << " h cell " << i;
+    }
+  }
+}
+
+TEST(TridiagBatch, FusedSolveMatchesScalarBitwise) {
+  // k diagonally dominant systems with distinct bands; the fused sweep must
+  // reproduce each scalar solve_tridiagonal bit for bit.
+  for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{8}}) {
+    const std::size_t n = 37;
+    numerics::TridiagBatch batch(n, k);
+    std::vector<std::vector<double>> a(k), b(k), c(k), d(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      a[j].resize(n);
+      b[j].resize(n);
+      c[j].resize(n);
+      d[j].resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[j][i] = -1.0 - hash01(i, 20 + j);
+        c[j][i] = -1.0 - hash01(i, 40 + j);
+        b[j][i] = 4.0 + 2.0 * hash01(i, 60 + j);
+        d[j][i] = -5.0 + 10.0 * hash01(i, 80 + j);
+        batch.a(i, j) = a[j][i];
+        batch.b(i, j) = b[j][i];
+        batch.c(i, j) = c[j][i];
+        batch.d(i, j) = d[j][i];
+      }
+    }
+    batch.solve();
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto x = numerics::solve_tridiagonal(a[j], b[j], c[j], d[j]);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(bitwise_equal(x[i], batch.x(i, j)))
+            << "k=" << k << " system " << j << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(TridiagBatch, SingularPivotThrowsLikeScalar) {
+  numerics::TridiagBatch batch(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      batch.a(i, j) = -1.0;
+      batch.b(i, j) = 4.0;
+      batch.c(i, j) = -1.0;
+      batch.d(i, j) = 1.0;
+    }
+  }
+  batch.b(0, 1) = 0.0;  // singular leading pivot in system 1 only
+  EXPECT_THROW(batch.solve(), SolverError);
+}
+
+}  // namespace

@@ -94,6 +94,36 @@ TEST(verify_mms, ns_source_matches_flux_divergence) {
   expect_source_matches(verify::viscous_ns_field(), true, 1e-5);
 }
 
+TEST(verify_mms, species_source_matches_flux_divergence) {
+  const auto flow = verify::supersonic_euler_field();
+  const auto sp = verify::species_transport_field();
+  const double ext = verify::fv_domain_extent(flow);
+  const double h = 1e-5 * ext;
+  for (const double xf : {0.18, 0.52, 0.83}) {
+    for (const double yf : {0.22, 0.47, 0.91}) {
+      const double x = xf * ext, y = yf * ext;
+      for (std::size_t s = 0; s < 2; ++s) {
+        const double fd = (sp.flux_x(flow, s, x + h, y) -
+                           sp.flux_x(flow, s, x - h, y)) /
+                              (2.0 * h) +
+                          (sp.flux_y(flow, s, x, y + h) -
+                           sp.flux_y(flow, s, x, y - h)) /
+                              (2.0 * h);
+        const double exact = sp.source(flow, s, x, y);
+        EXPECT_NEAR(exact, fd, 1e-5 * std::fabs(fd) + 1e-9)
+            << "species " << s << " at (" << x << ", " << y << ")";
+      }
+      // The fractions sum to one everywhere, so the species sources must
+      // sum to the mixture mass source div(rho u) (component 0 of the
+      // Euler source) — the species system is mass-consistent.
+      EXPECT_NEAR(sp.source(flow, 0, x, y) + sp.source(flow, 1, x, y),
+                  flow.euler_source(x, y)[0],
+                  1e-10 * std::fabs(flow.euler_source(x, y)[0]));
+      EXPECT_NEAR(sp.y(0, x, y) + sp.y(1, x, y), 1.0, 1e-15);
+    }
+  }
+}
+
 TEST(verify_mms, march_profiles_satisfy_boundary_conditions) {
   verify::MarchManufactured m;
   EXPECT_NEAR(m.f_profile(0.0), 0.0, 1e-15);
@@ -141,6 +171,13 @@ TEST(verify_order, fv_euler_limiter_clip_first_order) {
 
 TEST(verify_order, fv_ns_viscous_second_order) {
   expect_order_study_passes("fv_ns_mms");
+}
+
+TEST(verify_order, fv_species_transport_second_order) {
+  // The species continuity equations (MUSCL mass fractions riding the
+  // HLLE mass flux) must converge at the same design order as the bulk
+  // flow they are coupled to.
+  expect_order_study_passes("fv_species_mms");
 }
 
 TEST(verify_order, bl_march_tridiag_second_order) {

@@ -11,8 +11,10 @@
 #include <new>
 #include <vector>
 
+#include "chemistry/batch.hpp"
 #include "chemistry/reaction.hpp"
 #include "chemistry/source.hpp"
+#include "numerics/tridiag_batch.hpp"
 
 namespace {
 std::atomic<bool> g_count{false};
@@ -102,6 +104,79 @@ TEST(WorkspaceAlloc, LegacyOverloadIsAllocationFreeAfterWarmup) {
   AllocCounterScope scope;
   for (int k = 0; k < 100; ++k)
     mech.mass_production_rates(0.02, y, 8000.0 + k, 6000.0, wdot);
+  EXPECT_EQ(scope.count(), 0u);
+}
+
+TEST(WorkspaceAlloc, BatchProductionRatesIsAllocationFreeAfterBind) {
+  // The SoA batch kernel: after the first bind sizes the workspace, every
+  // evaluation — including block remainders smaller than the bound
+  // capacity — must be allocation-free.
+  const auto mech = chemistry::park_air11();
+  const std::size_t ns = mech.n_species(), n = 96;
+  std::vector<double> rho(n, 0.02), t(n), tv(n), y(ns * n), wdot(ns * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = 7000.0 + 40.0 * static_cast<double>(i);
+    tv[i] = 0.75 * t[i];
+    for (std::size_t s = 0; s < ns; ++s)
+      y[s * n + i] = 1.0 / static_cast<double>(ns);
+  }
+  chemistry::BatchWorkspace ws;
+  mech.mass_production_rates_batch(rho, y, t, tv, wdot, n, ws);  // warm-up
+
+  AllocCounterScope scope;
+  for (int k = 0; k < 20; ++k) {
+    mech.mass_production_rates_batch(rho, y, t, tv, wdot, n, ws);
+    // Short remainder block through the same bound workspace.
+    mech.mass_production_rates_batch(
+        std::span<const double>(rho.data(), 7),
+        std::span<const double>(y.data(), y.size()),
+        std::span<const double>(t.data(), 7),
+        std::span<const double>(tv.data(), 7),
+        std::span<double>(wdot.data(), wdot.size()), n, ws);
+  }
+  EXPECT_EQ(scope.count(), 0u);
+}
+
+TEST(WorkspaceAlloc, BatchEvaluatorSerialIsAllocationFreeAfterWarmup) {
+  const auto mech = chemistry::park_air5();
+  const std::size_t ns = mech.n_species(), n = 200;
+  std::vector<double> rho(n, 0.02), t(n), tv(n), y(ns * n), wdot(ns * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = 6000.0 + 10.0 * static_cast<double>(i);
+    tv[i] = t[i];
+    for (std::size_t s = 0; s < ns; ++s)
+      y[s * n + i] = 1.0 / static_cast<double>(ns);
+  }
+  chemistry::BatchEvaluator eval(mech, 64);
+  eval.mass_production_rates(rho, y, t, tv, wdot, n);  // warm-up bind
+
+  AllocCounterScope scope;
+  for (int k = 0; k < 20; ++k)
+    eval.mass_production_rates(rho, y, t, tv, wdot, n);
+  EXPECT_EQ(scope.count(), 0u);
+}
+
+TEST(WorkspaceAlloc, TridiagBatchSolveIsAllocationFreeAfterResize) {
+  numerics::TridiagBatch batch(64, 4);
+  auto fill = [&] {
+    for (std::size_t i = 0; i < 64; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        batch.a(i, j) = -1.0;
+        batch.b(i, j) = 4.0;
+        batch.c(i, j) = -1.0;
+        batch.d(i, j) = 1.0 + static_cast<double>(i + j);
+      }
+    }
+  };
+  fill();
+  batch.solve();  // warm-up
+
+  AllocCounterScope scope;
+  for (int k = 0; k < 50; ++k) {
+    batch.resize(64, 4);  // no-op at capacity
+    fill();
+    batch.solve();
+  }
   EXPECT_EQ(scope.count(), 0u);
 }
 
