@@ -1,0 +1,116 @@
+// Performance: the tier-0 serving ladder. The whole point of the
+// correlation + surrogate tiers is the latency gap between answering the
+// common stagnation-heating query from the high-fidelity hierarchy
+// (~tens of ms for the stagnation-line viscous-shock-layer solve), from
+// the correlation family (~us), and from a precomputed table lookup
+// (~tens of ns). bench_compare.py --intra pins both ratios:
+//
+//   stag_vsl_solve / correlation_eval  >= 1000x
+//   correlation_eval / surrogate_lookup >= 10x
+//
+// These are latency ratios of the same machine's single-thread runs, so
+// the committed records gate them portably.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstddef>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/surrogate.hpp"
+#include "solvers/correlations/correlations.hpp"
+
+using namespace cat;
+namespace corr = cat::solvers::correlations;
+
+namespace {
+
+// The common serving query: the registry's tier-0 anchor case.
+const scenario::Case& anchor() {
+  static const scenario::Case c = [] {
+    const scenario::Case* base = scenario::find_scenario("shuttle_stag_point");
+    if (base == nullptr) throw std::runtime_error("anchor scenario missing");
+    return *base;
+  }();
+  return c;
+}
+
+void stag_vsl_solve(benchmark::State& state) {
+  // The full stagnation-line viscous-shock-layer solve (smoke preset —
+  // the cheapest member of the high-fidelity hierarchy, so the gated
+  // 1000x is a floor, not a best case).
+  scenario::Case c = anchor();
+  c.fidelity = scenario::Fidelity::kSmoke;
+  for (auto _ : state) {
+    const auto r = scenario::run_case(c);
+    benchmark::DoNotOptimize(r.metrics.data());
+  }
+  state.SetLabel("smoke stagnation-line solve at the anchor state");
+}
+
+void correlation_eval(benchmark::State& state) {
+  // All five correlations + the shared edge chain, velocity varied per
+  // iteration so the compiler cannot fold the family to a constant.
+  corr::CorrelationConditions cc;
+  cc.velocity_mps = 6740.0;
+  cc.rho_inf_kg_m3 = 7.26e-5;
+  cc.p_inf_Pa = 4.77;
+  cc.t_inf_K = 216.0;
+  cc.nose_radius_m = 0.56;
+  cc.wall_temperature_K = 1100.0;
+  double bump = 0.0;
+  for (auto _ : state) {
+    cc.velocity_mps = 6500.0 + bump;
+    bump = bump < 500.0 ? bump + 1.0 : 0.0;
+    double q = 0.0;
+    for (const auto kind : corr::kAllCorrelations)
+      q += corr::stagnation_heating(kind, cc);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetLabel("all five correlations + edge chain");
+}
+
+void surrogate_lookup(benchmark::State& state) {
+  // Bounds-checked multilinear lookup with the error bar attached,
+  // cycling precomputed in-domain coordinates (no RNG in the timed loop).
+  scenario::SurrogateMeta meta;
+  meta.nose_radius_m = 0.56;
+  meta.wall_temperature_K = 1100.0;
+  meta.base_case = "bench_table";
+  scenario::SurrogateDomain domain;
+  domain.velocity_min_mps = 3000.0;
+  domain.velocity_max_mps = 7500.0;
+  domain.n_velocity = 7;
+  domain.altitude_min_m = 45000.0;
+  domain.altitude_max_m = 75000.0;
+  domain.n_altitude = 7;
+  const auto table = scenario::build_surrogate(
+      meta, domain,
+      [](double v, double alt) {
+        return std::array<double, 4>{1e-4 * v * v * v, v, 240.0,
+                                     alt};
+      },
+      {});
+  constexpr std::size_t kStates = 64;
+  std::array<double, kStates> vs, alts;
+  for (std::size_t i = 0; i < kStates; ++i) {
+    vs[i] = 3000.0 + 4400.0 * static_cast<double>(i) /
+                         static_cast<double>(kStates - 1);
+    alts[i] = 45000.0 + 29000.0 * static_cast<double>(i * 37 % kStates) /
+                            static_cast<double>(kStates - 1);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto a = table.query(vs[i], alts[i]);
+    benchmark::DoNotOptimize(a.q_conv_W_m2);
+    i = (i + 1) % kStates;
+  }
+  state.SetLabel("bounds-checked lookup + error bar");
+}
+
+}  // namespace
+
+BENCHMARK(stag_vsl_solve)->Unit(benchmark::kMillisecond);
+BENCHMARK(correlation_eval)->Unit(benchmark::kNanosecond);
+BENCHMARK(surrogate_lookup)->Unit(benchmark::kNanosecond);

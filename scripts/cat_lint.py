@@ -76,6 +76,8 @@ DEFAULT_ALLOC_FREE_TUS = [
     "src/numerics/linalg.cpp",
     "src/numerics/ode.cpp",
     "src/numerics/tridiag_batch.cpp",
+    "src/scenario/surrogate_query.cpp",
+    "src/solvers/correlations/correlations.cpp",
 ]
 
 # Physics-layer headers whose Case/FlightCondition/*Options structs carry
@@ -87,7 +89,9 @@ DEFAULT_UNIT_SUFFIX_FILES = [
     "src/scenario/pulse.hpp",
     "src/scenario/runner.hpp",
     "src/scenario/scenario.hpp",
+    "src/scenario/surrogate.hpp",
     "src/solvers/bl/boundary_layer.hpp",
+    "src/solvers/correlations/correlations.hpp",
     "src/solvers/euler/euler.hpp",
     "src/solvers/ns/ns.hpp",
     "src/solvers/pns/pns.hpp",
@@ -97,7 +101,12 @@ DEFAULT_UNIT_SUFFIX_FILES = [
     "src/trajectory/trajectory.hpp",
 ]
 
-UNIT_SUFFIX_STRUCT_RE = re.compile(r"(?:Case|FlightCondition|\w*Options)$")
+# Explicit tier-0 struct names rather than `\w*Conditions`: the legacy
+# solvers::StagnationConditions (in a listed file) predates the suffix
+# convention and is grandfathered.
+UNIT_SUFFIX_STRUCT_RE = re.compile(
+    r"(?:Case|FlightCondition|\w*Options|CorrelationConditions|"
+    r"EdgeEstimate|Surrogate(?:Domain|Meta|Answer))$")
 
 UNIT_SUFFIXES = (
     "_K", "_Pa", "_m", "_m2", "_s", "_seconds", "_rad", "_mps",

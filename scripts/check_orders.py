@@ -46,7 +46,8 @@ def main() -> int:
         default="fv_euler_mms,fv_euler_first_order,fv_ns_mms,"
         "fv_euler_curvilinear,fv_ns_stretched,fv_species_mms,bl_march_mms,"
         "march_dxi_mms,march_dxi_bdf1,pns_vigneron_mms,ebl_dxi_ladder,"
-        "reactor_time_order,stiff_backward_euler,relax1d_mms",
+        "reactor_time_order,stiff_backward_euler,relax1d_mms,"
+        "surrogate_refinement",
         help="comma-separated studies that MUST be present in the summary "
         "(an empty or truncated artifact must not pass the gate)",
     )

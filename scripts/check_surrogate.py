@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate the surrogate tier's accuracy bookkeeping in CI.
+
+Rebuilds a coarse surrogate table with cat_tabulate (same grid that
+produced the committed reference) and fails when any per-channel stored
+deviation bound regresses beyond a headroom factor of the committed
+data/surrogate_reference.json. A physics or builder change that silently
+widens the error bars the surrogate serves with must show up here, not in
+production queries.
+
+The bounds themselves are solver output, so small drift is expected when
+the truth hierarchy legitimately improves; --headroom sets how much growth
+is tolerated before the gate trips (shrinking bounds always pass — but are
+reported, so the reference can be retightened).
+
+Usage:
+  check_surrogate.py --tabulate build/tools/cat_tabulate \
+      --reference data/surrogate_reference.json [--headroom 1.25]
+
+Exit code 0 when every bound holds, 1 on regression, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+COARSE_GRID = [
+    "shuttle_stag_point",
+    "--v-range", "6000:7200:3",
+    "--alt-range", "60000:72000:3",
+]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--tabulate", required=True,
+                    help="path to the cat_tabulate binary")
+    ap.add_argument("--reference", required=True,
+                    help="committed surrogate_reference.json")
+    ap.add_argument("--headroom", type=float, default=1.25,
+                    help="max tolerated bound growth factor (default 1.25)")
+    args = ap.parse_args()
+
+    with open(args.reference, encoding="utf-8") as fh:
+        reference = json.load(fh)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_bin = os.path.join(tmp, "coarse.surrogate.bin")
+        out_json = os.path.join(tmp, "coarse.json")
+        cmd = [args.tabulate, *COARSE_GRID, "--out", out_bin,
+               "--json", out_json]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(proc.stdout)
+            print(proc.stderr, file=sys.stderr)
+            print(f"surrogate gate FAILED: cat_tabulate exited "
+                  f"{proc.returncode}", file=sys.stderr)
+            return 1
+        with open(out_json, encoding="utf-8") as fh:
+            rebuilt = json.load(fh)
+
+    failures = []
+    gated = [k for k in reference if k.endswith("_bound")]
+    if not gated:
+        failures.append("reference JSON has no *_bound entries to gate")
+    if rebuilt.get("n_cells") != reference.get("n_cells"):
+        failures.append(
+            f"cell count changed: rebuilt {rebuilt.get('n_cells')} vs "
+            f"reference {reference.get('n_cells')} (grid drifted?)")
+    for key in gated:
+        ref = reference[key]
+        if key not in rebuilt:
+            failures.append(f"{key}: missing from rebuilt table stats")
+            continue
+        new = rebuilt[key]
+        limit = ref * args.headroom
+        verdict = "FAIL" if new > limit else "ok"
+        note = "  (tighter — consider re-capturing the reference)" \
+            if new < ref / args.headroom else ""
+        print(f"{key:22s} reference {ref:12.6g}  rebuilt {new:12.6g}  "
+              f"limit {limit:12.6g}  {verdict}{note}")
+        if new > limit:
+            failures.append(
+                f"{key}: rebuilt bound {new:.6g} exceeds reference "
+                f"{ref:.6g} x headroom {args.headroom}")
+
+    if failures:
+        print("\nsurrogate gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nsurrogate gate passed: every stored deviation bound within "
+          "headroom of the committed reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

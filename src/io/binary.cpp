@@ -1,0 +1,99 @@
+#include "io/binary.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace cat::io {
+
+namespace {
+constexpr std::size_t kMagicBytes = 8;
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path) {
+  if (!out_.good())
+    throw Error("BinaryWriter: cannot open '" + path + "' for writing");
+}
+
+void BinaryWriter::put(const void* data, std::size_t n) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(n));
+}
+
+void BinaryWriter::write_magic(const std::string& tag) {
+  CAT_REQUIRE(tag.size() == kMagicBytes, "magic tag must be 8 bytes");
+  put(tag.data(), kMagicBytes);
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) { put(&v, sizeof v); }
+
+void BinaryWriter::write_f64(double v) { put(&v, sizeof v); }
+
+void BinaryWriter::write_f64s(std::span<const double> v) {
+  put(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  put(s.data(), s.size());
+}
+
+void BinaryWriter::close() {
+  out_.flush();
+  if (!out_.good())
+    throw Error("BinaryWriter: write to '" + path_ + "' failed");
+  out_.close();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_.good())
+    throw Error("BinaryReader: cannot open '" + path + "'");
+}
+
+void BinaryReader::get(void* data, std::size_t n, const char* what) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (in_.gcount() != static_cast<std::streamsize>(n))
+    throw Error("BinaryReader: truncated record in '" + path_ +
+                "' while reading " + what);
+}
+
+void BinaryReader::expect_magic(const std::string& tag) {
+  CAT_REQUIRE(tag.size() == kMagicBytes, "magic tag must be 8 bytes");
+  char found[kMagicBytes];
+  get(found, kMagicBytes, "magic tag");
+  if (std::memcmp(found, tag.data(), kMagicBytes) != 0)
+    throw Error("BinaryReader: '" + path_ + "' is not a " + tag +
+                " record (bad magic)");
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v = 0;
+  get(&v, sizeof v, "u64");
+  return v;
+}
+
+double BinaryReader::read_f64() {
+  double v = 0.0;
+  get(&v, sizeof v, "f64");
+  return v;
+}
+
+std::vector<double> BinaryReader::read_f64s(std::size_t n) {
+  std::vector<double> v(n);
+  get(v.data(), n * sizeof(double), "f64 array");
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  if (n > (1u << 20))
+    throw Error("BinaryReader: implausible string length in '" + path_ +
+                "' (corrupt record)");
+  std::string s(static_cast<std::size_t>(n), '\0');
+  get(s.data(), s.size(), "string");
+  return s;
+}
+
+}  // namespace cat::io

@@ -1,0 +1,56 @@
+#pragma once
+/// \file binary.hpp
+/// Minimal tagged binary record IO for committed artifacts (the surrogate
+/// tables cat_run serves from). The format is native-endian doubles and
+/// u64 counts behind an 8-byte magic tag — all supported CI targets are
+/// little-endian, and the tables are cheap to rebuild (cat_tabulate) if a
+/// record ever needs to cross an endianness boundary. Read failures
+/// (missing file, wrong magic, truncation) throw cat::Error so callers
+/// can distinguish a bad artifact from API misuse.
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cat::io {
+
+/// Sequential writer; throws cat::Error on open/IO failure.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+  /// Write an 8-character magic tag (format versioning).
+  void write_magic(const std::string& tag);
+  void write_u64(std::uint64_t v);
+  void write_f64(double v);
+  void write_f64s(std::span<const double> v);
+  /// Length-prefixed UTF-8 string.
+  void write_string(const std::string& s);
+  /// Flush and verify the stream; throws on any accumulated error.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  void put(const void* data, std::size_t n);
+};
+
+/// Sequential reader; throws cat::Error on open failure, magic mismatch,
+/// or truncated data.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  void expect_magic(const std::string& tag);
+  std::uint64_t read_u64();
+  double read_f64();
+  std::vector<double> read_f64s(std::size_t n);
+  std::string read_string();
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  void get(void* data, std::size_t n, const char* what);
+};
+
+}  // namespace cat::io

@@ -67,6 +67,8 @@ class BilinearTable {
   double ymax() const { return y0_ + dy_ * static_cast<double>(ny_ - 1); }
 
   /// Bilinear value at (x, y); arguments are clamped to the table range.
+  /// Queries exactly on a grid line (including the upper edges and the
+  /// far corner) reproduce the stored node values exactly.
   double operator()(double x, double y) const;
 
  private:

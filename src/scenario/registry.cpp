@@ -210,6 +210,21 @@ std::vector<Case> build_registry() {
     cases.push_back(c);
   }
 
+  // --- Tier-0 serving anchor: the common stagnation-heating query ------
+  {
+    Case c;
+    c.name = "shuttle_stag_point";
+    c.title =
+        "Orbiter stagnation point at STS-3 peak heating: the common "
+        "serving query (tier-0 anchor)";
+    c.family = SolverFamily::kStagnationPoint;
+    c.gas = GasModelKind::kAir5;
+    c.vehicle = trajectory::shuttle_orbiter();
+    c.condition = {6740.0, 71300.0};
+    c.wall_temperature_K = 1100.0;
+    cases.push_back(c);
+  }
+
   // --- Fig. 7/8: shock-tube thermochemical nonequilibrium --------------
   {
     Case c;
@@ -244,6 +259,30 @@ std::vector<std::string> scenario_names() {
   names.reserve(registry().size());
   for (const auto& c : registry()) names.push_back(c.name);
   return names;
+}
+
+std::vector<Case> flight_grid_sweep(const Case& base,
+                                    const std::vector<double>& velocities_mps,
+                                    const std::vector<double>& altitudes_m) {
+  std::vector<Case> sweep;
+  sweep.reserve(velocities_mps.size() * altitudes_m.size());
+  for (std::size_t iv = 0; iv < velocities_mps.size(); ++iv) {
+    for (std::size_t ia = 0; ia < altitudes_m.size(); ++ia) {
+      Case c = base;
+      c.condition.velocity_mps = velocities_mps[iv];
+      c.condition.altitude_m = altitudes_m[ia];
+      char suffix[48];
+      std::snprintf(suffix, sizeof suffix, "_v%03u_h%03u",
+                    static_cast<unsigned>(iv), static_cast<unsigned>(ia));
+      c.name = base.name + suffix;
+      char where[64];
+      std::snprintf(where, sizeof where, " (%.0f m/s, %.0f m)",
+                    velocities_mps[iv], altitudes_m[ia]);
+      c.title = base.title + where;
+      sweep.push_back(std::move(c));
+    }
+  }
+  return sweep;
 }
 
 std::vector<Case> entry_angle_sweep(const Case& base,

@@ -22,6 +22,14 @@ const Case* find_scenario(std::string_view name);
 /// Names of every registered scenario, in catalog order.
 std::vector<std::string> scenario_names();
 
+/// Velocity x altitude grid sweep of a point-condition base case: one
+/// case per (velocity, altitude) pair in velocity-major order (sample
+/// index `iv * altitudes.size() + ia`), named `<base>_v<iv>_h<ia>`. The
+/// surrogate builder batches such sweeps through the thread pool.
+std::vector<Case> flight_grid_sweep(const Case& base,
+                                    const std::vector<double>& velocities_mps,
+                                    const std::vector<double>& altitudes_m);
+
 /// Entry-flight-path-angle sweep of a trajectory-driven base case: one
 /// case per angle (radians, negative = descending), named
 /// `<base>_gamma<deg>`. The batch driver runs such sweeps across cores.

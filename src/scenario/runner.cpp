@@ -90,6 +90,16 @@ const char* to_string(GasModelKind kind) {
   return "unknown";
 }
 
+const char* to_string(Fidelity fidelity) {
+  switch (fidelity) {
+    case Fidelity::kSmoke: return "smoke";
+    case Fidelity::kNominal: return "nominal";
+    case Fidelity::kCorrelation: return "correlation";
+    case Fidelity::kSurrogate: return "surrogate";
+  }
+  return "unknown";
+}
+
 namespace detail {
 
 std::vector<trajectory::TrajectoryPoint> integrate_case_trajectory(
@@ -314,6 +324,13 @@ const Runner& runner_for(SolverFamily family) {
 }
 
 CaseResult run_case(const Case& c, const RunOptions& opt) {
+  // Tier-0 fidelities bypass the family dispatch: they answer the common
+  // stagnation-heating question for the case's flight state regardless of
+  // which solver family the case nominally belongs to.
+  if (c.fidelity == Fidelity::kCorrelation)
+    return detail::run_correlation_case(c);
+  if (c.fidelity == Fidelity::kSurrogate)
+    return detail::run_surrogate_case(c);
   return runner_for(c.family).run(c, opt);
 }
 

@@ -19,6 +19,11 @@ const Runner& relax_runner();                     // runner_relax.cpp
 
 namespace detail {
 
+/// Tier-0 executions (runner_fast.cpp): fidelity presets that bypass the
+/// family dispatch entirely.
+CaseResult run_correlation_case(const Case& c);
+CaseResult run_surrogate_case(const Case& c);
+
 /// Integrate the case's entry trajectory on its planet.
 std::vector<trajectory::TrajectoryPoint> integrate_case_trajectory(
     const Case& c, const PlanetModel& planet);

@@ -47,10 +47,16 @@ enum class SolverFamily {
 };
 
 /// Resolution/cost preset; runners map it to grid sizes, table
-/// resolutions and iteration budgets.
+/// resolutions and iteration budgets. The two tier-0 presets below bypass
+/// the solver-family dispatch entirely: kCorrelation answers from the
+/// engineering correlation family (~us) and kSurrogate from a registered
+/// precomputed table (~ns), each carrying its own accuracy bookkeeping
+/// (correlation spread / stored deviation bounds).
 enum class Fidelity {
-  kSmoke,    ///< seconds-scale: CI smoke tests and examples
-  kNominal,  ///< paper-figure resolution
+  kSmoke,        ///< seconds-scale: CI smoke tests and examples
+  kNominal,      ///< paper-figure resolution
+  kCorrelation,  ///< tier-0 engineering correlations (no solve)
+  kSurrogate,    ///< tier-0 precomputed table lookup (value + error bar)
 };
 
 /// Point flight condition for cases that are not trajectory-driven.
@@ -135,5 +141,6 @@ gas::EquilibriumSolver make_equilibrium(GasModelKind kind, Planet planet);
 const char* to_string(SolverFamily family);
 const char* to_string(Planet planet);
 const char* to_string(GasModelKind kind);
+const char* to_string(Fidelity fidelity);
 
 }  // namespace cat::scenario

@@ -12,6 +12,8 @@
 #include "numerics/ode.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/surrogate.hpp"
+#include "solvers/correlations/correlations.hpp"
 #include "solvers/euler/euler.hpp"
 #include "solvers/relax1d/relax1d.hpp"
 #include "verify/mms.hpp"
@@ -320,6 +322,71 @@ LevelResult run_ebl_dxi_level(std::size_t n_stations) {
   lr.h = 1.0 / static_cast<double>(n_stations);
   lr.n = n_stations;
   lr.functional = result.metric("aft_q_w");
+  return lr;
+}
+
+// ---------------------------------------------------------------------------
+// Surrogate-tier refinement ladder (analytic truth, multilinear p = 2).
+// ---------------------------------------------------------------------------
+
+/// Analytic stand-in for the high-fidelity hierarchy: an exponential
+/// atmosphere feeding the Detra-Kemp-Riddell correlation. Smooth in both
+/// flight variables, so the table's multilinear interpolant must converge
+/// at its design order 2 as the grid refines — this isolates the
+/// surrogate machinery (doubled-grid sampling, node layout, query path)
+/// from solver noise.
+std::array<double, 4> surrogate_truth(double velocity_mps,
+                                      double altitude_m) {
+  namespace corr = solvers::correlations;
+  corr::CorrelationConditions cc;
+  cc.velocity_mps = velocity_mps;
+  cc.rho_inf_kg_m3 = 1.225 * std::exp(-altitude_m / 7200.0);
+  cc.t_inf_K = 240.0;
+  cc.p_inf_Pa = cc.rho_inf_kg_m3 * 287.053 * cc.t_inf_K;
+  cc.nose_radius_m = 0.3;
+  cc.wall_temperature_K = 1000.0;
+  const double q = corr::detra_kemp_riddell_heating(cc);
+  return {q, 0.0, cc.t_inf_K, cc.p_inf_Pa};
+}
+
+LevelResult run_surrogate_level(std::size_t n) {
+  scenario::SurrogateMeta meta;
+  meta.base_case = "surrogate_refinement_analytic";
+  meta.nose_radius_m = 0.3;
+  meta.wall_temperature_K = 1000.0;
+  scenario::SurrogateDomain domain;
+  domain.velocity_min_mps = 3000.0;
+  domain.velocity_max_mps = 7500.0;
+  domain.n_velocity = n;
+  domain.altitude_min_m = 45000.0;
+  domain.altitude_max_m = 75000.0;
+  domain.n_altitude = n;
+  const auto table =
+      scenario::build_surrogate(meta, domain, surrogate_truth, {});
+
+  // Level-independent dense sampling: the same 41x41 probe states on
+  // every ladder rung, relative error per state (q_conv spans ~3 decades
+  // across the domain, an absolute norm would only see the hot corner).
+  constexpr std::size_t kProbe = 41;
+  NormAccumulator acc;
+  for (std::size_t i = 0; i < kProbe; ++i) {
+    for (std::size_t j = 0; j < kProbe; ++j) {
+      const double v =
+          domain.velocity_min_mps +
+          (domain.velocity_max_mps - domain.velocity_min_mps) *
+              static_cast<double>(i) / static_cast<double>(kProbe - 1);
+      const double alt =
+          domain.altitude_min_m +
+          (domain.altitude_max_m - domain.altitude_min_m) *
+              static_cast<double>(j) / static_cast<double>(kProbe - 1);
+      const double exact = surrogate_truth(v, alt)[0];
+      acc.add((table.query(v, alt).q_conv_W_m2 - exact) / exact);
+    }
+  }
+  LevelResult lr;
+  lr.h = 1.0 / static_cast<double>(n);
+  lr.n = n * n;
+  lr.error = acc.finalize();
   return lr;
 }
 
@@ -702,6 +769,18 @@ std::vector<StudyEntry> make_entries() {
        1,
        1,
        [](std::size_t) { return run_relax1d_exactness(); }});
+
+  entries.push_back(
+      {{"surrogate_refinement",
+        "Surrogate tier: multilinear table refinement against an analytic "
+        "exponential-atmosphere heating field (design order 2)",
+        "relative q_conv error over the flight domain", StudyKind::kOrder,
+        2.0, 0.25, 2, 0.0},
+       3,
+       5,
+       [](std::size_t level) {
+         return run_surrogate_level(8u << level);
+       }});
 
   entries.push_back(
       {{"vsl_station_ladder",

@@ -216,6 +216,38 @@ TEST(Interp, BilinearExactOnBilinearFunction) {
   EXPECT_NEAR(t(1.999, 1.999), fun(1.999, 1.999), 1e-10);
 }
 
+TEST(Interp, BilinearReproducesEveryNodeExactly) {
+  // Regression for the upper-edge defect: the old implementation nudged
+  // queries on the last grid line by -1e-12 cells, so boundary nodes
+  // (and especially the far corner) came back perturbed. Node queries
+  // must be bit-exact everywhere, including all four edges.
+  BilinearTable t(-1.0, 0.5, 4, 2.0, 0.25, 6);
+  auto fun = [](double x, double y) { return std::sin(3.0 * x) + y * y; };
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      t.at(i, j) = fun(-1.0 + 0.5 * i, 2.0 + 0.25 * j);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(t(-1.0 + 0.5 * i, 2.0 + 0.25 * j),
+                t.at(i, j))
+          << "node (" << i << ", " << j << ")";
+}
+
+TEST(Interp, BilinearUpperEdgesInterpolateNotExtrapolate) {
+  // Points ON the max-x / max-y grid lines (not at nodes) interpolate
+  // along the edge; out-of-domain queries clamp to the edge value.
+  BilinearTable t(0.0, 1.0, 3, 0.0, 1.0, 3);
+  auto fun = [](double x, double y) { return 2.0 * x + 3.0 * y; };
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      t.at(i, j) = fun(static_cast<double>(i), static_cast<double>(j));
+  EXPECT_NEAR(t(2.0, 0.5), fun(2.0, 0.5), 1e-14);  // max-x edge
+  EXPECT_NEAR(t(1.3, 2.0), fun(1.3, 2.0), 1e-14);  // max-y edge
+  EXPECT_EQ(t(2.0, 2.0), t.at(2, 2));              // far corner
+  EXPECT_EQ(t(99.0, 99.0), t.at(2, 2));            // clamps, no blow-up
+  EXPECT_EQ(t(-99.0, -99.0), t.at(0, 0));
+}
+
 TEST(Interp, RejectsNonMonotoneAbscissae) {
   EXPECT_THROW(LinearInterp({0.0, 2.0, 1.0}, {0.0, 1.0, 2.0}),
                std::invalid_argument);

@@ -90,6 +90,29 @@ TEST(EosTable, EnergyPressureInverse) {
   EXPECT_NEAR(table.energy_from_pressure(rho, p), e, 1e-3 * std::fabs(e));
 }
 
+TEST(EosTable, UpperEdgeAndCornerQueriesMatchDirectSolve) {
+  // Regression for the BilinearTable upper-edge clamp: queries exactly on
+  // the table's rho_max / e_max boundaries (and the far corner) used to
+  // be perturbed into the last cell by a -1e-12 fudge. They must be as
+  // accurate as interior queries, not extrapolations.
+  gas::EquilibriumSolver eq(gas::make_air5(), {{"N2", 0.79}, {"O2", 0.21}});
+  const double rho_max = 1.0, e_max = 2e7;
+  gas::EquilibriumEosTable table(eq, {.rho_min = 1e-4,
+                                      .rho_max = rho_max,
+                                      .e_min = -3e5,
+                                      .e_max = e_max,
+                                      .n_rho = 40,
+                                      .n_e = 40});
+  for (const auto& [rho, e] : std::vector<std::pair<double, double>>{
+           {rho_max, 5e6},           // rho_max edge, interior e
+           {1e-2, e_max},            // e_max edge, interior rho
+           {rho_max, e_max}}) {      // far corner
+    const auto ref = eq.solve_rho_e(rho, e);
+    EXPECT_NEAR(table.pressure(rho, e), ref.p, 0.03 * ref.p);
+    EXPECT_NEAR(table.temperature(rho, e), ref.t, 0.03 * ref.t);
+  }
+}
+
 TEST(EosTable, MassFractionsNormalized) {
   gas::EquilibriumSolver eq(gas::make_air5(), {{"N2", 0.79}, {"O2", 0.21}});
   gas::EquilibriumEosTable table(eq, {.rho_min = 1e-4,

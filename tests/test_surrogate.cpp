@@ -1,0 +1,342 @@
+// Surrogate-tier tests: the doubled-grid builder, honest per-cell error
+// bars (the property test re-solves the truth and checks every answer
+// sits within its own stored bound), strict off-table throwing, the
+// binary round trip, the process-global registry, and the scenario
+// runner's Fidelity::kSurrogate path end to end.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "core/error.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/surrogate.hpp"
+
+namespace {
+
+using namespace cat;
+
+// Smooth analytic truth: exponential-atmosphere density driving a
+// V^3 sqrt(rho) heating law — same shape the real hierarchy produces,
+// but instant to evaluate, so the property tests can afford 1000 states.
+std::array<double, 4> analytic_truth(double v, double alt) {
+  const double rho = 1.225 * std::exp(-alt / 7200.0);
+  const double q = 1.7415e-4 * std::sqrt(rho / 0.3) * v * v * v;
+  return {q, 1e-3 * q, 240.0 + 1e-7 * v * v, rho * 287.053 * 240.0};
+}
+
+scenario::SurrogateDomain test_domain(std::size_t n) {
+  scenario::SurrogateDomain d;
+  d.velocity_min_mps = 3000.0;
+  d.velocity_max_mps = 7500.0;
+  d.n_velocity = n;
+  d.altitude_min_m = 45000.0;
+  d.altitude_max_m = 75000.0;
+  d.n_altitude = n;
+  return d;
+}
+
+scenario::SurrogateMeta test_meta() {
+  scenario::SurrogateMeta m;
+  m.nose_radius_m = 0.3;
+  m.wall_temperature_K = 1000.0;
+  m.base_case = "analytic_test_table";
+  return m;
+}
+
+scenario::SurrogateTable build_analytic(std::size_t n) {
+  return scenario::build_surrogate(test_meta(), test_domain(n),
+                                   analytic_truth, {});
+}
+
+// Registry state is process-global: every test that registers cleans up.
+struct RegistryGuard {
+  ~RegistryGuard() { scenario::clear_surrogates(); }
+};
+
+// ---------- builder ----------
+
+TEST(Surrogate, NodesReproduceTruthExactly) {
+  const auto table = build_analytic(5);
+  const auto d = table.domain();
+  for (std::size_t iv = 0; iv < d.n_velocity; ++iv) {
+    for (std::size_t ia = 0; ia < d.n_altitude; ++ia) {
+      const double v =
+          d.velocity_min_mps +
+          (d.velocity_max_mps - d.velocity_min_mps) *
+              static_cast<double>(iv) / static_cast<double>(d.n_velocity - 1);
+      const double alt =
+          d.altitude_min_m +
+          (d.altitude_max_m - d.altitude_min_m) * static_cast<double>(ia) /
+              static_cast<double>(d.n_altitude - 1);
+      const auto truth = analytic_truth(v, alt);
+      const auto a = table.query(v, alt);
+      // Node queries (including the far corner, the upper-edge regression
+      // case) interpolate with t in {0, 1}: exact reproduction.
+      EXPECT_DOUBLE_EQ(a.q_conv_W_m2, truth[0]) << iv << "," << ia;
+      EXPECT_DOUBLE_EQ(a.p_stag_Pa, truth[3]) << iv << "," << ia;
+    }
+  }
+}
+
+TEST(Surrogate, BuilderValidatesDomainAndOptions) {
+  auto bad = test_domain(5);
+  bad.n_velocity = 1;  // a 1-node axis has no cells
+  EXPECT_THROW(scenario::build_surrogate(test_meta(), bad, analytic_truth, {}),
+               std::invalid_argument);
+  auto inverted = test_domain(5);
+  inverted.velocity_max_mps = inverted.velocity_min_mps - 1.0;
+  EXPECT_THROW(
+      scenario::build_surrogate(test_meta(), inverted, analytic_truth, {}),
+      std::invalid_argument);
+}
+
+// ---------- the error-bar property ----------
+
+TEST(Surrogate, EveryAnswerWithinItsOwnErrorBar) {
+  // THE tier-0 contract: for >= 1000 random in-domain states, the served
+  // value must sit within the served error bar of the truth. This is what
+  // makes the ~ns tier honest rather than merely fast.
+  const auto table = build_analytic(9);
+  const auto d = table.domain();
+  std::mt19937 rng(20260807u);
+  std::uniform_real_distribution<double> uv(d.velocity_min_mps,
+                                            d.velocity_max_mps);
+  std::uniform_real_distribution<double> ua(d.altitude_min_m,
+                                            d.altitude_max_m);
+  for (int k = 0; k < 1000; ++k) {
+    const double v = uv(rng), alt = ua(rng);
+    const auto truth = analytic_truth(v, alt);
+    const auto a = table.query(v, alt);
+    EXPECT_LE(std::fabs(a.q_conv_W_m2 - truth[0]), a.q_conv_err_W_m2)
+        << "q_conv at v=" << v << " alt=" << alt;
+    EXPECT_LE(std::fabs(a.q_rad_W_m2 - truth[1]), a.q_rad_err_W_m2)
+        << "q_rad at v=" << v << " alt=" << alt;
+    EXPECT_LE(std::fabs(a.t_stag_K - truth[2]), a.t_stag_err_K)
+        << "t_stag at v=" << v << " alt=" << alt;
+    EXPECT_LE(std::fabs(a.p_stag_Pa - truth[3]), a.p_stag_err_Pa)
+        << "p_stag at v=" << v << " alt=" << alt;
+  }
+}
+
+TEST(Surrogate, BoundsShrinkUnderRefinement) {
+  // Multilinear interpolation error is O(h^2): refining the grid 2x must
+  // shrink the measured bounds by roughly 4x (allow 2.5x for safety-factor
+  // and floor effects).
+  const auto coarse = build_analytic(5);
+  const auto fine = build_analytic(9);
+  EXPECT_LT(fine.max_bound(0), coarse.max_bound(0) / 2.5);
+  EXPECT_LE(fine.mean_bound(0), coarse.mean_bound(0));
+}
+
+// ---------- strict domain policy ----------
+
+TEST(Surrogate, OffTableQueriesThrowNotClamp) {
+  const auto table = build_analytic(4);
+  const auto d = table.domain();
+  const double v_mid = 0.5 * (d.velocity_min_mps + d.velocity_max_mps);
+  const double a_mid = 0.5 * (d.altitude_min_m + d.altitude_max_m);
+  EXPECT_THROW(table.query(d.velocity_min_mps - 1.0, a_mid), SolverError);
+  EXPECT_THROW(table.query(d.velocity_max_mps + 1.0, a_mid), SolverError);
+  EXPECT_THROW(table.query(v_mid, d.altitude_min_m - 1.0), SolverError);
+  EXPECT_THROW(table.query(v_mid, d.altitude_max_m + 1.0), SolverError);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(table.query(nan, a_mid), SolverError);
+  EXPECT_THROW(table.query(v_mid, nan), SolverError);
+  // The inclusive boundary itself serves.
+  EXPECT_NO_THROW(table.query(d.velocity_max_mps, d.altitude_max_m));
+  EXPECT_TRUE(table.covers(d.velocity_max_mps, d.altitude_max_m));
+  EXPECT_FALSE(table.covers(nan, a_mid));
+}
+
+// ---------- binary round trip ----------
+
+TEST(Surrogate, SaveLoadRoundTripIsBitExact) {
+  const auto table = build_analytic(6);
+  const std::string path = "surrogate_roundtrip_test.bin";
+  table.save(path);
+  const auto loaded = scenario::SurrogateTable::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.meta().base_case, table.meta().base_case);
+  EXPECT_EQ(loaded.domain().n_velocity, table.domain().n_velocity);
+  EXPECT_EQ(loaded.n_cells(), table.n_cells());
+  for (std::size_t ch = 0; ch < scenario::SurrogateTable::kNChannels; ++ch) {
+    EXPECT_EQ(loaded.max_bound(ch), table.max_bound(ch));
+    EXPECT_EQ(loaded.mean_bound(ch), table.mean_bound(ch));
+  }
+  std::mt19937 rng(7u);
+  const auto d = table.domain();
+  std::uniform_real_distribution<double> uv(d.velocity_min_mps,
+                                            d.velocity_max_mps);
+  std::uniform_real_distribution<double> ua(d.altitude_min_m,
+                                            d.altitude_max_m);
+  for (int k = 0; k < 100; ++k) {
+    const double v = uv(rng), alt = ua(rng);
+    const auto a = table.query(v, alt);
+    const auto b = loaded.query(v, alt);
+    EXPECT_EQ(a.q_conv_W_m2, b.q_conv_W_m2);
+    EXPECT_EQ(a.q_conv_err_W_m2, b.q_conv_err_W_m2);
+    EXPECT_EQ(a.p_stag_Pa, b.p_stag_Pa);
+  }
+}
+
+TEST(Surrogate, LoadRejectsCorruptFiles) {
+  const std::string path = "surrogate_corrupt_test.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTATBLE garbage";
+  }
+  EXPECT_THROW(scenario::SurrogateTable::load(path), Error);
+  std::remove(path.c_str());
+
+  // Truncation after a valid prefix must throw, not serve a half table.
+  const auto table = build_analytic(4);
+  table.save(path);
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(scenario::SurrogateTable::load(path), Error);
+  std::remove(path.c_str());
+  EXPECT_THROW(scenario::SurrogateTable::load("no_such_file.bin"), Error);
+}
+
+// ---------- registry ----------
+
+TEST(Surrogate, RegistryMatchesMetaAndCoverage) {
+  RegistryGuard guard;
+  scenario::clear_surrogates();
+
+  scenario::Case c;
+  c.name = "registry_probe";
+  c.family = scenario::SolverFamily::kStagnationPoint;
+  c.vehicle.nose_radius = 0.3;
+  c.wall_temperature_K = 1000.0;
+  c.condition = {5000.0, 60000.0};
+
+  EXPECT_EQ(scenario::find_surrogate(c), nullptr);
+  auto table = std::make_shared<scenario::SurrogateTable>(build_analytic(4));
+  scenario::register_surrogate(table);
+  EXPECT_EQ(scenario::n_registered_surrogates(), 1u);
+  EXPECT_EQ(scenario::find_surrogate(c), table);
+
+  // Out-of-domain flight state: covered meta, uncovered point.
+  auto far = c;
+  far.condition.velocity_mps = 20000.0;
+  EXPECT_EQ(scenario::find_surrogate(far), nullptr);
+  // Different body: no match.
+  auto other = c;
+  other.vehicle.nose_radius = 1.0;
+  EXPECT_EQ(scenario::find_surrogate(other), nullptr);
+  // Explicit p/T override: tables tabulate the atmosphere, never match.
+  auto overridden = c;
+  overridden.condition.pressure_Pa = 100.0;
+  overridden.condition.temperature_K = 250.0;
+  EXPECT_EQ(scenario::find_surrogate(overridden), nullptr);
+
+  scenario::clear_surrogates();
+  EXPECT_EQ(scenario::n_registered_surrogates(), 0u);
+  EXPECT_EQ(scenario::find_surrogate(c), nullptr);
+}
+
+// ---------- against the real hierarchy ----------
+
+TEST(Surrogate, HighFidelityBuildServesWithinStoredBounds) {
+  RegistryGuard guard;
+  const scenario::Case* base = scenario::find_scenario("shuttle_stag_point");
+  ASSERT_NE(base, nullptr);
+
+  // Small domain around the serving anchor: 3x3 nodes = 25 smoke solves.
+  scenario::SurrogateDomain domain;
+  domain.velocity_min_mps = 6000.0;
+  domain.velocity_max_mps = 7200.0;
+  domain.n_velocity = 3;
+  domain.altitude_min_m = 60000.0;
+  domain.altitude_max_m = 72000.0;
+  domain.n_altitude = 3;
+  auto table = std::make_shared<scenario::SurrogateTable>(
+      scenario::build_surrogate(*base, domain, {}));
+  EXPECT_EQ(table->meta().base_case, base->name);
+
+  // Three randomly pinned states: a fresh high-fidelity solve must sit
+  // within the stored error bar of the served answer.
+  std::mt19937 rng(42u);
+  std::uniform_real_distribution<double> uv(domain.velocity_min_mps,
+                                            domain.velocity_max_mps);
+  std::uniform_real_distribution<double> ua(domain.altitude_min_m,
+                                            domain.altitude_max_m);
+  for (int k = 0; k < 3; ++k) {
+    const double v = uv(rng), alt = ua(rng);
+    const auto a = table->query(v, alt);
+    scenario::Case fresh = *base;
+    fresh.fidelity = scenario::Fidelity::kSmoke;
+    fresh.condition = {v, alt};
+    const auto r = scenario::run_case(fresh);
+    EXPECT_LE(std::fabs(a.q_conv_W_m2 - r.metric("q_conv")),
+              a.q_conv_err_W_m2)
+        << "v=" << v << " alt=" << alt;
+    EXPECT_LE(std::fabs(a.t_stag_K - r.metric("t_stag")), a.t_stag_err_K)
+        << "v=" << v << " alt=" << alt;
+  }
+
+  // And the cheap half of the property test: 1000 random queries all
+  // serve finite values with finite non-negative bars.
+  for (int k = 0; k < 1000; ++k) {
+    const auto a = table->query(uv(rng), ua(rng));
+    EXPECT_TRUE(std::isfinite(a.q_conv_W_m2));
+    EXPECT_TRUE(std::isfinite(a.q_conv_err_W_m2));
+    EXPECT_GE(a.q_conv_err_W_m2, 0.0);
+    EXPECT_GT(a.q_conv_W_m2, 0.0);
+  }
+
+  // Serve the anchor itself through the scenario runner.
+  scenario::register_surrogate(table);
+  scenario::Case served = *base;
+  served.fidelity = scenario::Fidelity::kSurrogate;
+  const auto r = scenario::run_case(served);
+  EXPECT_EQ(r.solver, "surrogate");
+  EXPECT_LE(std::fabs(r.metric("q_conv") -
+                      table->query(served.condition.velocity_mps,
+                                   served.condition.altitude_m)
+                          .q_conv_W_m2),
+            1e-9);
+  EXPECT_GT(r.metric("q_conv_err"), 0.0);
+}
+
+TEST(Surrogate, RunCaseWithoutTableThrowsSolverError) {
+  RegistryGuard guard;
+  scenario::clear_surrogates();
+  const scenario::Case* base = scenario::find_scenario("shuttle_stag_point");
+  ASSERT_NE(base, nullptr);
+  scenario::Case c = *base;
+  c.fidelity = scenario::Fidelity::kSurrogate;
+  EXPECT_THROW(scenario::run_case(c), SolverError);
+}
+
+TEST(Surrogate, BuilderRejectsUnsuitableBaseCases) {
+  const scenario::Case* pulse = scenario::find_scenario("shuttle_orbiter_pulse");
+  ASSERT_NE(pulse, nullptr);
+  EXPECT_THROW(scenario::build_surrogate(*pulse, test_domain(3), {}),
+               std::invalid_argument);
+
+  const scenario::Case* tube = scenario::find_scenario("shock_tube_10kms_neq");
+  ASSERT_NE(tube, nullptr);
+  EXPECT_THROW(scenario::build_surrogate(*tube, test_domain(3), {}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -15,6 +15,8 @@
 #include "chemistry/reaction.hpp"
 #include "chemistry/source.hpp"
 #include "numerics/tridiag_batch.hpp"
+#include "scenario/surrogate.hpp"
+#include "solvers/correlations/correlations.hpp"
 
 namespace {
 std::atomic<bool> g_count{false};
@@ -217,6 +219,66 @@ TEST(WorkspaceAlloc, IsochoricAdvanceAllocsIndependentOfStepCount) {
   EXPECT_EQ(allocs_long, allocs_short)
       << "stiff inner loop allocated (short=" << allocs_short
       << ", long=" << allocs_long << ")";
+}
+
+// ---- tier-0 serving path: correlations + surrogate lookup ----
+
+TEST(WorkspaceAlloc, CorrelationEvaluatorsAreAllocationFree) {
+  // The ~us tier: all five correlations plus the edge chain, evaluated at
+  // varying velocity so nothing folds to a constant. Zero allocations —
+  // not merely "allocation-free after warm-up"; there is no warm-up.
+  namespace corr = solvers::correlations;
+  corr::CorrelationConditions c;
+  c.velocity_mps = 6500.0;
+  c.rho_inf_kg_m3 = 1.632e-4;
+  c.p_inf_Pa = 10.93;
+  c.t_inf_K = 233.3;
+  c.nose_radius_m = 0.3;
+  c.wall_temperature_K = 1200.0;
+
+  double sink = 0.0;
+  AllocCounterScope scope;
+  for (int k = 0; k < 100; ++k) {
+    c.velocity_mps = 5000.0 + 10.0 * static_cast<double>(k);
+    for (const auto kind : corr::kAllCorrelations)
+      sink += corr::stagnation_heating(kind, c);
+    sink += corr::estimate_edge(c).t_stag_K;
+  }
+  EXPECT_EQ(scope.count(), 0u);
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(WorkspaceAlloc, SurrogateLookupIsAllocationFree) {
+  // The ~ns tier: serving a covered query is a bounds check, one cell
+  // index and four bilinear reads. The off-table throw path may allocate
+  // (it is the failure path); the serving path must not.
+  scenario::SurrogateMeta meta;
+  meta.nose_radius_m = 0.3;
+  meta.wall_temperature_K = 1000.0;
+  meta.base_case = "alloc_test";
+  scenario::SurrogateDomain domain;
+  domain.velocity_min_mps = 3000.0;
+  domain.velocity_max_mps = 7500.0;
+  domain.n_velocity = 5;
+  domain.altitude_min_m = 45000.0;
+  domain.altitude_max_m = 75000.0;
+  domain.n_altitude = 5;
+  const auto table = scenario::build_surrogate(
+      meta, domain,
+      [](double v, double alt) {
+        return std::array<double, 4>{v * alt, v, alt, v + alt};
+      },
+      {});
+
+  double sink = 0.0;
+  AllocCounterScope scope;
+  for (int k = 0; k < 1000; ++k) {
+    const double v = 3000.0 + 4.0 * static_cast<double>(k);
+    const double alt = 45000.0 + 29.0 * static_cast<double>(k);
+    sink += table.query(v, alt).q_conv_W_m2;
+  }
+  EXPECT_EQ(scope.count(), 0u);
+  EXPECT_GT(sink, 0.0);
 }
 
 TEST(WorkspaceAlloc, TwoTemperatureAdvanceAllocsIndependentOfStepCount) {

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "scenario/batch.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/surrogate.hpp"
 #include "scenario/thread_pool.hpp"
 
 using namespace cat;
@@ -34,7 +36,12 @@ void print_usage() {
       "       cat_run --all [options]\n"
       "options:\n"
       "  --threads N         worker threads (0 = all cores; default 1)\n"
-      "  --fidelity F        smoke | nominal (default: scenario's own)\n"
+      "  --fidelity F        smoke | nominal | correlation | surrogate\n"
+      "                      (default: scenario's own)\n"
+      "  --table FILE        load a surrogate table (cat_tabulate output)\n"
+      "                      and register it for --fidelity surrogate\n"
+      "  --compare-fidelity  run <scenario> at every applicable tier and\n"
+      "                      print the deviation table vs nominal\n"
       "  --csv DIR           write <scenario>.csv artifacts into DIR\n"
       "  --json DIR          write <scenario>.json artifacts into DIR\n"
       "  --sweep-gamma=A,B,… run an entry-angle sweep (deg) of <scenario>\n"
@@ -42,12 +49,13 @@ void print_usage() {
 }
 
 void print_list() {
-  std::printf("%-28s %-20s %-6s %-6s  %s\n", "name", "solver", "planet",
-              "gas", "title");
+  std::printf("%-28s %-20s %-6s %-6s %-9s  %s\n", "name", "solver", "planet",
+              "gas", "fidelity", "title");
   for (const auto& c : scenario::registry()) {
-    std::printf("%-28s %-20s %-6s %-6s  %s\n", c.name.c_str(),
+    std::printf("%-28s %-20s %-6s %-6s %-9s  %s\n", c.name.c_str(),
                 scenario::to_string(c.family), scenario::to_string(c.planet),
-                scenario::to_string(c.gas), c.title.c_str());
+                scenario::to_string(c.gas), scenario::to_string(c.fidelity),
+                c.title.c_str());
   }
 }
 
@@ -83,6 +91,69 @@ void write_artifacts(const scenario::CaseResult& r, const std::string& csv_dir,
   }
 }
 
+/// --compare-fidelity: solve the same flight state at every applicable
+/// tier and print one row per tier with the deviation of q_conv from the
+/// nominal answer. Surrogate rows appear only when a registered table
+/// covers the state; correlation/surrogate need a point condition.
+int compare_fidelity(const scenario::Case& base, std::size_t threads) {
+  if (!(base.condition.velocity_mps > 0.0)) {
+    std::fprintf(stderr,
+                 "error: --compare-fidelity needs a point-condition "
+                 "scenario (condition.velocity_mps > 0)\n");
+    return 1;
+  }
+  struct Row {
+    const char* tier;
+    scenario::CaseResult result;
+  };
+  std::vector<Row> rows;
+  scenario::RunOptions ropt;
+  ropt.threads = threads;
+
+  auto run_tier = [&](scenario::Fidelity f, const char* label) {
+    scenario::Case c = base;
+    c.fidelity = f;
+    try {
+      rows.push_back({label, scenario::run_case(c, ropt)});
+    } catch (const std::exception& err) {
+      std::printf("%-12s (skipped: %s)\n", label, err.what());
+    }
+  };
+  run_tier(scenario::Fidelity::kNominal, "nominal");
+  run_tier(scenario::Fidelity::kSmoke, "smoke");
+  run_tier(scenario::Fidelity::kCorrelation, "correlation");
+  if (scenario::find_surrogate(base) != nullptr)
+    run_tier(scenario::Fidelity::kSurrogate, "surrogate");
+  else
+    std::printf("surrogate    (skipped: no registered table covers '%s')\n",
+                base.name.c_str());
+
+  if (rows.empty() || std::string(rows.front().tier) != "nominal") {
+    std::fprintf(stderr,
+                 "error: nominal solve failed; no deviation reference\n");
+    return 2;
+  }
+  // Peak heating for marching families (no single q_conv), stagnation
+  // value otherwise.
+  auto heating_of = [](const scenario::CaseResult& r) {
+    for (const char* name : {"q_conv", "q_peak", "q_w_peak"})
+      for (const auto& m : r.metrics)
+        if (m.name == name) return m.value;
+    return std::nan("");
+  };
+  const double q_ref = heating_of(rows.front().result);
+  std::printf("\n%-12s %-20s %14s %12s %10s\n", "fidelity", "solver",
+              "q_conv[W/m^2]", "dev_vs_nom", "time[s]");
+  for (const auto& row : rows) {
+    const double q = heating_of(row.result);
+    std::printf("%-12s %-20s %14.6g %11.2f%% %10.3g\n", row.tier,
+                row.result.solver.c_str(), q,
+                q_ref != 0.0 ? 100.0 * (q - q_ref) / q_ref : 0.0,
+                row.result.elapsed_seconds);
+  }
+  return 0;
+}
+
 std::vector<double> parse_angles_deg(const std::string& list) {
   std::vector<double> out;
   std::size_t pos = 0;
@@ -103,9 +174,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::string target, csv_dir, json_dir, sweep_gamma;
+  std::string target, csv_dir, json_dir, sweep_gamma, table_path;
   std::size_t threads = 1;
-  bool all = false, quiet = false, list = false;
+  bool all = false, quiet = false, list = false, compare = false;
   const char* fidelity = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -137,11 +208,17 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::stoul(value("--threads")));
     } else if (matches("--fidelity")) {
       const std::string f = value("--fidelity");
-      if (f != "smoke" && f != "nominal") {
+      for (const char* known : {"smoke", "nominal", "correlation",
+                                "surrogate"})
+        if (f == known) fidelity = known;
+      if (fidelity == nullptr) {
         std::fprintf(stderr, "error: unknown fidelity '%s'\n", f.c_str());
         return 1;
       }
-      fidelity = f == "smoke" ? "smoke" : "nominal";
+    } else if (matches("--table")) {
+      table_path = value("--table");
+    } else if (arg == "--compare-fidelity") {
+      compare = true;
     } else if (matches("--csv")) {
       csv_dir = value("--csv");
     } else if (matches("--json")) {
@@ -169,11 +246,49 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Register the table before any serving path runs — --compare-fidelity
+  // includes the surrogate row only when a registered table matches.
+  if (!table_path.empty()) {
+    try {
+      auto table = std::make_shared<scenario::SurrogateTable>(
+          scenario::SurrogateTable::load(table_path));
+      std::printf("loaded surrogate table '%s' (base case '%s')\n",
+                  table_path.c_str(), table->meta().base_case.c_str());
+      scenario::register_surrogate(std::move(table));
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "error: --table %s: %s\n", table_path.c_str(),
+                   err.what());
+      return 1;
+    }
+  }
+
+  if (compare) {
+    if (all || target.empty()) {
+      std::fprintf(stderr,
+                   "error: --compare-fidelity takes one scenario name\n");
+      return 1;
+    }
+    const scenario::Case* c = scenario::find_scenario(target);
+    if (c == nullptr) {
+      std::fprintf(stderr,
+                   "error: unknown scenario '%s' (try cat_run --list)\n",
+                   target.c_str());
+      return 1;
+    }
+    if (threads == 0) threads = scenario::ThreadPool::recommended_threads();
+    return compare_fidelity(*c, threads);
+  }
+
   auto apply_fidelity = [&](scenario::Case c) {
     if (fidelity != nullptr) {
-      c.fidelity = std::strcmp(fidelity, "smoke") == 0
-                       ? scenario::Fidelity::kSmoke
-                       : scenario::Fidelity::kNominal;
+      if (std::strcmp(fidelity, "smoke") == 0)
+        c.fidelity = scenario::Fidelity::kSmoke;
+      else if (std::strcmp(fidelity, "nominal") == 0)
+        c.fidelity = scenario::Fidelity::kNominal;
+      else if (std::strcmp(fidelity, "correlation") == 0)
+        c.fidelity = scenario::Fidelity::kCorrelation;
+      else
+        c.fidelity = scenario::Fidelity::kSurrogate;
     }
     return c;
   };
