@@ -89,6 +89,7 @@ DEFAULT_UNIT_SUFFIX_FILES = [
     "src/scenario/pulse.hpp",
     "src/scenario/runner.hpp",
     "src/scenario/scenario.hpp",
+    "src/scenario/server.hpp",
     "src/scenario/surrogate.hpp",
     "src/solvers/bl/boundary_layer.hpp",
     "src/solvers/correlations/correlations.hpp",

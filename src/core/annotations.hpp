@@ -17,6 +17,7 @@
 ///   int shared_ CAT_GUARDED_BY(mu_);
 ///   void touch() { cat::MutexLock lock(mu_); ++shared_; }
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -100,6 +101,17 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
     cv_.wait(native, pred);
     native.release();
+  }
+
+  /// Timed wait: returns pred() — false means the wait timed out with the
+  /// predicate still unsatisfied. Same held-mutex protocol as wait().
+  template <class Rep, class Period, class Predicate>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+                Predicate pred) CAT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    const bool satisfied = cv_.wait_for(native, timeout, pred);
+    native.release();
+    return satisfied;
   }
 
   void notify_one() { cv_.notify_one(); }

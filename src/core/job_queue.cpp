@@ -1,0 +1,85 @@
+#include "core/job_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cat::core {
+
+JobQueue::JobQueue(ThreadPool& pool, std::size_t width, std::size_t capacity)
+    : pool_(pool),
+      width_(std::min(width == 0 ? pool.size() : width, pool.size())),
+      capacity_(std::max<std::size_t>(1, capacity)) {
+  // The runner parks inside parallel_for for the queue's whole lifetime:
+  // each of the width_ items IS a drain loop, so the pool's workers (and
+  // the runner itself) become the queue's consumers. A job that calls
+  // parallel_for on the same pool is reentrant by construction and runs
+  // as an inline serial loop (ThreadPool's reentrancy contract) — the
+  // drain loops never deadlock on their own pool.
+  runner_ = std::thread([this] {
+    pool_.parallel_for(width_, [this](std::size_t) { drain_loop(); });
+  });
+}
+
+JobQueue::~JobQueue() { shutdown(); }
+
+bool JobQueue::submit(std::function<void()> job) {
+  {
+    cat::MutexLock lock(mutex_);
+    space_free_.wait(mutex_, [&]() CAT_REQUIRES(mutex_) {
+      return queue_.size() < capacity_ || !accepting_;
+    });
+    if (!accepting_) return false;
+    queue_.push_back(std::move(job));
+  }
+  job_ready_.notify_one();
+  return true;
+}
+
+void JobQueue::shutdown() {
+  bool join_here = false;
+  {
+    cat::MutexLock lock(mutex_);
+    accepting_ = false;
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
+  }
+  // Wake every drain loop (to observe accepting_ == false once the queue
+  // empties) and every blocked submitter (to return false).
+  job_ready_.notify_all();
+  space_free_.notify_all();
+  if (join_here && runner_.joinable()) runner_.join();
+}
+
+std::exception_ptr JobQueue::first_error() const {
+  cat::MutexLock lock(mutex_);
+  return first_error_;
+}
+
+void JobQueue::drain_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      cat::MutexLock lock(mutex_);
+      job_ready_.wait(mutex_, [&]() CAT_REQUIRES(mutex_) {
+        return !queue_.empty() || !accepting_;
+      });
+      if (queue_.empty()) return;  // !accepting_ and nothing left: drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_free_.notify_one();
+    try {
+      job();
+    } catch (...) {
+      // Jobs must not throw (header contract); store the first escape so
+      // the owner can surface it — a drain loop has no caller to unwind
+      // into, and dropping the exception would hide the bug entirely.
+      cat::MutexLock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+}  // namespace cat::core

@@ -1,0 +1,78 @@
+#pragma once
+/// \file job_queue.hpp
+/// Bounded asynchronous job queue layered over core::ThreadPool.
+///
+/// ThreadPool's one job shape is a blocking parallel_for; a serving
+/// front needs the complementary shape — fire-and-forget jobs arriving
+/// one at a time from request handlers, drained by a fixed set of
+/// workers. JobQueue bridges the two without spawning a second pool: a
+/// single runner thread parks inside pool.parallel_for(width, drain),
+/// so each of the `width` items becomes a long-lived drain loop popping
+/// jobs until shutdown. The queue is bounded (submit blocks when full —
+/// backpressure instead of unbounded memory), and shutdown is graceful:
+/// accepting stops, every queued and in-flight job still runs, then the
+/// drain loops exit and the runner joins.
+///
+/// Jobs must not throw. A throwing job cannot propagate anywhere useful
+/// from a detached drain loop, so the first escaped exception is stored
+/// (first_error()) and later jobs keep draining — the owner decides
+/// whether a stored error is fatal at shutdown.
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <thread>
+
+#include "core/annotations.hpp"
+#include "core/thread_pool.hpp"
+
+namespace cat::core {
+
+/// Bounded multi-producer job queue drained by ThreadPool workers.
+class JobQueue {
+ public:
+  /// Drain jobs on \p pool with \p width concurrent loops (clamped to
+  /// pool.size(); 0 selects pool.size()). \p capacity bounds the number
+  /// of queued-but-not-started jobs (>= 1).
+  JobQueue(ThreadPool& pool, std::size_t width, std::size_t capacity);
+  /// Calls shutdown().
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue a job. Blocks while the queue is at capacity (backpressure).
+  /// Returns false — and drops the job — once shutdown began.
+  bool submit(std::function<void()> job);
+
+  /// Stop accepting, run every queued and in-flight job to completion,
+  /// then join the drain loops. Idempotent; safe to call concurrently
+  /// with submit().
+  void shutdown();
+
+  /// Drain loops actually running.
+  std::size_t width() const { return width_; }
+
+  /// The first exception that escaped a job, or nullptr. Stable after
+  /// shutdown().
+  std::exception_ptr first_error() const;
+
+ private:
+  void drain_loop();
+
+  ThreadPool& pool_;
+  std::size_t width_;
+  std::size_t capacity_;
+  std::thread runner_;
+
+  mutable cat::Mutex mutex_;
+  cat::CondVar job_ready_;   // drain loops wait for work or shutdown
+  cat::CondVar space_free_;  // submitters wait for queue space
+  std::deque<std::function<void()>> queue_ CAT_GUARDED_BY(mutex_);
+  bool accepting_ CAT_GUARDED_BY(mutex_) = true;
+  bool joined_ CAT_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ CAT_GUARDED_BY(mutex_);
+};
+
+}  // namespace cat::core

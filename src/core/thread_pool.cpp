@@ -4,6 +4,43 @@
 
 namespace cat::core {
 
+namespace {
+
+// Per-thread stack of pools currently executing items on this thread.
+// parallel_for consults it to detect reentrant entry (a work item fanning
+// out on its own pool): without the check a nested call republishes the
+// pool's single current-job slot while the outer job is still live, so
+// idle workers abandon the outer job for the nested one and the outer
+// caller ends up blocked on work it can neither claim nor schedule. A
+// plain intrusive stack frame keeps the detection allocation-free, and a
+// stack (not a single pointer) keeps it correct when distinct pools nest
+// through each other (pool A item -> pool B parallel_for -> A again).
+struct ActivePoolFrame {
+  const void* pool;
+  ActivePoolFrame* prev;
+};
+
+thread_local ActivePoolFrame* t_active_pools = nullptr;
+
+struct ActivePoolScope {
+  explicit ActivePoolScope(const void* pool)
+      : frame{pool, t_active_pools} {
+    t_active_pools = &frame;
+  }
+  ~ActivePoolScope() { t_active_pools = frame.prev; }
+  ActivePoolScope(const ActivePoolScope&) = delete;
+  ActivePoolScope& operator=(const ActivePoolScope&) = delete;
+  ActivePoolFrame frame;
+};
+
+bool pool_active_on_this_thread(const void* pool) {
+  for (const ActivePoolFrame* f = t_active_pools; f != nullptr; f = f->prev)
+    if (f->pool == pool) return true;
+  return false;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) n_threads = recommended_threads();
   // The calling thread always participates, so spawn one fewer worker.
@@ -44,6 +81,7 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_items(Job& job) {
+  const ActivePoolScope scope(this);
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) break;
@@ -67,22 +105,37 @@ void ThreadPool::run_items(Job& job) {
   }
 }
 
+void ThreadPool::run_serial(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  // Serial path: no synchronization. Drain every item and surface the
+  // lowest-index failure, exactly like the threaded path — a 1-vs-N run
+  // must not differ even in which side effects happen on failure.
+  const ActivePoolScope scope(this);
+  std::exception_ptr first;
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      fn(i);
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (pool_active_on_this_thread(this)) {
+    // Reentrant entry: this thread is already executing an item of one of
+    // this pool's jobs. Publishing a nested job would clobber the single
+    // current-job slot, so degrade to an inline serial loop on the calling
+    // thread instead (see the header's contract). Determinism holds: the
+    // items run in index order with the same lowest-index failure rule.
+    run_serial(n, fn);
+    return;
+  }
   if (workers_.empty()) {
-    // Serial fast path: no synchronization. Drain every item and surface
-    // the lowest-index failure, exactly like the threaded path — a 1-vs-N
-    // run must not differ even in which side effects happen on failure.
-    std::exception_ptr first;
-    for (std::size_t i = 0; i < n; ++i) {
-      try {
-        fn(i);
-      } catch (...) {
-        if (!first) first = std::current_exception();
-      }
-    }
-    if (first) std::rethrow_exception(first);
+    run_serial(n, fn);
     return;
   }
   auto job = std::make_shared<Job>();

@@ -52,6 +52,15 @@ class ThreadPool {
   /// keeping with the pool's bitwise-reproducibility contract (the old
   /// "first in completion order" rule depended on scheduling). Remaining
   /// items still run; each item must stay independent.
+  ///
+  /// Reentrancy: parallel_for is safe to call from inside a work item of
+  /// the SAME pool (e.g. a served solve whose batch evaluator fans out on
+  /// the shared pool). The pool has a single current-job slot, so a nested
+  /// call cannot be scheduled as a second concurrent job; it is detected
+  /// (thread-local active-pool stack) and degrades to an inline serial
+  /// loop on the calling thread — same item order, same lowest-index
+  /// failure rule, no new threads, no deadlock. Nesting across DISTINCT
+  /// pools still runs threaded on the inner pool.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Default worker count for batch drivers: hardware concurrency, at
@@ -72,6 +81,8 @@ class ThreadPool {
 
   void worker_loop();
   void run_items(Job& job);
+  /// Inline drain used by the 1-thread pool and by reentrant entry.
+  void run_serial(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::vector<std::thread> workers_;
   cat::Mutex mutex_;

@@ -59,6 +59,12 @@ void BinaryReader::get(void* data, std::size_t n, const char* what) {
                 "' while reading " + what);
 }
 
+std::string BinaryReader::read_magic() {
+  char found[kMagicBytes];
+  get(found, kMagicBytes, "magic tag");
+  return std::string(found, kMagicBytes);
+}
+
 void BinaryReader::expect_magic(const std::string& tag) {
   CAT_REQUIRE(tag.size() == kMagicBytes, "magic tag must be 8 bytes");
   char found[kMagicBytes];

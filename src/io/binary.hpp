@@ -42,6 +42,9 @@ class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
   void expect_magic(const std::string& tag);
+  /// Read the 8-character magic tag without asserting its value — for
+  /// formats with multiple accepted versions (the caller dispatches).
+  std::string read_magic();
   std::uint64_t read_u64();
   double read_f64();
   std::vector<double> read_f64s(std::size_t n);

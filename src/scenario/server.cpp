@@ -1,0 +1,307 @@
+#include "scenario/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <utility>
+
+#include "core/error.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/surrogate.hpp"
+
+namespace cat::scenario {
+
+// ---------------------------------------------------------------------------
+// Canonical key
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_u64(std::string* key, std::uint64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  key->append(buf, sizeof buf);
+}
+
+void append_f64(std::string* key, double v) {
+  // Bit-exact: +0.0 and -0.0 (and distinct NaN payloads) key differently,
+  // which errs on the side of a spurious miss, never a wrong hit.
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  append_u64(key, bits);
+}
+
+template <class E>
+void append_enum(std::string* key, E v) {
+  append_u64(key, static_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::string canonical_case_key(const Case& c) {
+  if (c.traj_opt.lift_modulation) return {};  // no canonical form: uncacheable
+  std::string key;
+  key.reserve(29 * sizeof(std::uint64_t));
+  append_enum(&key, c.family);
+  append_enum(&key, c.planet);
+  append_enum(&key, c.gas);
+  append_enum(&key, c.fidelity);
+  append_f64(&key, c.vehicle.mass);
+  append_f64(&key, c.vehicle.reference_area);
+  append_f64(&key, c.vehicle.cd);
+  append_f64(&key, c.vehicle.lift_to_drag);
+  append_f64(&key, c.vehicle.nose_radius);
+  append_f64(&key, c.entry.velocity);
+  append_f64(&key, c.entry.flight_path_angle);
+  append_f64(&key, c.entry.altitude);
+  append_f64(&key, c.traj_opt.dt_sample_s);
+  append_f64(&key, c.traj_opt.t_max_s);
+  append_f64(&key, c.traj_opt.end_velocity_mps);
+  append_f64(&key, c.traj_opt.end_altitude_m);
+  append_f64(&key, c.condition.velocity_mps);
+  append_f64(&key, c.condition.altitude_m);
+  append_f64(&key, c.condition.pressure_Pa);
+  append_f64(&key, c.condition.temperature_K);
+  append_f64(&key, c.wall_temperature_K);
+  append_f64(&key, c.angle_of_attack_rad);
+  append_f64(&key, c.ideal_gamma);
+  append_f64(&key, c.cone_half_angle_rad);
+  append_f64(&key, c.body_length_m);
+  append_u64(&key, c.n_stations);
+  append_u64(&key, c.streamwise_order);
+  append_u64(&key, c.max_pulse_points);
+  append_u64(&key, (c.viscous ? 1u : 0u) | (c.finite_rate ? 2u : 0u));
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Server internals
+// ---------------------------------------------------------------------------
+
+/// One in-flight computation other requests for the same key wait on.
+struct Server::Pending {
+  cat::Mutex mu;
+  cat::CondVar cv;
+  bool done CAT_GUARDED_BY(mu) = false;
+  ServeReply reply CAT_GUARDED_BY(mu);
+};
+
+/// One cache shard: completed replies + in-flight jobs for its key range.
+struct Server::Shard {
+  cat::Mutex mu;
+  std::unordered_map<std::string, ServeReply> cache CAT_GUARDED_BY(mu);
+  std::unordered_map<std::string, std::shared_ptr<Pending>> inflight
+      CAT_GUARDED_BY(mu);
+};
+
+Server::Server(const ServerOptions& opt) : opt_(opt) {
+  opt_.cache_shards = std::max<std::size_t>(1, opt_.cache_shards);
+  shards_.reserve(opt_.cache_shards);
+  for (std::size_t s = 0; s < opt_.cache_shards; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+  pool_ = std::make_unique<core::ThreadPool>(opt_.threads);
+  queue_ = std::make_unique<core::JobQueue>(*pool_, pool_->size(),
+                                            opt_.queue_capacity);
+  if (!opt_.table_dir.empty()) preload_tables(opt_.table_dir);
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() { queue_->shutdown(); }
+
+std::size_t Server::preload_tables(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string suffix = ".surrogate.bin";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0)
+      paths.push_back(entry.path().string());
+  }
+  if (ec)
+    throw Error("cat_serve: cannot read table directory '" + dir +
+                "': " + ec.message());
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths)
+    register_surrogate(
+        std::make_shared<const SurrogateTable>(SurrogateTable::load(path)));
+  return paths.size();
+}
+
+Server::Shard& Server::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+ServeReply Server::compute(const Case& c) {
+  ServeReply r;
+  r.case_name = c.name;
+  const bool point = c.condition.velocity_mps > 0.0;
+  const bool tier0 = c.fidelity == Fidelity::kSurrogate ||
+                     c.fidelity == Fidelity::kCorrelation;
+
+  // Tier 1: precomputed table lookup. Only for kSurrogate requests — a
+  // ladder must degrade toward accuracy, never upgrade a full-solve
+  // request into an interpolation.
+  if (point && c.fidelity == Fidelity::kSurrogate) {
+    try {
+      const CaseResult res = run_case(c);
+      r.ok = true;
+      r.tier = "surrogate";
+      r.metrics = res.metrics;
+      served_surrogate_.fetch_add(1, std::memory_order_relaxed);
+      return r;
+    } catch (const Error&) {
+      // No registered table covers this state: drop one rung.
+    }
+  }
+
+  // Tier 2: the engineering correlation family (~us). Reached by
+  // kSurrogate fall-through and by explicit kCorrelation requests.
+  if (point && tier0) {
+    try {
+      Case cc = c;
+      cc.fidelity = Fidelity::kCorrelation;
+      const CaseResult res = run_case(cc);
+      r.ok = true;
+      r.tier = "correlation";
+      r.metrics = res.metrics;
+      served_correlation_.fetch_add(1, std::memory_order_relaxed);
+      return r;
+    } catch (const Error&) {
+      // Solver gave up: last rung below.
+    } catch (const std::invalid_argument&) {
+      // Case shape the correlation tier cannot express (CAT_REQUIRE).
+    }
+  }
+
+  // Tier 3: the full hierarchy. Tier-0 requests that fell through run at
+  // the smoke preset (the cheapest truth); explicit full-fidelity
+  // requests run exactly what they asked for. threads = 1 inside the
+  // runner: the serving queue is the parallelism layer, and a nested
+  // parallel_for on the shared pool would degrade to serial anyway.
+  try {
+    Case cf = c;
+    if (tier0) cf.fidelity = Fidelity::kSmoke;
+    const CaseResult res = run_case(cf, {1});
+    r.ok = true;
+    r.tier = "solve";
+    r.metrics = res.metrics;
+    served_solve_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  } catch (const std::exception& err) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    r.ok = false;
+    r.tier.clear();
+    r.metrics.clear();
+    r.error = err.what();
+    return r;
+  }
+}
+
+ServeReply Server::serve(const Case& c) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string key = canonical_case_key(c);
+  if (key.empty()) return compute(c);  // uncacheable: compute in-place
+
+  Shard& shard = shard_for(key);
+  std::shared_ptr<Pending> pending;
+  bool owner = false;
+  {
+    cat::MutexLock lock(shard.mu);
+    const auto hit = shard.cache.find(key);
+    if (hit != shard.cache.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      ServeReply r = hit->second;
+      r.from_cache = true;
+      return r;
+    }
+    const auto in = shard.inflight.find(key);
+    if (in != shard.inflight.end()) {
+      pending = in->second;
+    } else {
+      pending = std::make_shared<Pending>();
+      shard.inflight.emplace(key, pending);
+      owner = true;
+    }
+  }
+
+  if (owner) {
+    const bool queued = queue_->submit([this, c, key, &shard, pending] {
+      ServeReply r = compute(c);
+      {
+        cat::MutexLock lock(shard.mu);
+        // Only successes are cached — a transient failure (e.g. a table
+        // registered later) must stay retryable.
+        if (r.ok) shard.cache.emplace(key, r);
+        shard.inflight.erase(key);
+      }
+      {
+        cat::MutexLock lock(pending->mu);
+        pending->reply = std::move(r);
+        pending->done = true;
+      }
+      pending->cv.notify_all();
+    });
+    if (!queued) {
+      // Shutdown raced the submit: resolve the pending slot ourselves so
+      // coalesced waiters (and we) get a definite answer.
+      {
+        cat::MutexLock lock(shard.mu);
+        shard.inflight.erase(key);
+      }
+      {
+        cat::MutexLock lock(pending->mu);
+        pending->reply.ok = false;
+        pending->reply.case_name = c.name;
+        pending->reply.error = "server is shutting down";
+        pending->done = true;
+      }
+      pending->cv.notify_all();
+    }
+  } else {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const auto timeout = std::chrono::duration<double>(opt_.request_timeout_s);
+  ServeReply r;
+  bool done = false;
+  {
+    cat::MutexLock lock(pending->mu);
+    done = pending->cv.wait_for(pending->mu, timeout, [&]() CAT_REQUIRES(
+                                                         pending->mu) {
+      return pending->done;
+    });
+    if (done) r = pending->reply;
+  }
+  if (!done) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    r = ServeReply{};
+    r.case_name = c.name;
+    r.error = "request timed out (the computation continues and will "
+              "populate the cache)";
+    return r;
+  }
+  r.coalesced = !owner;
+  return r;
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.served_surrogate = served_surrogate_.load(std::memory_order_relaxed);
+  s.served_correlation = served_correlation_.load(std::memory_order_relaxed);
+  s.served_solve = served_solve_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cat::scenario

@@ -13,7 +13,14 @@ namespace cat::scenario {
 
 namespace {
 
-constexpr const char* kMagic = "CATSURR1";
+// Format v2 records the base case's solver family + angle of attack in
+// the identity block (the v1 matching bug: a sphere-cone or trajectory
+// case with the same nose radius silently got a hemisphere
+// stagnation-point table's answer). v1 records are still loadable — every
+// v1 table was built by the kStagnationPoint builder at zero angle of
+// attack, so those identity defaults are exact, not guesses.
+constexpr const char* kMagic = "CATSURR2";
+constexpr const char* kMagicV1 = "CATSURR1";
 
 void validate_domain(const SurrogateDomain& d) {
   CAT_REQUIRE(d.n_velocity >= 2 && d.n_altitude >= 2,
@@ -149,8 +156,10 @@ void SurrogateTable::save(const std::string& path) const {
   w.write_magic(kMagic);
   w.write_u64(static_cast<std::uint64_t>(meta_.planet));
   w.write_u64(static_cast<std::uint64_t>(meta_.gas));
+  w.write_u64(static_cast<std::uint64_t>(meta_.family));
   w.write_f64(meta_.nose_radius_m);
   w.write_f64(meta_.wall_temperature_K);
+  w.write_f64(meta_.angle_of_attack_rad);
   w.write_string(meta_.base_case);
   w.write_u64(domain_.n_velocity);
   w.write_u64(domain_.n_altitude);
@@ -169,7 +178,11 @@ void SurrogateTable::save(const std::string& path) const {
 
 SurrogateTable SurrogateTable::load(const std::string& path) {
   io::BinaryReader r(path);
-  r.expect_magic(kMagic);
+  const std::string magic = r.read_magic();
+  if (magic != kMagic && magic != kMagicV1)
+    throw Error("SurrogateTable::load: '" + path +
+                "' is not a CATSURR record (bad magic)");
+  const bool legacy_v1 = magic == kMagicV1;
   SurrogateMeta meta;
   const std::uint64_t planet = r.read_u64();
   const std::uint64_t gas = r.read_u64();
@@ -179,8 +192,22 @@ SurrogateTable SurrogateTable::load(const std::string& path) {
                 "' names an unknown planet/gas (corrupt or newer record)");
   meta.planet = static_cast<Planet>(planet);
   meta.gas = static_cast<GasModelKind>(gas);
+  if (legacy_v1) {
+    // v1 predates the identity fields; every v1 table came out of the
+    // kStagnationPoint builder at zero angle of attack (the defaults set
+    // in SurrogateMeta), so there is nothing to read here.
+  } else {
+    const std::uint64_t family = r.read_u64();
+    if (family > static_cast<std::uint64_t>(
+                     SolverFamily::kShockTubeRelaxation))
+      throw Error("SurrogateTable::load: '" + path +
+                  "' names an unknown solver family (corrupt or newer "
+                  "record)");
+    meta.family = static_cast<SolverFamily>(family);
+  }
   meta.nose_radius_m = r.read_f64();
   meta.wall_temperature_K = r.read_f64();
+  if (!legacy_v1) meta.angle_of_attack_rad = r.read_f64();
   meta.base_case = r.read_string();
   SurrogateDomain dom;
   dom.n_velocity = static_cast<std::size_t>(r.read_u64());
@@ -259,8 +286,10 @@ SurrogateTable build_surrogate(const Case& base,
   SurrogateMeta meta;
   meta.planet = base.planet;
   meta.gas = base.gas;
+  meta.family = base.family;
   meta.nose_radius_m = base.vehicle.nose_radius;
   meta.wall_temperature_K = base.wall_temperature_K;
+  meta.angle_of_attack_rad = base.angle_of_attack_rad;
   meta.base_case = base.name;
   return assemble(std::move(meta), domain, refined, opt);
 }
@@ -336,6 +365,11 @@ std::shared_ptr<const SurrogateTable> find_surrogate(const Case& c) {
     const auto& table = tables[k];
     const auto& m = table->meta();
     if (m.planet != c.planet || m.gas != c.gas) continue;
+    // Same nose radius is not same body: the table answers for the base
+    // case's solver family and attitude only (a VSL sphere-cone march or
+    // a trajectory-driven case must fall through to its own solver).
+    if (m.family != c.family) continue;
+    if (!close_rel(m.angle_of_attack_rad, c.angle_of_attack_rad)) continue;
     if (!close_rel(m.nose_radius_m, c.vehicle.nose_radius)) continue;
     if (!close_rel(m.wall_temperature_K, c.wall_temperature_K)) continue;
     if (!table->covers(c.condition.velocity_mps, c.condition.altitude_m))

@@ -39,12 +39,17 @@ struct SurrogateDomain {
 
 /// Identity block: which physical question the table answers. The
 /// surrogate registry matches these fields (plus domain coverage) when
-/// serving Fidelity::kSurrogate cases.
+/// serving Fidelity::kSurrogate cases. family/angle_of_attack_rad record
+/// the base case's solver family and windward-plane attitude so a
+/// sphere-cone march or trajectory case with the same nose radius can
+/// never silently receive a hemisphere stagnation-point table's answer.
 struct SurrogateMeta {
   Planet planet = Planet::kEarth;
   GasModelKind gas = GasModelKind::kAir5;
+  SolverFamily family = SolverFamily::kStagnationPoint;  ///< base solver family
   double nose_radius_m = 0.0;        ///< [m]
   double wall_temperature_K = 0.0;   ///< [K]
+  double angle_of_attack_rad = 0.0;  ///< [rad] base case's attitude
   std::string base_case;             ///< registry scenario it was built from
 };
 
@@ -110,7 +115,12 @@ class SurrogateTable {
   double node_value(std::size_t channel, std::size_t iv,
                     std::size_t ia) const;
 
-  /// Binary round trip (io::BinaryWriter/Reader, magic "CATSURR1").
+  /// Binary round trip (io::BinaryWriter/Reader). save() writes the
+  /// current format (magic "CATSURR2", which records the base case's
+  /// solver family and angle of attack); load() also accepts legacy
+  /// "CATSURR1" records — they predate the identity fields and carry the
+  /// defaults they were all built with (kStagnationPoint, zero angle of
+  /// attack), so the committed anchor table keeps serving.
   void save(const std::string& path) const;
   static SurrogateTable load(const std::string& path);
 
@@ -139,13 +149,16 @@ SurrogateTable build_surrogate(const SurrogateMeta& meta,
                                const SurrogateBuildOptions& opt = {});
 
 /// Process-global surrogate registry serving Fidelity::kSurrogate.
-/// Thread-safe; tables are matched by meta (planet, gas, nose radius,
-/// wall temperature) and domain coverage, newest registration first.
+/// Thread-safe; tables are matched by meta (planet, gas, solver family,
+/// nose radius, wall temperature, angle of attack) and domain coverage,
+/// newest registration first.
 void register_surrogate(std::shared_ptr<const SurrogateTable> table);
 std::size_t n_registered_surrogates();
 void clear_surrogates();
 /// The newest registered table matching \p c, or nullptr. Cases with an
-/// explicit p/T override never match (tables tabulate the atmosphere).
+/// explicit p/T override never match (tables tabulate the atmosphere),
+/// and neither does a case of a different solver family or attitude than
+/// the table was built from — same nose radius is not same body.
 std::shared_ptr<const SurrogateTable> find_surrogate(const Case& c);
 
 }  // namespace cat::scenario

@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/driver.hpp"
 #include "core/error.hpp"
@@ -114,6 +118,73 @@ TEST(ThreadPool, SerialPathThrowsSameLowestIndexAsThreaded) {
   } catch (const SolverError& e) {
     EXPECT_STREQ(e.what(), "item 5");
   }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineOnCallingThread) {
+  // Regression (reentrancy fix): a work item that calls parallel_for on
+  // its OWN pool must degrade to an inline serial loop on the calling
+  // thread. Pre-fix, the nested call republished the pool's single
+  // current-job slot and idle workers executed nested items on foreign
+  // threads while the outer job was still live. The sleep keeps nested
+  // items in flight long enough for idle workers to wake and (pre-fix)
+  // steal them: 2 outer items on a 4-thread pool leave 2 workers idle.
+  scenario::ThreadPool pool(4);
+  std::atomic<int> foreign{0};
+  std::vector<std::atomic<int>> hits(2 * 64);
+  pool.parallel_for(2, [&](std::size_t i) {
+    const auto outer_tid = std::this_thread::get_id();
+    pool.parallel_for(64, [&](std::size_t j) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      if (std::this_thread::get_id() != outer_tid) foreign.fetch_add(1);
+      hits[i * 64 + j].fetch_add(1);
+    });
+  });
+  EXPECT_EQ(foreign.load(), 0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForStressAndErrorContract) {
+  // Every outer item nests; repeated rounds shake schedule-dependent
+  // interleavings (the TSan CI job runs this instrumented). The nested
+  // inline loop must also keep the lowest-index failure rule.
+  scenario::ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(8, [&](std::size_t) {
+      pool.parallel_for(16,
+                        [&](std::size_t j) { sum.fetch_add(static_cast<long>(j)); });
+    });
+    EXPECT_EQ(sum.load(), 8 * (15 * 16 / 2));
+  }
+  std::atomic<int> surfaced_item5{0};
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t) {
+                          try {
+                            pool.parallel_for(20, [](std::size_t j) {
+                              if (j == 5 || j == 17)
+                                throw SolverError("item " + std::to_string(j));
+                            });
+                          } catch (const SolverError& e) {
+                            if (std::string(e.what()) == "item 5")
+                              surfaced_item5.fetch_add(1);
+                            throw;
+                          }
+                        }),
+      SolverError);
+  EXPECT_EQ(surfaced_item5.load(), 4);  // every nested drain saw index 5 first
+}
+
+TEST(ThreadPool, NestedAcrossDistinctPoolsStaysThreaded) {
+  // The reentrancy guard is per pool: fanning out on a DIFFERENT pool
+  // from inside a work item keeps that pool's workers engaged.
+  scenario::ThreadPool outer(2);
+  scenario::ThreadPool inner(2);
+  std::atomic<int> count{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    inner.parallel_for(32, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 4 * 32);
 }
 
 TEST(ThreadPool, ReusableAcrossCalls) {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/error.hpp"
+#include "io/binary.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/surrogate.hpp"
@@ -167,6 +168,9 @@ TEST(Surrogate, SaveLoadRoundTripIsBitExact) {
   std::remove(path.c_str());
 
   EXPECT_EQ(loaded.meta().base_case, table.meta().base_case);
+  EXPECT_EQ(loaded.meta().family, table.meta().family);
+  EXPECT_EQ(loaded.meta().angle_of_attack_rad,
+            table.meta().angle_of_attack_rad);
   EXPECT_EQ(loaded.domain().n_velocity, table.domain().n_velocity);
   EXPECT_EQ(loaded.n_cells(), table.n_cells());
   for (std::size_t ch = 0; ch < scenario::SurrogateTable::kNChannels; ++ch) {
@@ -251,6 +255,80 @@ TEST(Surrogate, RegistryMatchesMetaAndCoverage) {
   scenario::clear_surrogates();
   EXPECT_EQ(scenario::n_registered_surrogates(), 0u);
   EXPECT_EQ(scenario::find_surrogate(c), nullptr);
+}
+
+TEST(Surrogate, RegistryRejectsWrongShapeAndSolverFamily) {
+  // Regression (matching bug): v1 matching keyed only on planet, gas,
+  // nose radius, wall temperature and coverage — a sphere-cone VSL march
+  // or a trajectory-driven case with the same nose radius silently got
+  // the hemisphere stagnation-point table's answer. The identity block
+  // now records the base case's solver family and attitude.
+  RegistryGuard guard;
+  scenario::clear_surrogates();
+  scenario::register_surrogate(
+      std::make_shared<scenario::SurrogateTable>(build_analytic(4)));
+
+  scenario::Case match;
+  match.family = scenario::SolverFamily::kStagnationPoint;
+  match.vehicle.nose_radius = 0.3;
+  match.wall_temperature_K = 1000.0;
+  match.condition = {5000.0, 60000.0};
+  ASSERT_NE(scenario::find_surrogate(match), nullptr);
+
+  // Same nose radius, but a sphere-cone marching case: not the same body.
+  auto sphere_cone = match;
+  sphere_cone.family = scenario::SolverFamily::kVslMarch;
+  sphere_cone.cone_half_angle_rad = 0.5;
+  EXPECT_EQ(scenario::find_surrogate(sphere_cone), nullptr);
+
+  // Trajectory-driven family: the table answers point conditions only.
+  auto pulse = match;
+  pulse.family = scenario::SolverFamily::kStagnationPulse;
+  EXPECT_EQ(scenario::find_surrogate(pulse), nullptr);
+
+  // Same family flown at a different attitude: different windward body.
+  auto banked = match;
+  banked.angle_of_attack_rad = 0.35;
+  EXPECT_EQ(scenario::find_surrogate(banked), nullptr);
+}
+
+TEST(Surrogate, LegacyV1RecordLoadsWithStagnationIdentity) {
+  // v1 (CATSURR1) records predate the family/attitude identity fields.
+  // They must keep loading — the committed anchor table is one — and they
+  // carry the identity every v1 builder produced: kStagnationPoint at
+  // zero angle of attack.
+  const std::string path = "surrogate_legacy_v1_test.bin";
+  {
+    io::BinaryWriter w(path);
+    w.write_magic("CATSURR1");
+    w.write_u64(0);  // Planet::kEarth
+    w.write_u64(0);  // GasModelKind::kAir5
+    w.write_f64(0.3);
+    w.write_f64(1000.0);
+    w.write_string("legacy_table");
+    w.write_u64(2);  // n_velocity
+    w.write_u64(2);  // n_altitude
+    w.write_f64(3000.0);
+    w.write_f64(7500.0);
+    w.write_f64(45000.0);
+    w.write_f64(75000.0);
+    for (std::size_t ch = 0; ch < scenario::SurrogateTable::kNChannels;
+         ++ch) {
+      for (int node = 0; node < 4; ++node)
+        w.write_f64(static_cast<double>(ch + 1) * 10.0);
+      w.write_f64(0.5);  // the single cell's bound
+    }
+    w.close();
+  }
+  const auto loaded = scenario::SurrogateTable::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.meta().base_case, "legacy_table");
+  EXPECT_EQ(loaded.meta().family,
+            scenario::SolverFamily::kStagnationPoint);
+  EXPECT_EQ(loaded.meta().angle_of_attack_rad, 0.0);
+  const auto a = loaded.query(5000.0, 60000.0);
+  EXPECT_DOUBLE_EQ(a.q_conv_W_m2, 10.0);
+  EXPECT_DOUBLE_EQ(a.q_conv_err_W_m2, 0.5);
 }
 
 // ---------- against the real hierarchy ----------

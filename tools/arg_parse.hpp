@@ -1,0 +1,88 @@
+#pragma once
+/// \file arg_parse.hpp
+/// Shared validated number parsing for the cat_* CLI tools.
+///
+/// The tools used to parse user input with bare std::stoul/std::stod:
+/// `--threads abc` escaped as an uncaught std::invalid_argument (terminate,
+/// no usage hint), `--threads -1` wrapped to a huge unsigned, and trailing
+/// garbage (`--levels 3x`, `--v-range 3000:7500:7seven`) was silently
+/// accepted as the numeric prefix. These helpers consume the FULL string,
+/// range-check the value, and on failure print one friendly line to stderr
+/// and exit nonzero — the uniform CLI contract of every cat_* tool.
+///
+/// The try_* variants return false instead of exiting, for callers that
+/// assemble their own error message (compound specs like MIN:MAX:N).
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cat::tools {
+
+/// Parse \p text as a non-negative integer in [\p min, \p max] with full
+/// string consumption (no sign, no trailing garbage, no empty string).
+inline bool try_parse_size(const std::string& text, std::size_t min,
+                           std::size_t max, std::size_t* out) {
+  if (text.empty()) return false;
+  // strtoull happily wraps "-1" to 18446744073709551615; an explicit sign
+  // (either one) is rejected up front so negatives fail loudly instead.
+  if (text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) return false;
+  if (v < min || v > max) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Parse \p text as a finite double in [\p min, \p max] with full string
+/// consumption.
+inline bool try_parse_double(const std::string& text, double min, double max,
+                             double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE || end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(v) || v < min || v > max) return false;
+  *out = v;
+  return true;
+}
+
+/// try_parse_size or a one-line `error: <flag> expects ...` + exit(1).
+inline std::size_t parse_size_arg(const char* flag, const std::string& text,
+                                  std::size_t min, std::size_t max) {
+  std::size_t v = 0;
+  if (!try_parse_size(text, min, max, &v)) {
+    std::fprintf(stderr,
+                 "error: %s expects an integer in [%zu, %zu], got '%s'\n",
+                 flag, min, max, text.c_str());
+    std::exit(1);
+  }
+  return v;
+}
+
+/// try_parse_double or a one-line `error: <flag> expects ...` + exit(1).
+inline double parse_double_arg(const char* flag, const std::string& text,
+                               double min, double max) {
+  double v = 0.0;
+  if (!try_parse_double(text, min, max, &v)) {
+    std::fprintf(stderr,
+                 "error: %s expects a number in [%g, %g], got '%s'\n", flag,
+                 min, max, text.c_str());
+    std::exit(1);
+  }
+  return v;
+}
+
+/// Worker-thread count shared by every tool: 0 (= all cores) to a sanity
+/// ceiling far above any machine the tools target.
+inline std::size_t parse_threads_arg(const std::string& text) {
+  return parse_size_arg("--threads", text, 0, 1024);
+}
+
+}  // namespace cat::tools

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "arg_parse.hpp"
 #include "io/csv.hpp"
 #include "io/json.hpp"
 #include "scenario/batch.hpp"
@@ -160,8 +161,20 @@ std::vector<double> parse_angles_deg(const std::string& list) {
   while (pos < list.size()) {
     std::size_t next = list.find(',', pos);
     if (next == std::string::npos) next = list.size();
-    out.push_back(std::stod(list.substr(pos, next - pos)) * M_PI / 180.0);
+    double deg = 0.0;
+    if (!tools::try_parse_double(list.substr(pos, next - pos), -90.0, 90.0,
+                                 &deg)) {
+      std::fprintf(stderr,
+                   "error: --sweep-gamma expects comma-separated angles in "
+                   "[-90, 90] deg, got '%s'\n", list.c_str());
+      std::exit(1);
+    }
+    out.push_back(deg * M_PI / 180.0);
     pos = next + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --sweep-gamma needs at least one angle\n");
+    std::exit(1);
   }
   return out;
 }
@@ -205,7 +218,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (matches("--threads")) {
-      threads = static_cast<std::size_t>(std::stoul(value("--threads")));
+      threads = tools::parse_threads_arg(value("--threads"));
     } else if (matches("--fidelity")) {
       const std::string f = value("--fidelity");
       for (const char* known : {"smoke", "nominal", "correlation",

@@ -1,0 +1,378 @@
+// cat_serve — the serving front: a line-oriented request/response shell
+// over scenario::Server (sharded result cache, request coalescing, async
+// bounded job queue, surrogate -> correlation -> full-solve fallback).
+//
+//   cat_serve --tables data                      # stdio front (default)
+//   cat_serve --tables data --port 7457          # TCP front on 127.0.0.1
+//
+// Protocol: one request per line, one JSON object per response line.
+//
+//   query <scenario> [v=M_PER_S] [alt=M] [tier=surrogate|correlation|
+//                                              smoke|nominal]
+//   list            -> registered scenario names
+//   stats           -> serving counters (cache hits, tiers, timeouts)
+//   quit            -> close this session (stdio: exit; tcp: drop conn)
+//   stop            -> tcp only: shut the whole server down
+//
+// Query responses carry no timing, so a response stream is byte-identical
+// for any --threads value — the determinism contract the smoke tests pin.
+//
+// Exit code 0 on clean shutdown, 1 on usage/setup errors.
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CAT_SERVE_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "arg_parse.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/server.hpp"
+
+using namespace cat;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: cat_serve [options]\n"
+      "options:\n"
+      "  --stdio             serve requests on stdin/stdout (default)\n"
+      "  --port N            serve TCP on 127.0.0.1:N instead\n"
+      "  --threads N         worker threads (0 = all cores; default 1)\n"
+      "  --tables DIR        preload every *.surrogate.bin under DIR\n"
+      "  --timeout S         per-request timeout seconds (default 60)\n"
+      "  --shards N          cache shard count (default 8)\n"
+      "  --queue N           bounded job-queue capacity (default 64)\n"
+      "protocol: query <scenario> [v=MPS] [alt=M] [tier=T] | list | stats\n"
+      "          | quit | stop\n");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch; break;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// The JSON emitters build by append throughout: GCC 12's -Wrestrict
+// misfires (as an error here) on operator+ chains mixing literals with
+// rvalue std::strings.
+std::string error_reply(const std::string& message) {
+  std::string out = "{\"ok\": false, \"error\": \"";
+  out += json_escape(message);
+  out += "\"}";
+  return out;
+}
+
+std::string reply_to_json(const scenario::ServeReply& r) {
+  if (!r.ok) return error_reply(r.error);
+  std::string out = "{\"ok\": true, \"case\": \"";
+  out += json_escape(r.case_name);
+  out += "\", \"tier\": \"";
+  out += r.tier;
+  out += "\", \"cached\": ";
+  out += r.from_cache ? "true" : "false";
+  out += ", \"coalesced\": ";
+  out += r.coalesced ? "true" : "false";
+  out += ", \"metrics\": {";
+  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+    const auto& m = r.metrics[i];
+    if (i > 0) out += ", ";
+    out += "\"";
+    out += json_escape(m.name);
+    out += "\": {\"value\": ";
+    out += json_number(m.value);
+    out += ", \"unit\": \"";
+    out += json_escape(m.unit);
+    out += "\"}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j])))
+      ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+std::string handle_query(scenario::Server& server,
+                         const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2)
+    return error_reply("query needs a scenario name (try: list)");
+  const scenario::Case* base = scenario::find_scenario(tokens[1]);
+  if (base == nullptr)
+    return error_reply("unknown scenario '" + tokens[1] + "' (try: list)");
+  scenario::Case c = *base;
+  c.fidelity = scenario::Fidelity::kSurrogate;  // serve the ladder by default
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos || eq == 0)
+      return error_reply("bad query option '" + t +
+                         "' (expected key=value)");
+    const std::string key = t.substr(0, eq), val = t.substr(eq + 1);
+    if (key == "v") {
+      if (!tools::try_parse_double(val, 1.0, 1e6, &c.condition.velocity_mps))
+        return error_reply("bad v='" + val + "' (m/s in [1, 1e6])");
+    } else if (key == "alt") {
+      if (!tools::try_parse_double(val, -500.0, 1e6,
+                                   &c.condition.altitude_m))
+        return error_reply("bad alt='" + val + "' (m in [-500, 1e6])");
+    } else if (key == "tier") {
+      if (val == "surrogate") {
+        c.fidelity = scenario::Fidelity::kSurrogate;
+      } else if (val == "correlation") {
+        c.fidelity = scenario::Fidelity::kCorrelation;
+      } else if (val == "smoke") {
+        c.fidelity = scenario::Fidelity::kSmoke;
+      } else if (val == "nominal") {
+        c.fidelity = scenario::Fidelity::kNominal;
+      } else {
+        return error_reply(
+            "bad tier='" + val +
+            "' (surrogate | correlation | smoke | nominal)");
+      }
+    } else {
+      return error_reply("unknown query option '" + key +
+                         "' (v | alt | tier)");
+    }
+  }
+  return reply_to_json(server.serve(c));
+}
+
+std::string handle_stats(const scenario::Server& server) {
+  const auto s = server.stats();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"ok\": true, \"requests\": %zu, \"cache_hits\": %zu, "
+                "\"coalesced\": %zu, \"served_surrogate\": %zu, "
+                "\"served_correlation\": %zu, \"served_solve\": %zu, "
+                "\"errors\": %zu, \"timeouts\": %zu}",
+                s.requests, s.cache_hits, s.coalesced, s.served_surrogate,
+                s.served_correlation, s.served_solve, s.errors, s.timeouts);
+  return buf;
+}
+
+enum class LineAction { kReply, kQuit, kStop };
+
+/// Handle one request line; *out is the response ("" = print nothing).
+LineAction handle_line(scenario::Server& server, const std::string& line,
+                       std::string* out) {
+  out->clear();
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return LineAction::kReply;  // blank line: ignore
+  const std::string& cmd = tokens[0];
+  if (cmd == "quit") return LineAction::kQuit;
+  if (cmd == "stop") return LineAction::kStop;
+  if (cmd == "query") {
+    *out = handle_query(server, tokens);
+  } else if (cmd == "list") {
+    std::string names = "{\"ok\": true, \"scenarios\": [";
+    const auto all = scenario::scenario_names();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (i > 0) names += ", ";
+      names += "\"";
+      names += json_escape(all[i]);
+      names += "\"";
+    }
+    names += "]}";
+    *out = names;
+  } else if (cmd == "stats") {
+    *out = handle_stats(server);
+  } else {
+    // Built by append: GCC 12's -Wrestrict misfires on the equivalent
+    // operator+ chain here.
+    std::string msg = "unknown command '";
+    msg += cmd;
+    msg += "' (query | list | stats | quit | stop)";
+    *out = error_reply(msg);
+  }
+  return LineAction::kReply;
+}
+
+int serve_stdio(scenario::Server& server) {
+  std::string line, reply;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, stdin) != nullptr) {
+    line.assign(buf);
+    if (!line.empty() && line.back() == '\n') line.pop_back();
+    const auto action = handle_line(server, line, &reply);
+    if (action != LineAction::kReply) break;
+    if (!reply.empty()) {
+      std::fputs(reply.c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+    }
+  }
+  server.shutdown();
+  return 0;
+}
+
+#ifdef CAT_SERVE_HAVE_SOCKETS
+int serve_tcp(scenario::Server& server, std::size_t port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("cat_serve: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::perror("cat_serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::printf("cat_serve: listening on 127.0.0.1:%zu\n", port);
+  std::fflush(stdout);
+
+  bool running = true;
+  while (running) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    std::FILE* in = ::fdopen(conn, "r");
+    if (in == nullptr) {
+      ::close(conn);
+      continue;
+    }
+    char buf[4096];
+    std::string line, reply;
+    while (std::fgets(buf, sizeof buf, in) != nullptr) {
+      line.assign(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+      const auto action = handle_line(server, line, &reply);
+      if (action == LineAction::kStop) running = false;
+      if (action != LineAction::kReply) break;
+      if (!reply.empty()) {
+        reply += '\n';
+        // Best-effort write: a client that hangs up mid-reply just ends
+        // its own session.
+        if (::write(conn, reply.data(), reply.size()) < 0) break;
+      }
+    }
+    std::fclose(in);  // closes conn
+  }
+  ::close(listener);
+  server.shutdown();
+  return 0;
+}
+#endif  // CAT_SERVE_HAVE_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scenario::ServerOptions opt;
+  std::string tables_dir;
+  bool use_tcp = false;
+  std::size_t port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto matches = [&](const char* flag) {
+      const std::size_t n = std::strlen(flag);
+      return arg == flag ||
+             (arg.size() > n && arg.compare(0, n, flag) == 0 &&
+              arg[n] == '=');
+    };
+    auto value = [&](const char* flag) -> std::string {
+      const std::size_t n = std::strlen(flag);
+      if (arg.size() > n && arg[n] == '=') return arg.substr(n + 1);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--stdio") {
+      use_tcp = false;
+    } else if (matches("--port")) {
+      port = tools::parse_size_arg("--port", value("--port"), 1, 65535);
+      use_tcp = true;
+    } else if (matches("--threads")) {
+      opt.threads = tools::parse_threads_arg(value("--threads"));
+    } else if (matches("--tables")) {
+      tables_dir = value("--tables");
+    } else if (matches("--timeout")) {
+      opt.request_timeout_s =
+          tools::parse_double_arg("--timeout", value("--timeout"), 0.001,
+                                  86400.0);
+    } else if (matches("--shards")) {
+      opt.cache_shards =
+          tools::parse_size_arg("--shards", value("--shards"), 1, 4096);
+    } else if (matches("--queue")) {
+      opt.queue_capacity =
+          tools::parse_size_arg("--queue", value("--queue"), 1, 1u << 20);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 1;
+    }
+  }
+
+  try {
+    scenario::Server server(opt);
+    if (!tables_dir.empty()) {
+      const std::size_t n = server.preload_tables(tables_dir);
+      std::fprintf(stderr, "cat_serve: preloaded %zu surrogate table%s from %s\n",
+                   n, n == 1 ? "" : "s", tables_dir.c_str());
+    }
+#ifdef CAT_SERVE_HAVE_SOCKETS
+    if (use_tcp) return serve_tcp(server, port);
+#else
+    if (use_tcp) {
+      std::fprintf(stderr, "error: this build has no socket support; "
+                           "use --stdio\n");
+      return 1;
+    }
+#endif
+    return serve_stdio(server);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 1;
+  }
+}

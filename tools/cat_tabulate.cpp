@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "arg_parse.hpp"
 #include "io/json.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/surrogate.hpp"
@@ -50,14 +51,14 @@ bool parse_axis(const std::string& spec, AxisSpec* out) {
   const std::size_t c1 = spec.find(':');
   const std::size_t c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
   if (c2 == std::string::npos) return false;
-  try {
-    out->min = std::stod(spec.substr(0, c1));
-    out->max = std::stod(spec.substr(c1 + 1, c2 - c1 - 1));
-    out->n = std::stoul(spec.substr(c2 + 1));
-  } catch (const std::exception&) {
+  // Full-string validated parses: "3000abc:7500:7" and "6000:7200:3x" are
+  // rejected instead of silently truncating to their numeric prefixes.
+  if (!tools::try_parse_double(spec.substr(0, c1), -1e9, 1e9, &out->min) ||
+      !tools::try_parse_double(spec.substr(c1 + 1, c2 - c1 - 1), -1e9, 1e9,
+                               &out->max) ||
+      !tools::try_parse_size(spec.substr(c2 + 1), 2, 1u << 16, &out->n))
     return false;
-  }
-  return out->n >= 2 && out->max > out->min;
+  return out->max > out->min;
 }
 
 }  // namespace
@@ -107,7 +108,7 @@ int main(int argc, char** argv) {
         return 1;
       }
     } else if (matches("--threads")) {
-      threads = static_cast<std::size_t>(std::stoul(value("--threads")));
+      threads = tools::parse_threads_arg(value("--threads"));
     } else if (matches("--fidelity")) {
       const std::string f = value("--fidelity");
       if (f == "smoke") {
@@ -119,7 +120,9 @@ int main(int argc, char** argv) {
         return 1;
       }
     } else if (matches("--safety")) {
-      opt.safety_factor = std::stod(value("--safety"));
+      opt.safety_factor = tools::parse_double_arg("--safety",
+                                                  value("--safety"), 1.0,
+                                                  1e3);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       print_usage();

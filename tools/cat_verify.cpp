@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "arg_parse.hpp"
 #include "io/csv.hpp"
 #include "io/json.hpp"
 #include "verify/studies.hpp"
@@ -150,17 +151,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (matches("--levels")) {
-      const std::string v = value("--levels");
-      try {
-        std::size_t pos = 0;
-        sopt.levels = static_cast<std::size_t>(std::stoul(v, &pos));
-        if (pos != v.size() || sopt.levels == 0 || sopt.levels > 16)
-          throw std::invalid_argument(v);
-      } catch (const std::exception&) {
-        std::fprintf(stderr, "error: --levels needs an integer in [1, 16], "
-                             "got '%s'\n", v.c_str());
-        return 1;
-      }
+      sopt.levels =
+          tools::parse_size_arg("--levels", value("--levels"), 1, 16);
     } else if (matches("--csv")) {
       csv_dir = value("--csv");
     } else if (matches("--json")) {
