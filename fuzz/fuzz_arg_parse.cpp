@@ -1,0 +1,38 @@
+// Fuzz target: the strict CLI number parsers every cat_* tool funnels
+// untrusted argv/query values through. Oracle: try_parse_* never throws
+// or crashes, and whenever it reports success the postconditions hold —
+// the value is in range and (for doubles) finite. A success that hands
+// back inf/nan or an out-of-range value aborts, which the sanitizer
+// build reports as a crash.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "tools/arg_parse.hpp"
+
+namespace {
+
+void check_double(const std::string& text, double min, double max) {
+  double v = 0.0;
+  if (cat::tools::try_parse_double(text, min, max, &v))
+    if (!std::isfinite(v) || v < min || v > max) std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(data, data + size);
+  std::size_t s = 0;
+  if (cat::tools::try_parse_size(text, 1, 65535, &s))
+    if (s < 1 || s > 65535) std::abort();
+  if (cat::tools::try_parse_size(text, 0, 1024, &s))
+    if (s > 1024) std::abort();
+  check_double(text, 1.0, 1e6);        // the protocol's v= range
+  check_double(text, -500.0, 1e6);     // the protocol's alt= range
+  check_double(text, 0.001, 86400.0);  // cat_serve --timeout
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fuzz target: the cat_serve line protocol, fed arbitrarily-chunked
+// bytes through the same LineBuffer + handle_line pipeline the stdio and
+// TCP fronts run. The server is hermetic: one worker thread, the
+// full-solve tier disabled (ServerOptions::allow_solve = false) so no
+// crafted query can buy a ms-scale hierarchy solve, and one analytic
+// surrogate table registered so the tier-1 lookup path is exercised too.
+// Oracle: NO exception may escape — a request line answers with a JSON
+// reply (possibly an error reply) or is a quit/stop, full stop.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "scenario/protocol.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/server.hpp"
+#include "scenario/surrogate.hpp"
+
+namespace {
+
+using namespace cat::scenario;
+
+Server& shared_server() {
+  static Server* server = [] {
+    // An analytic table over the shuttle_stag_point identity: smooth,
+    // instant to build, and matched by `query shuttle_stag_point ...`
+    // requests so the surrogate tier answers instead of falling through.
+    const Case* base = find_scenario("shuttle_stag_point");
+    if (base != nullptr) {
+      SurrogateMeta meta;
+      meta.planet = base->planet;
+      meta.gas = base->gas;
+      meta.family = base->family;
+      meta.nose_radius_m = base->vehicle.nose_radius;
+      meta.wall_temperature_K = base->wall_temperature_K;
+      meta.angle_of_attack_rad = base->angle_of_attack_rad;
+      meta.base_case = base->name;
+      SurrogateDomain dom;
+      dom.velocity_min_mps = 1000.0;
+      dom.velocity_max_mps = 12000.0;
+      dom.n_velocity = 6;
+      dom.altitude_min_m = 10000.0;
+      dom.altitude_max_m = 90000.0;
+      dom.n_altitude = 6;
+      const auto truth = [](double v, double a) {
+        return std::array<double, 4>{1e4 * std::sqrt(v / 1e3) * (1.0 + a / 1e5),
+                                     50.0 * v / 1e3, 1500.0 + v / 10.0,
+                                     101325.0 * std::exp(-a / 7000.0)};
+      };
+      register_surrogate(std::make_shared<const SurrogateTable>(
+          build_surrogate(meta, dom, truth)));
+    }
+    ServerOptions opt;
+    opt.threads = 1;
+    opt.allow_solve = false;
+    return new Server(opt);
+  }();
+  return *server;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace protocol = cat::scenario::protocol;
+  Server& server = shared_server();
+  protocol::LineBuffer lb;
+  lb.append(std::string(data, data + size));
+  std::string line, reply;
+  bool overflowed = false;
+  while (lb.next_line(&line, &overflowed)) {
+    if (overflowed)
+      reply = protocol::oversize_reply();
+    else
+      (void)protocol::handle_line(server, line, &reply);
+  }
+  if (lb.finish(&line, &overflowed) && !overflowed)
+    (void)protocol::handle_line(server, line, &reply);
+  return 0;
+}

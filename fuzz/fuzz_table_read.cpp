@@ -1,0 +1,43 @@
+// Fuzz target: the tabular readers — parse_csv over raw text, and the
+// bounded io::BinaryReader primitives (magic/string/count/f64-array)
+// over the same bytes. Oracle: untrusted bytes either parse or throw
+// cat::Error; on success the advertised invariants hold (rectangular
+// columns, finite cells, a read_count-approved array really allocates
+// its count) or the harness aborts.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "core/error.hpp"
+#include "io/binary.hpp"
+#include "io/csv.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(data, data + size);
+  try {
+    const cat::io::CsvData csv = cat::io::parse_csv(text);
+    if (csv.headers.size() != csv.columns.size()) std::abort();
+    for (const auto& col : csv.columns) {
+      if (col.size() != csv.n_rows()) std::abort();
+      for (const double v : col)
+        if (!std::isfinite(v)) std::abort();
+    }
+  } catch (const cat::Error&) {
+    // The only contracted failure mode for untrusted text.
+  }
+  try {
+    cat::io::MemoryReader r(data, size);
+    (void)r.read_magic();
+    (void)r.read_string();
+    const std::size_t n = r.read_count(sizeof(double), 1u << 20, "array");
+    if (r.read_f64s(n).size() != n) std::abort();
+    (void)r.read_f64();
+  } catch (const cat::Error&) {
+    // Truncation/overflow rejected before any allocation — by contract.
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Corpus-replay driver: a file/directory-driven main() around the same
+// LLVMFuzzerTestOneInput the libFuzzer build links. libFuzzer itself is
+// clang-only, but the committed corpora under tests/fuzz_corpus/ must
+// replay in EVERY test matrix (gcc included) so a fuzz-found crash stays
+// a permanent regression input — each fuzz_* harness is therefore built
+// twice: once with -fsanitize=fuzzer (CAT_FUZZ=ON) and once against this
+// main as the fuzz.replay_* ctest smokes.
+//
+// Usage: <harness>_replay <file-or-dir>...   (directories are replayed
+// in sorted order). Exits nonzero when no inputs were replayed — a
+// missing corpus directory must fail the test, not skip it.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool replay_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    std::fprintf(stderr, "replay: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 1;
+  }
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p = argv[i];
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::directory_iterator(p, ec))
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      if (ec) {
+        std::fprintf(stderr, "replay: cannot read '%s': %s\n", argv[i],
+                     ec.message().c_str());
+        return 1;
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.string());
+    } else {
+      std::fprintf(stderr, "replay: no such input '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::size_t replayed = 0;
+  for (const auto& f : files) {
+    if (!replay_file(f)) return 1;
+    ++replayed;
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "replay: zero corpus inputs found\n");
+    return 1;
+  }
+  std::printf("replay: %zu corpus input%s OK\n", replayed,
+              replayed == 1 ? "" : "s");
+  return 0;
+}

@@ -21,6 +21,19 @@ shipped once and is now statically undetectable-to-ship:
                      structs in the physics layers must carry a unit
                      suffix (_K, _Pa, _m, _s, _rad, _mps, _J_per_kg, ...)
                      or `// cat-lint: dimensionless`.
+  untrusted-input    (PR 10, the fuzzing tier's static complement.)
+                     Raw numeric parsing (std::sto*/ato*/strto*) is an
+                     error everywhere — untrusted text goes through the
+                     bounded tools::try_parse_* / std::from_chars
+                     primitives; `reinterpret_cast` is an error inside
+                     the byte-level parsing TUs (one wrong offset from
+                     type-punning attacker bytes); and an allocation
+                     sized directly by a wire count
+                     (`resize(read_u64(...))`-shaped) is an error — the
+                     count must pass through BinaryReader::read_count or
+                     an equivalent remaining-bytes check first. Waive a
+                     vetted primitive with
+                     `// cat-lint: untrusted-ok(reason)`.
   format             No trailing whitespace, leading tabs, CR line
                      endings, or missing final newline (fixable with
                      --fix-format).
@@ -34,6 +47,7 @@ Usage:
   cat_lint.py --fix-format [paths...]        apply format fixes in place
   cat_lint.py --alloc-free-tu f.cpp f.cpp    override the alloc-free TU set
   cat_lint.py --unit-suffix-file f.hpp ...   override the unit-suffix scope
+  cat_lint.py --parsing-tu f.cpp ...         override the parsing-TU set
   cat_lint.py --list-checks
 
 Exit status: 0 clean, 1 findings, 2 usage/config error.
@@ -58,7 +72,7 @@ from dataclasses import dataclass
 # Project configuration
 # --------------------------------------------------------------------------
 
-DEFAULT_SCAN_DIRS = ["src", "tests", "tools", "examples", "bench"]
+DEFAULT_SCAN_DIRS = ["src", "tests", "tools", "examples", "bench", "fuzz"]
 SOURCE_EXTENSIONS = (".cpp", ".hpp")
 EXCLUDED_PARTS = ("lint_fixtures",)  # seeded violations live here
 
@@ -102,6 +116,22 @@ DEFAULT_UNIT_SUFFIX_FILES = [
     "src/trajectory/trajectory.hpp",
 ]
 
+# Byte-level parsing TUs on the untrusted-input surface (everything the
+# PR 10 fuzz harnesses drive): reinterpret_cast is banned here — a raw
+# type-pun over attacker bytes is exactly the construct the bounded
+# readers exist to replace. The sto*/ato*/strto* and wire-count-allocation
+# patterns apply to EVERY scanned file, not just this list.
+DEFAULT_PARSING_TUS = [
+    "src/io/binary.cpp",
+    "src/io/binary.hpp",
+    "src/io/csv.cpp",
+    "src/scenario/protocol.cpp",
+    "src/scenario/server.cpp",
+    "src/scenario/surrogate.cpp",
+    "tools/arg_parse.hpp",
+    "tools/cat_serve.cpp",
+]
+
 # Explicit tier-0 struct names rather than `\w*Conditions`: the legacy
 # solvers::StagnationConditions (in a listed file) predates the suffix
 # convention and is grandfathered.
@@ -129,6 +159,7 @@ KNOWN_WAIVERS = {
     "allow-alloc",
     "catch-absorbs",
     "dimensionless",
+    "untrusted-ok",
 }
 
 WAIVER_RE = re.compile(r"cat-lint:\s*([A-Za-z-]+)\s*(?:\(([^)\n]*)\))?")
@@ -138,6 +169,7 @@ ALL_CHECKS = (
     "hot-path-alloc",
     "catch-all",
     "unit-suffix",
+    "untrusted-input",
     "format",
     "waiver",
 )
@@ -557,6 +589,54 @@ def check_unit_suffix(path, code, comments, findings):
         # line starts and are skipped.
 
 
+RAW_PARSE_RE = re.compile(
+    r"\b(?:std::)?(?:sto(?:i|l|ll|ul|ull|f|d|ld)|ato(?:i|l|ll|f)|"
+    r"strto(?:l|ll|ul|ull|f|d|ld|imax|umax))\s*\(")
+
+REINTERPRET_RE = re.compile(r"\breinterpret_cast\s*<")
+
+# An allocation or bulk read sized straight from a wire count on the same
+# statement line: `resize(r.read_u64())` and friends. The validated path
+# is BinaryReader::read_count(elem_bytes, max, what), which checks the
+# count against the bytes remaining BEFORE anything is sized by it.
+UNCHECKED_COUNT_RE = re.compile(
+    r"\b(?:resize|reserve|push_back|assign|read_f64s|read_bytes)\s*"
+    r"\([^;{}]*\bread_u(?:8|16|32|64)\s*\(")
+
+
+def check_untrusted_input(path, code, comments, findings, is_parsing_tu):
+    for idx, line in enumerate(code):
+        if "untrusted-ok" in waivers_for_line(code, comments, idx):
+            continue
+        m = RAW_PARSE_RE.search(line)
+        if m:
+            findings.append(Finding(
+                path, idx + 1, "untrusted-input",
+                f"raw numeric parse '{m.group(0).rstrip('(').strip()}' "
+                "(no full-consumption/range/finite contract): use "
+                "tools::try_parse_* or std::from_chars with explicit "
+                "checks, or waive a vetted primitive with "
+                "`// cat-lint: untrusted-ok(reason)`"))
+            continue
+        m = UNCHECKED_COUNT_RE.search(line)
+        if m:
+            findings.append(Finding(
+                path, idx + 1, "untrusted-input",
+                "allocation sized directly by a wire count — a crafted "
+                "record buys an arbitrary allocation; route the count "
+                "through BinaryReader::read_count (remaining-bytes + cap "
+                "check) first, or waive with "
+                "`// cat-lint: untrusted-ok(reason)`"))
+            continue
+        if is_parsing_tu and REINTERPRET_RE.search(line):
+            findings.append(Finding(
+                path, idx + 1, "untrusted-input",
+                "reinterpret_cast in a byte-level parsing TU: type-punning "
+                "untrusted bytes bypasses the bounded readers — use the "
+                "BinaryReader primitives (or std::memcpy into a checked "
+                "buffer), or waive with `// cat-lint: untrusted-ok(reason)`"))
+
+
 def check_format(path, raw_text, findings):
     lines = raw_text.split("\n")
     for idx, line in enumerate(lines):
@@ -647,6 +727,9 @@ def main(argv=None):
                     help="override the allocation-free TU list")
     ap.add_argument("--unit-suffix-file", action="append", default=None,
                     help="override the unit-suffix file scope")
+    ap.add_argument("--parsing-tu", action="append", default=None,
+                    help="override the byte-level parsing TU set "
+                         "(reinterpret_cast scope of untrusted-input)")
     ap.add_argument("--list-checks", action="store_true")
     args = ap.parse_args(argv)
 
@@ -681,6 +764,9 @@ def main(argv=None):
     suffix_files = {norm(p) for p in (args.unit_suffix_file
                                       if args.unit_suffix_file is not None
                                       else DEFAULT_UNIT_SUFFIX_FILES)}
+    parsing_tus = {norm(p) for p in (args.parsing_tu
+                                     if args.parsing_tu is not None
+                                     else DEFAULT_PARSING_TUS)}
     explicit_scope = (args.alloc_free_tu is not None or
                       args.unit_suffix_file is not None or
                       bool(args.paths))
@@ -710,7 +796,7 @@ def main(argv=None):
             check_format(rel, raw, findings)
         needs_lex = any(c in checks for c in
                         ("convergence-loop", "hot-path-alloc", "catch-all",
-                         "unit-suffix", "waiver"))
+                         "unit-suffix", "untrusted-input", "waiver"))
         if not needs_lex:
             continue
         code, comments = lex(raw)
@@ -722,6 +808,9 @@ def main(argv=None):
             check_hot_path_alloc(rel, code, comments, findings)
         if "catch-all" in checks:
             check_catch_all(rel, code, comments, findings)
+        if "untrusted-input" in checks:
+            check_untrusted_input(rel, code, comments, findings,
+                                  path in parsing_tus)
         if "unit-suffix" in checks and (path in suffix_files or
                                         (explicit_scope and
                                          path in {norm(p)

@@ -79,6 +79,30 @@ class CheckFiresOnSeededViolation(unittest.TestCase):
         self.assert_flags("waiver", "--check", "waiver",
                           fixture("waiver_violation.cpp"))
 
+    def test_untrusted_input(self):
+        f = fixture("untrusted_input_violation.cpp")
+        self.assert_flags("untrusted-input", "--check", "untrusted-input",
+                          "--parsing-tu", f, f)
+        # All four seeded constructs must be flagged individually.
+        _, out = run_lint("--check", "untrusted-input", "--parsing-tu", f, f)
+        self.assertIn("std::stoi", out)
+        self.assertIn("atof", out)
+        self.assertIn("strtoul", out)
+        self.assertIn("wire count", out)
+        self.assertIn("reinterpret_cast", out)
+
+    def test_untrusted_input_raw_parse_fires_outside_parsing_tus(self):
+        # sto*/ato*/strto* and wire-count allocations are global; only the
+        # reinterpret_cast leg is scoped to the parsing-TU list.
+        f = fixture("untrusted_input_violation.cpp")
+        code, out = run_lint("--check", "untrusted-input",
+                             "--parsing-tu", fixture("catch_all_violation.cpp"),
+                             f)
+        self.assertEqual(code, 1, out)
+        self.assertIn("std::stoi", out)
+        self.assertIn("wire count", out)
+        self.assertNotIn("reinterpret_cast", out)
+
 
 class CheckRespectsWaiversAndCompliantCode(unittest.TestCase):
     """The waived/compliant twin of each fixture must lint clean."""
@@ -108,6 +132,11 @@ class CheckRespectsWaiversAndCompliantCode(unittest.TestCase):
         f = fixture("unit_suffix_waived.hpp")
         self.assert_clean("--check", "unit-suffix,waiver",
                           "--unit-suffix-file", f, f)
+
+    def test_untrusted_input_waived(self):
+        f = fixture("untrusted_input_waived.cpp")
+        self.assert_clean("--check", "untrusted-input,waiver",
+                          "--parsing-tu", f, f)
 
     def test_alloc_free_tu_not_flagged_when_out_of_scope(self):
         # The same allocating file is fine when it is NOT declared an

@@ -16,7 +16,13 @@ BinaryWriter::BinaryWriter(const std::string& path)
     throw Error("BinaryWriter: cannot open '" + path + "' for writing");
 }
 
+BinaryWriter::BinaryWriter() : path_("<memory>"), memory_(true) {}
+
 void BinaryWriter::put(const void* data, std::size_t n) {
+  if (memory_) {
+    buffer_.append(static_cast<const char*>(data), n);
+    return;
+  }
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(n));
 }
@@ -40,6 +46,7 @@ void BinaryWriter::write_string(const std::string& s) {
 }
 
 void BinaryWriter::close() {
+  if (memory_) return;
   out_.flush();
   if (!out_.good())
     throw Error("BinaryWriter: write to '" + path_ + "' failed");
@@ -50,13 +57,48 @@ BinaryReader::BinaryReader(const std::string& path)
     : in_(path, std::ios::binary), path_(path) {
   if (!in_.good())
     throw Error("BinaryReader: cannot open '" + path + "'");
+  // The source size anchors every bounded read: a count field claiming
+  // more payload than the bytes that exist is rejected before any
+  // allocation, not discovered after one.
+  in_.seekg(0, std::ios::end);
+  const std::streampos end = in_.tellg();
+  in_.seekg(0, std::ios::beg);
+  if (end < 0 || !in_.good())
+    throw Error("BinaryReader: cannot size '" + path + "'");
+  size_ = static_cast<std::size_t>(end);
 }
 
+BinaryReader::BinaryReader(std::span<const unsigned char> bytes,
+                           std::string name)
+    : mem_(bytes), path_(std::move(name)), size_(bytes.size()),
+      memory_(true) {}
+
 void BinaryReader::get(void* data, std::size_t n, const char* what) {
-  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-  if (in_.gcount() != static_cast<std::streamsize>(n))
+  if (n > remaining())
     throw Error("BinaryReader: truncated record in '" + path_ +
                 "' while reading " + what);
+  if (memory_) {
+    if (n > 0) std::memcpy(data, mem_.data() + pos_, n);
+  } else {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (in_.gcount() != static_cast<std::streamsize>(n))
+      throw Error("BinaryReader: truncated record in '" + path_ +
+                  "' while reading " + what);
+  }
+  pos_ += n;
+}
+
+void BinaryReader::check_payload(std::size_t count, std::size_t elem_bytes,
+                                 const char* what) const {
+  CAT_REQUIRE(elem_bytes > 0, "element size must be positive");
+  // Division, not multiplication: count * elem_bytes could wrap.
+  if (count > kMaxPayloadBytes / elem_bytes)
+    throw Error("BinaryReader: '" + path_ + "' claims an implausible " +
+                what + " size (over the payload cap; corrupt record)");
+  if (count * elem_bytes > remaining())
+    throw Error("BinaryReader: '" + path_ + "' claims a " + what +
+                " larger than the bytes remaining (truncated or corrupt "
+                "record)");
 }
 
 std::string BinaryReader::read_magic() {
@@ -87,17 +129,26 @@ double BinaryReader::read_f64() {
 }
 
 std::vector<double> BinaryReader::read_f64s(std::size_t n) {
+  check_payload(n, sizeof(double), "f64 array");
   std::vector<double> v(n);
   get(v.data(), n * sizeof(double), "f64 array");
   return v;
 }
 
-std::string BinaryReader::read_string() {
+std::size_t BinaryReader::read_count(std::size_t elem_bytes,
+                                     std::size_t max_count,
+                                     const char* what) {
   const std::uint64_t n = read_u64();
-  if (n > (1u << 20))
-    throw Error("BinaryReader: implausible string length in '" + path_ +
-                "' (corrupt record)");
-  std::string s(static_cast<std::size_t>(n), '\0');
+  if (n > max_count)
+    throw Error("BinaryReader: '" + path_ + "' claims an implausible " +
+                what + " count (corrupt record)");
+  check_payload(static_cast<std::size_t>(n), elem_bytes, what);
+  return static_cast<std::size_t>(n);
+}
+
+std::string BinaryReader::read_string() {
+  const std::size_t n = read_count(1, kMaxStringBytes, "string");
+  std::string s(n, '\0');
   get(s.data(), s.size(), "string");
   return s;
 }

@@ -4,10 +4,26 @@
 /// tables cat_run serves from). The format is native-endian doubles and
 /// u64 counts behind an 8-byte magic tag — all supported CI targets are
 /// little-endian, and the tables are cheap to rebuild (cat_tabulate) if a
-/// record ever needs to cross an endianness boundary. Read failures
-/// (missing file, wrong magic, truncation) throw cat::Error so callers
-/// can distinguish a bad artifact from API misuse.
+/// record ever needs to cross an endianness boundary.
+///
+/// These records are an UNTRUSTED input surface: cat_serve preloads
+/// whatever *.surrogate.bin it finds, so every count and length field in a
+/// record is attacker-controlled. The reader therefore enforces bounded
+/// reads — a payload is validated against the bytes actually remaining in
+/// the source AND a hard allocation cap BEFORE anything is resized or
+/// allocated. Read failures (missing file, wrong magic, truncation,
+/// implausible counts) throw cat::Error so callers can distinguish a bad
+/// artifact from API misuse; no byte sequence may produce any other
+/// exception or a crash (the fuzz_surrogate_load / fuzz_table_read
+/// harnesses enforce exactly this contract).
+///
+/// Both the reader and the writer are generalized over a stream/buffer
+/// source: BinaryReader(path) / BinaryWriter(path) are file-backed, and
+/// the span-backed MemoryReader / MemoryWriter run the identical code
+/// paths over an in-memory buffer — which is what lets the fuzz harnesses
+/// and corrupt-record tests drive the parsers hermetically.
 
+#include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <span>
@@ -16,7 +32,16 @@
 
 namespace cat::io {
 
-/// Sequential writer; throws cat::Error on open/IO failure.
+/// Hard ceiling on any single length-prefixed payload read: no wire count
+/// may allocate more than this, whatever the record header claims.
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 28;
+
+/// Ceiling for length-prefixed strings (labels, case names).
+inline constexpr std::size_t kMaxStringBytes = std::size_t{1} << 20;
+
+/// Sequential writer; throws cat::Error on open/IO failure. File-backed
+/// via the public constructor; MemoryWriter provides the buffer-backed
+/// variant over the same put() path.
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path);
@@ -30,14 +55,34 @@ class BinaryWriter {
   /// Flush and verify the stream; throws on any accumulated error.
   void close();
 
+ protected:
+  /// Memory-sink constructor (MemoryWriter).
+  BinaryWriter();
+
+  std::string buffer_;  ///< memory sink (unused when file-backed)
+
  private:
   std::ofstream out_;
   std::string path_;
+  bool memory_ = false;
   void put(const void* data, std::size_t n);
 };
 
-/// Sequential reader; throws cat::Error on open failure, magic mismatch,
-/// or truncated data.
+/// Buffer-backed BinaryWriter: same format, bytes accumulate in memory.
+/// Used by tests and harnesses to craft records (including corrupt ones)
+/// without touching the filesystem.
+class MemoryWriter : public BinaryWriter {
+ public:
+  MemoryWriter() = default;
+  /// The bytes written so far (valid at any point; close() not required).
+  const std::string& bytes() const { return buffer_; }
+};
+
+/// Sequential bounded reader; throws cat::Error on open failure, magic
+/// mismatch, truncation, or a count/length field that exceeds either the
+/// remaining bytes or the hard payload cap. File-backed via the public
+/// constructor; MemoryReader provides the span-backed variant over the
+/// same get() path.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
@@ -47,13 +92,55 @@ class BinaryReader {
   std::string read_magic();
   std::uint64_t read_u64();
   double read_f64();
+  /// Read \p n doubles. The payload size is validated against remaining()
+  /// and kMaxPayloadBytes BEFORE the vector is allocated, so an
+  /// attacker-controlled count can never drive an oversized allocation.
   std::vector<double> read_f64s(std::size_t n);
+  /// Length-prefixed UTF-8 string; the length is validated against
+  /// remaining() and kMaxStringBytes before allocation.
   std::string read_string();
+
+  /// Read a u64 count field and validate it as a payload count: at most
+  /// \p max_count elements, and count * elem_bytes must fit in the bytes
+  /// remaining in the source. Throws cat::Error otherwise — the required
+  /// gateway between a wire count and any resize()/read_f64s() it sizes.
+  std::size_t read_count(std::size_t elem_bytes, std::size_t max_count,
+                         const char* what);
+
+  /// Bytes left between the cursor and the end of the source.
+  std::size_t remaining() const { return size_ - pos_; }
+  /// The source's display name (file path, or the MemoryReader label).
+  const std::string& name() const { return path_; }
+
+ protected:
+  /// Span-backed constructor (MemoryReader). The span must outlive the
+  /// reader; nothing is copied.
+  BinaryReader(std::span<const unsigned char> bytes, std::string name);
 
  private:
   std::ifstream in_;
+  std::span<const unsigned char> mem_;
   std::string path_;
+  std::size_t pos_ = 0;
+  std::size_t size_ = 0;
+  bool memory_ = false;
   void get(void* data, std::size_t n, const char* what);
+  void check_payload(std::size_t count, std::size_t elem_bytes,
+                     const char* what) const;
+};
+
+/// Span-backed BinaryReader over an in-memory buffer (fuzz harnesses,
+/// corrupt-record tests, future network payloads) — identical bounded-read
+/// semantics, no filesystem. The span must outlive the reader.
+class MemoryReader : public BinaryReader {
+ public:
+  explicit MemoryReader(std::span<const unsigned char> bytes,
+                        std::string name = "<memory>")
+      : BinaryReader(bytes, std::move(name)) {}
+  MemoryReader(const void* data, std::size_t n,
+               std::string name = "<memory>")
+      : BinaryReader({static_cast<const unsigned char*>(data), n},
+                     std::move(name)) {}
 };
 
 }  // namespace cat::io

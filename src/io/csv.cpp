@@ -1,6 +1,9 @@
 #include "io/csv.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
+#include <sstream>
 
 #include "core/error.hpp"
 
@@ -39,6 +42,106 @@ void write_csv(const std::string& path,
   for (std::size_t r = 0; r < n; ++r)
     for (std::size_t c = 0; c < columns.size(); ++c)
       f << columns[c][r] << (c + 1 < columns.size() ? ',' : '\n');
+}
+
+namespace {
+
+/// Split one CSV record into cells. Plain comma split — the write_csv
+/// dialect never quotes — with a trailing '\r' (CRLF input) stripped.
+std::vector<std::string_view> split_cells(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string_view> cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+/// Parse one numeric cell: the full cell must be consumed and the value
+/// finite. std::from_chars does not accept a leading '+' or whitespace,
+/// which is exactly the strictness an untrusted cell should get.
+double parse_cell(std::string_view cell, std::size_t row, std::size_t col) {
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), v);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size() ||
+      !std::isfinite(v)) {
+    std::ostringstream msg;
+    msg << "parse_csv: row " << row << " column " << col
+        << " is not a finite number: '";
+    // Bound what we echo back; the cell is untrusted bytes.
+    constexpr std::size_t kEchoMax = 32;
+    msg << std::string_view(cell.substr(0, kEchoMax))
+        << (cell.size() > kEchoMax ? "...'" : "'");
+    throw Error(msg.str());
+  }
+  return v;
+}
+
+}  // namespace
+
+CsvData parse_csv(std::string_view text) {
+  if (text.empty()) throw Error("parse_csv: empty input");
+  CsvData out;
+  std::size_t pos = 0;
+  std::size_t row = 0;  // 0 = header
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.size() > kMaxCsvLineBytes)
+      throw Error("parse_csv: line exceeds the length cap");
+    // A blank line (including the trailing newline's empty tail) ends
+    // the table; anything after it is rejected rather than ignored.
+    if (line.empty() || line == "\r") {
+      while (pos < text.size()) {
+        if (text[pos] != '\n' && text[pos] != '\r')
+          throw Error("parse_csv: data after blank line");
+        ++pos;
+      }
+      break;
+    }
+    const auto cells = split_cells(line);
+    if (row == 0) {
+      if (cells.size() > kMaxCsvColumns)
+        throw Error("parse_csv: column count exceeds the cap");
+      for (const auto& h : cells) {
+        if (h.empty()) throw Error("parse_csv: empty header name");
+        out.headers.emplace_back(h);
+      }
+      out.columns.resize(out.headers.size());
+    } else {
+      if (cells.size() != out.headers.size()) {
+        std::ostringstream msg;
+        msg << "parse_csv: row " << row << " has " << cells.size()
+            << " cells, expected " << out.headers.size();
+        throw Error(msg.str());
+      }
+      if (row > kMaxCsvRows)
+        throw Error("parse_csv: row count exceeds the cap");
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        out.columns[c].push_back(parse_cell(cells[c], row, c));
+    }
+    ++row;
+  }
+  if (row == 0) throw Error("parse_csv: empty input");
+  return out;
+}
+
+CsvData read_csv(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) throw Error("read_csv: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  if (f.bad()) throw Error("read_csv: I/O error reading '" + path + "'");
+  return parse_csv(ss.str());
 }
 
 }  // namespace cat::io

@@ -1,9 +1,16 @@
 #pragma once
 /// \file csv.hpp
 /// CSV writers so every figure bench leaves a machine-readable artifact
-/// next to its console output.
+/// next to its console output — and the bounded reader that parses the
+/// same dialect back (round-tripping committed artifacts, feeding sweep
+/// inputs). The reader treats its input as untrusted: ragged rows,
+/// non-numeric or non-finite cells, and inputs past the parser caps all
+/// throw cat::Error, never anything else (the fuzz_table_read harness
+/// enforces that contract byte-by-byte).
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "io/table.hpp"
@@ -17,5 +24,31 @@ void write_csv(const Table& table, const std::string& path);
 void write_csv(const std::string& path,
                const std::vector<std::string>& headers,
                const std::vector<std::vector<double>>& columns);
+
+/// Parser caps: a CSV input may not exceed these, whatever it claims.
+inline constexpr std::size_t kMaxCsvColumns = 4096;
+inline constexpr std::size_t kMaxCsvRows = std::size_t{1} << 20;
+inline constexpr std::size_t kMaxCsvLineBytes = std::size_t{1} << 20;
+
+/// Parsed CSV payload: column headers plus column-major numeric data
+/// (columns[c][r] pairs with headers[c]; every column has n_rows()
+/// entries — ragged input is rejected at parse time).
+struct CsvData {
+  std::vector<std::string> headers;
+  std::vector<std::vector<double>> columns;
+  std::size_t n_rows() const {
+    return columns.empty() ? 0 : columns.front().size();
+  }
+};
+
+/// Parse CSV text in the dialect write_csv emits: one header row of
+/// names, then comma-separated finite numeric rows; no quoting; LF or
+/// CRLF line endings; a header-only input is valid and has zero rows.
+/// Throws cat::Error on any malformed or over-cap input.
+CsvData parse_csv(std::string_view text);
+
+/// Slurp \p path and parse_csv it. Throws cat::Error on I/O failure or
+/// malformed content.
+CsvData read_csv(const std::string& path);
 
 }  // namespace cat::io

@@ -1,0 +1,103 @@
+#pragma once
+/// \file protocol.hpp
+/// The cat_serve line protocol as a library: one request per line, one
+/// JSON object per response line. Extracted from tools/cat_serve.cpp so
+/// the stdio and TCP fronts (and the future HTTP front) share one parser,
+/// and so tests and the fuzz_serve_line harness can drive it hermetically
+/// — no sockets, no process, and (with ServerOptions::allow_solve off) no
+/// ms-scale solves behind a crafted query.
+///
+/// Request lines are UNTRUSTED bytes. The contract this layer enforces:
+/// bounded memory (LineBuffer caps reassembly at kMaxLineBytes and
+/// tokenize() stops splitting past kMaxTokens), and a structured JSON
+/// `error` reply — never an exception, never a crash — for any
+/// over-limit or malformed line (fuzz_serve_line pins this byte-by-byte).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cat::scenario {
+class Server;
+struct ServeReply;
+}  // namespace cat::scenario
+
+namespace cat::scenario::protocol {
+
+/// Longest request line the protocol accepts (bytes, excluding the
+/// newline). Longer lines get an oversize error reply and are discarded.
+inline constexpr std::size_t kMaxLineBytes = 4096;
+
+/// Most tokens one request line may carry; lines with more are rejected
+/// before any per-token work.
+inline constexpr std::size_t kMaxTokens = 64;
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+/// Format a double as a JSON number. Non-finite values have no JSON
+/// spelling — they emit `null` (a reply must stay machine-parseable even
+/// when a metric overflows).
+std::string json_number(double v);
+
+/// `{"ok": false, "error": "<message>"}`.
+std::string error_reply(const std::string& message);
+
+/// The structured reply for a request line past kMaxLineBytes (what the
+/// fronts send when LineBuffer reports an overflowed line).
+std::string oversize_reply();
+
+/// Render one served answer as its single-line JSON reply.
+std::string reply_to_json(const ServeReply& r);
+
+/// Whitespace-split \p line into at most kMaxTokens + 1 tokens (the
+/// sentinel extra token lets callers detect the over-limit case without
+/// this function ever growing an unbounded vector).
+std::vector<std::string> tokenize(std::string_view line);
+
+/// What the front should do after one request line.
+enum class LineAction {
+  kReply,  ///< print *out (when non-empty) and keep the session open
+  kQuit,   ///< close this session (stdio: exit; tcp: drop the connection)
+  kStop,   ///< tcp only: shut the whole server down
+};
+
+/// Handle one request line; *out is the response ("" = print nothing).
+/// Over-limit lines (length or token count) produce an error reply, not
+/// an exception: any byte sequence is a valid input to this function.
+LineAction handle_line(Server& server, std::string_view line,
+                       std::string* out);
+
+/// Reassemble request lines from arbitrarily-chunked input (fgets-sized
+/// reads, TCP segments, fuzz bytes) under a hard memory bound. A line
+/// that grows past kMaxLineBytes flips the buffer into discard mode:
+/// bytes are dropped (not stored) until the terminating newline, and the
+/// completed line is reported with *overflowed = true so the front can
+/// send one oversize error reply for the whole line instead of
+/// misparsing its fragments as separate requests.
+class LineBuffer {
+ public:
+  /// Append one chunk of input bytes.
+  void append(std::string_view chunk);
+
+  /// Pop the next completed line (newline stripped; a trailing '\r' from
+  /// CRLF input is stripped too). Returns false when no full line is
+  /// buffered yet. *overflowed reports whether the line exceeded
+  /// kMaxLineBytes (its content is then the truncated prefix).
+  bool next_line(std::string* line, bool* overflowed);
+
+  /// Flush a trailing unterminated line at end of input (EOF without a
+  /// final newline). Returns false when nothing is pending.
+  bool finish(std::string* line, bool* overflowed);
+
+ private:
+  std::string cur_;            ///< bounded: never beyond kMaxLineBytes
+  std::vector<std::string> ready_;  ///< completed lines, oldest first
+  std::vector<bool> ready_overflowed_;
+  std::size_t next_ = 0;       ///< cursor into ready_
+  bool discarding_ = false;    ///< past the cap, dropping until newline
+  void compact();
+};
+
+}  // namespace cat::scenario::protocol

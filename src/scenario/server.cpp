@@ -185,6 +185,12 @@ ServeReply Server::compute(const Case& c) {
   // requests run exactly what they asked for. threads = 1 inside the
   // runner: the serving queue is the parallelism layer, and a nested
   // parallel_for on the shared pool would degrade to serial anyway.
+  if (!opt_.allow_solve) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    r.ok = false;
+    r.error = "full-solve tier disabled on this server";
+    return r;
+  }
   try {
     Case cf = c;
     if (tier0) cf.fidelity = Fidelity::kSmoke;

@@ -46,6 +46,11 @@ struct ServerOptions {
   /// Directory whose *.surrogate.bin tables are registered at startup
   /// (empty = no preload).
   std::string table_dir;
+  /// When false, the full-solve rung of the ladder is disabled: a request
+  /// that falls through surrogate/correlation gets an error reply instead
+  /// of a (ms-scale) hierarchy solve. Protocol tests and fuzz harnesses
+  /// use this to keep every request path fast and hermetic.
+  bool allow_solve = true;
 };
 
 /// One served answer. Timing is intentionally absent (see file header).

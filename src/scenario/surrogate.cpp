@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <stdexcept>
 
 #include "core/error.hpp"
 #include "io/binary.hpp"
@@ -176,8 +177,17 @@ void SurrogateTable::save(const std::string& path) const {
   w.close();
 }
 
-SurrogateTable SurrogateTable::load(const std::string& path) {
-  io::BinaryReader r(path);
+namespace {
+
+/// Shared parse core for load()/load_memory(). The reader feeds untrusted
+/// bytes: every count is validated against r.remaining() before any
+/// allocation, every float field must be finite and self-consistent, and
+/// all failures throw cat::Error (including CAT_REQUIRE failures inside
+/// the SurrogateTable constructor, which are rethrown as Error so no
+/// byte sequence can surface std::invalid_argument to a caller that is
+/// only contracted to see cat::Error).
+SurrogateTable load_from(io::BinaryReader& r) {
+  const std::string& path = r.name();
   const std::string magic = r.read_magic();
   if (magic != kMagic && magic != kMagicV1)
     throw Error("SurrogateTable::load: '" + path +
@@ -208,6 +218,11 @@ SurrogateTable SurrogateTable::load(const std::string& path) {
   meta.nose_radius_m = r.read_f64();
   meta.wall_temperature_K = r.read_f64();
   if (!legacy_v1) meta.angle_of_attack_rad = r.read_f64();
+  if (!std::isfinite(meta.nose_radius_m) ||
+      !std::isfinite(meta.wall_temperature_K) ||
+      !std::isfinite(meta.angle_of_attack_rad))
+    throw Error("SurrogateTable::load: '" + path +
+                "' has a non-finite identity field (corrupt record)");
   meta.base_case = r.read_string();
   SurrogateDomain dom;
   dom.n_velocity = static_cast<std::size_t>(r.read_u64());
@@ -220,24 +235,75 @@ SurrogateTable SurrogateTable::load(const std::string& path) {
   dom.velocity_max_mps = r.read_f64();
   dom.altitude_min_m = r.read_f64();
   dom.altitude_max_m = r.read_f64();
+  if (!std::isfinite(dom.velocity_min_mps) ||
+      !std::isfinite(dom.velocity_max_mps) ||
+      !std::isfinite(dom.altitude_min_m) ||
+      !std::isfinite(dom.altitude_max_m) ||
+      dom.velocity_max_mps <= dom.velocity_min_mps ||
+      dom.altitude_max_m <= dom.altitude_min_m ||
+      dom.velocity_min_mps <= 0.0)
+    throw Error("SurrogateTable::load: '" + path +
+                "' has a malformed flight domain (corrupt record)");
+  // All counts below derive from the validated dims, so the total payload
+  // is known exactly here. Reject a record whose header promises more
+  // data than its body holds BEFORE allocating the (up to dims-capped
+  // ~GB-scale) channel tables — a 16-byte tail must not drive a 65536^2
+  // allocation just to discover the truncation element by element.
+  const std::size_t nv = dom.n_velocity, na = dom.n_altitude;
+  const std::size_t channel_doubles = nv * na + (nv - 1) * (na - 1);
+  if (SurrogateTable::kNChannels * channel_doubles * sizeof(double) >
+      r.remaining())
+    throw Error("SurrogateTable::load: '" + path +
+                "' claims a grid larger than the bytes remaining "
+                "(truncated or corrupt record)");
   const double dv = (dom.velocity_max_mps - dom.velocity_min_mps) /
-                    static_cast<double>(dom.n_velocity - 1);
+                    static_cast<double>(nv - 1);
   const double da = (dom.altitude_max_m - dom.altitude_min_m) /
-                    static_cast<double>(dom.n_altitude - 1);
-  std::array<numerics::BilinearTable, kNChannels> values;
-  std::array<std::vector<double>, kNChannels> bounds;
-  for (std::size_t ch = 0; ch < kNChannels; ++ch) {
-    numerics::BilinearTable t(dom.velocity_min_mps, dv, dom.n_velocity,
-                              dom.altitude_min_m, da, dom.n_altitude);
-    for (std::size_t i = 0; i < dom.n_velocity; ++i)
-      for (std::size_t j = 0; j < dom.n_altitude; ++j)
-        t.at(i, j) = r.read_f64();
+                    static_cast<double>(na - 1);
+  std::array<numerics::BilinearTable, SurrogateTable::kNChannels> values;
+  std::array<std::vector<double>, SurrogateTable::kNChannels> bounds;
+  for (std::size_t ch = 0; ch < SurrogateTable::kNChannels; ++ch) {
+    numerics::BilinearTable t(dom.velocity_min_mps, dv, nv,
+                              dom.altitude_min_m, da, na);
+    for (std::size_t i = 0; i < nv; ++i) {
+      for (std::size_t j = 0; j < na; ++j) {
+        const double v = r.read_f64();
+        if (!std::isfinite(v))
+          throw Error("SurrogateTable::load: '" + path +
+                      "' has a non-finite node value (corrupt record)");
+        t.at(i, j) = v;
+      }
+    }
     values[ch] = std::move(t);
-    bounds[ch] =
-        r.read_f64s((dom.n_velocity - 1) * (dom.n_altitude - 1));
+    bounds[ch] = r.read_f64s((nv - 1) * (na - 1));
+    for (const double b : bounds[ch])
+      if (!std::isfinite(b) || b < 0.0)
+        throw Error("SurrogateTable::load: '" + path +
+                    "' has a malformed deviation bound (corrupt record)");
   }
-  return SurrogateTable(std::move(meta), dom, std::move(values),
-                        std::move(bounds));
+  try {
+    return SurrogateTable(std::move(meta), dom, std::move(values),
+                          std::move(bounds));
+  } catch (const std::invalid_argument& e) {
+    // Belt and braces: the checks above should leave nothing for the
+    // constructor's CAT_REQUIREs to catch, but a record must never turn
+    // an internal precondition into an API-misuse exception.
+    throw Error("SurrogateTable::load: '" + path + "' is malformed: " +
+                e.what());
+  }
+}
+
+}  // namespace
+
+SurrogateTable SurrogateTable::load(const std::string& path) {
+  io::BinaryReader r(path);
+  return load_from(r);
+}
+
+SurrogateTable SurrogateTable::load_memory(
+    std::span<const unsigned char> bytes, const std::string& name) {
+  io::MemoryReader r(bytes, name);
+  return load_from(r);
 }
 
 SurrogateTable build_surrogate(const Case& base,

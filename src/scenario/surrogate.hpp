@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -121,8 +122,19 @@ class SurrogateTable {
   /// "CATSURR1" records — they predate the identity fields and carry the
   /// defaults they were all built with (kStagnationPoint, zero angle of
   /// attack), so the committed anchor table keeps serving.
+  ///
+  /// Both loaders treat the record as UNTRUSTED bytes: every count is
+  /// validated against the bytes remaining in the source before any
+  /// allocation, every float field must be finite and self-consistent,
+  /// and any malformed record throws cat::Error — never another
+  /// exception type, never a crash (fuzz_surrogate_load enforces this).
   void save(const std::string& path) const;
   static SurrogateTable load(const std::string& path);
+  /// Parse a record from an in-memory buffer (fuzz harnesses,
+  /// corrupt-record tests, future network payloads). Identical semantics
+  /// to load(); \p name labels error messages.
+  static SurrogateTable load_memory(std::span<const unsigned char> bytes,
+                                    const std::string& name = "<memory>");
 
  private:
   SurrogateMeta meta_;

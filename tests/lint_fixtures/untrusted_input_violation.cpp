@@ -1,0 +1,35 @@
+// Seeded violations for the untrusted-input check: raw numeric parsing,
+// a wire-count-sized allocation, and (when this file is declared a
+// parsing TU) a reinterpret_cast over raw bytes. Each construct below
+// must be flagged; tests/../test_cat_lint.py asserts it.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+struct FakeReader {
+  unsigned long long read_u64() { return 0; }
+};
+
+int parse_port(const std::string& text) {
+  return std::stoi(text);  // VIOLATION: raw std::stoi
+}
+
+double parse_seconds(const char* text) {
+  return atof(text);  // VIOLATION: raw atof
+}
+
+unsigned long parse_count(const char* text) {
+  char* end = nullptr;
+  return std::strtoul(text, &end, 10);  // VIOLATION: raw strtoul
+}
+
+std::vector<double> read_payload(FakeReader& r) {
+  std::vector<double> v;
+  v.resize(r.read_u64());  // VIOLATION: allocation sized by a wire count
+  return v;
+}
+
+double pun_bytes(const unsigned char* bytes) {
+  return *reinterpret_cast<const double*>(bytes);  // VIOLATION (parsing TU)
+}

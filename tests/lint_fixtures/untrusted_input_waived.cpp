@@ -1,0 +1,36 @@
+// The waived/compliant twin of untrusted_input_violation.cpp: every
+// construct the check would flag either carries an untrusted-ok waiver
+// (a vetted bounded primitive) or uses the approved pattern, so this
+// file must lint clean even when declared a parsing TU.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+struct FakeReader {
+  unsigned long long read_u64() { return 0; }
+  std::size_t read_count(std::size_t, std::size_t, const char*) {
+    return 0;
+  }
+};
+
+unsigned long parse_count(const char* text) {
+  char* end = nullptr;
+  // cat-lint: untrusted-ok(bounded primitive: full consumption, ERANGE,
+  // and range checks follow this call)
+  return std::strtoul(text, &end, 10);
+}
+
+std::vector<double> read_payload(FakeReader& r) {
+  // The approved pattern: the wire count passes the remaining-bytes +
+  // cap gateway before anything is sized by it.
+  std::vector<double> v;
+  v.resize(r.read_count(sizeof(double), 1u << 16, "payload"));
+  return v;
+}
+
+double parse_header(const unsigned char* bytes) {
+  // cat-lint: untrusted-ok(fixed-size trailer already length-checked by
+  // the caller)
+  return *reinterpret_cast<const double*>(bytes);
+}

@@ -1,17 +1,22 @@
-// Tests for the io module (tables, CSV, contours) and the core layer
-// (gas models, heating correlations, heating-pulse driver).
+// Tests for the io module (tables, CSV, contours, bounded binary
+// readers) and the core layer (gas models, heating correlations,
+// heating-pulse driver).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "atmosphere/atmosphere.hpp"
 #include "core/driver.hpp"
+#include "core/error.hpp"
 #include "gas/constants.hpp"
 #include "core/gas_model.hpp"
 #include "core/heating.hpp"
+#include "io/binary.hpp"
 #include "io/contour.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
@@ -50,6 +55,133 @@ TEST(IoCsv, RoundTripThroughFile) {
   EXPECT_EQ(line, "x,y");
   std::getline(f, line);
   EXPECT_EQ(line, "1,10");
+  std::remove(path.c_str());
+}
+
+TEST(IoCsv, ParseRoundTripsWriter) {
+  const std::string path = "/tmp/cataero_parse_test.csv";
+  io::write_csv(path, {"v", "alt"}, {{1.5, 2.5}, {10.0, 20.0}});
+  const io::CsvData csv = io::read_csv(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(csv.headers.size(), 2u);
+  EXPECT_EQ(csv.headers[0], "v");
+  EXPECT_EQ(csv.headers[1], "alt");
+  ASSERT_EQ(csv.n_rows(), 2u);
+  EXPECT_DOUBLE_EQ(csv.columns[0][1], 2.5);
+  EXPECT_DOUBLE_EQ(csv.columns[1][0], 10.0);
+}
+
+TEST(IoCsv, ParseAcceptsCrlfAndHeaderOnly) {
+  const io::CsvData crlf = io::parse_csv("a,b\r\n1,2\r\n");
+  EXPECT_EQ(crlf.n_rows(), 1u);
+  EXPECT_DOUBLE_EQ(crlf.columns[1][0], 2.0);
+  const io::CsvData head = io::parse_csv("a,b\n");
+  EXPECT_EQ(head.headers.size(), 2u);
+  EXPECT_EQ(head.n_rows(), 0u);
+}
+
+TEST(IoCsv, ParseRejectsMalformedInput) {
+  EXPECT_THROW(io::parse_csv(""), Error);
+  EXPECT_THROW(io::parse_csv("a,b\n1\n"), Error);        // ragged row
+  EXPECT_THROW(io::parse_csv("a,b\n1,two\n"), Error);    // non-numeric
+  EXPECT_THROW(io::parse_csv("a,b\n1,1e999\n"), Error);  // overflows to inf
+  EXPECT_THROW(io::parse_csv("a,b\n1,nan\n"), Error);    // non-finite
+  EXPECT_THROW(io::parse_csv("a,,b\n1,2,3\n"), Error);   // empty header
+  EXPECT_THROW(io::parse_csv("a,b\n1,2\n\n3,4\n"), Error);  // data after blank
+}
+
+TEST(IoCsv, ReadCsvMissingFileThrowsError) {
+  EXPECT_THROW(io::read_csv("/nonexistent/x.csv"), Error);
+}
+
+TEST(IoBinary, MemoryWriterMemoryReaderRoundTrip) {
+  io::MemoryWriter w;
+  w.write_magic("CATTEST1");
+  w.write_u64(42);
+  w.write_f64(2.5);
+  w.write_f64s(std::vector<double>{1.0, 2.0, 3.0});
+  w.write_string("hello");
+  const std::string& bytes = w.bytes();
+  io::MemoryReader r(bytes.data(), bytes.size(), "round-trip");
+  r.expect_magic("CATTEST1");
+  EXPECT_EQ(r.read_u64(), 42u);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 2.5);
+  const auto v = r.read_f64s(3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(IoBinary, HugeCountRejectedBeforeAllocation) {
+  // A count field near SIZE_MAX must throw cat::Error from the bounds
+  // check — not std::length_error / std::bad_alloc from a doomed resize.
+  io::MemoryWriter w;
+  w.write_u64(0);
+  const std::string& bytes = w.bytes();
+  io::MemoryReader r(bytes.data(), bytes.size());
+  EXPECT_THROW(
+      r.read_f64s(std::numeric_limits<std::size_t>::max() / 16), Error);
+}
+
+TEST(IoBinary, TruncatedPayloadRejected) {
+  io::MemoryWriter w;
+  w.write_f64(1.0);
+  const std::string& bytes = w.bytes();
+  io::MemoryReader r(bytes.data(), bytes.size());
+  EXPECT_THROW(r.read_f64s(2), Error);  // claims more than remaining()
+}
+
+TEST(IoBinary, ReadCountEnforcesCapAndRemaining) {
+  {
+    io::MemoryWriter w;
+    w.write_u64(1000);  // count far beyond the bytes that follow
+    const std::string& bytes = w.bytes();
+    io::MemoryReader r(bytes.data(), bytes.size());
+    EXPECT_THROW(r.read_count(sizeof(double), 1u << 20, "array"), Error);
+  }
+  {
+    io::MemoryWriter w;
+    w.write_u64(3);  // over the caller's max_count
+    w.write_f64s(std::vector<double>{1.0, 2.0, 3.0});
+    const std::string& bytes = w.bytes();
+    io::MemoryReader r(bytes.data(), bytes.size());
+    EXPECT_THROW(r.read_count(sizeof(double), 2, "array"), Error);
+  }
+  {
+    io::MemoryWriter w;
+    w.write_u64(3);
+    w.write_f64s(std::vector<double>{1.0, 2.0, 3.0});
+    const std::string& bytes = w.bytes();
+    io::MemoryReader r(bytes.data(), bytes.size());
+    EXPECT_EQ(r.read_count(sizeof(double), 1u << 20, "array"), 3u);
+    EXPECT_EQ(r.read_f64s(3).size(), 3u);
+  }
+}
+
+TEST(IoBinary, OversizeStringLengthRejected) {
+  io::MemoryWriter w;
+  w.write_u64(std::uint64_t{1} << 63);
+  const std::string& bytes = w.bytes();
+  io::MemoryReader r(bytes.data(), bytes.size());
+  EXPECT_THROW(r.read_string(), Error);
+}
+
+TEST(IoBinary, FileReaderTracksRemaining) {
+  const std::string path = "/tmp/cataero_binary_remaining.bin";
+  {
+    io::BinaryWriter w(path);
+    w.write_magic("CATTEST1");
+    w.write_u64(7);
+    w.close();
+  }
+  io::BinaryReader r(path);
+  EXPECT_EQ(r.remaining(), 16u);
+  EXPECT_EQ(r.read_magic(), "CATTEST1");
+  EXPECT_EQ(r.remaining(), 8u);
+  EXPECT_EQ(r.read_u64(), 7u);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.read_u64(), Error);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,286 @@
+// Protocol-layer tests: the cat_serve line protocol driven hermetically
+// through the same library surface the stdio/TCP fronts (and the
+// fuzz_serve_line harness) use. Covers the JSON emitters' escaping of
+// untrusted bytes, tokenize's token cap, LineBuffer's chunked reassembly
+// and bounded-memory overflow handling, and handle_line end to end
+// against a server with the full-solve tier disabled — no sockets, no
+// process, no ms-scale solves.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/protocol.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/server.hpp"
+#include "scenario/surrogate.hpp"
+
+namespace {
+
+using namespace cat::scenario;
+namespace protocol = cat::scenario::protocol;
+
+// ---------- JSON emitters ----------
+
+TEST(Protocol, JsonEscapeHandlesUntrustedBytes) {
+  EXPECT_EQ(protocol::json_escape("plain"), "plain");
+  EXPECT_EQ(protocol::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(protocol::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(protocol::json_escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+  // Control bytes with no short escape must come out as \uXXXX or the
+  // reply is not valid JSON.
+  EXPECT_EQ(protocol::json_escape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(protocol::json_escape(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(protocol::json_escape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(Protocol, JsonNumberEmitsNullForNonFinite) {
+  EXPECT_EQ(protocol::json_number(1.5), "1.5");
+  EXPECT_EQ(protocol::json_number(0.0), "0");
+  EXPECT_EQ(protocol::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(protocol::json_number(-std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(protocol::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+TEST(Protocol, ErrorReplyEscapesItsMessage) {
+  EXPECT_EQ(protocol::error_reply("boom"),
+            "{\"ok\": false, \"error\": \"boom\"}");
+  // A message quoting attacker text must not break out of the string.
+  EXPECT_EQ(protocol::error_reply("bad '\"}'"),
+            "{\"ok\": false, \"error\": \"bad '\\\"}'\"}");
+  EXPECT_NE(protocol::oversize_reply().find("4096"), std::string::npos);
+}
+
+TEST(Protocol, ReplyToJsonEmitsNullForNonFiniteMetric) {
+  ServeReply r;
+  r.ok = true;
+  r.case_name = "case_with_\"quote";
+  r.tier = "surrogate";
+  r.metrics.push_back(
+      {"q_overflow", std::numeric_limits<double>::infinity(), "W/m^2"});
+  const std::string out = protocol::reply_to_json(r);
+  EXPECT_NE(out.find("\"value\": null"), std::string::npos);
+  EXPECT_NE(out.find("case_with_\\\"quote"), std::string::npos);
+}
+
+// ---------- tokenize ----------
+
+TEST(Protocol, TokenizeSplitsOnAnyWhitespace) {
+  const auto t = protocol::tokenize("  query\tshuttle  v=5000\r");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "query");
+  EXPECT_EQ(t[1], "shuttle");
+  EXPECT_EQ(t[2], "v=5000");
+  EXPECT_TRUE(protocol::tokenize("").empty());
+  EXPECT_TRUE(protocol::tokenize("   \t  ").empty());
+}
+
+TEST(Protocol, TokenizeStopsOnePastTheCap) {
+  // The cap bounds work AND memory: a line with 10x the cap's tokens
+  // yields exactly kMaxTokens + 1 — enough to prove over-limit, no more.
+  std::string line;
+  for (std::size_t i = 0; i < 10 * protocol::kMaxTokens; ++i) line += "x ";
+  const auto t = protocol::tokenize(line);
+  EXPECT_EQ(t.size(), protocol::kMaxTokens + 1);
+}
+
+// ---------- LineBuffer ----------
+
+TEST(Protocol, LineBufferReassemblesAcrossChunks) {
+  protocol::LineBuffer lb;
+  std::string line;
+  bool over = true;
+  lb.append("que");
+  EXPECT_FALSE(lb.next_line(&line, &over));
+  lb.append("ry one\nsecond li");
+  ASSERT_TRUE(lb.next_line(&line, &over));
+  EXPECT_EQ(line, "query one");
+  EXPECT_FALSE(over);
+  EXPECT_FALSE(lb.next_line(&line, &over));
+  lb.append("ne\n");
+  ASSERT_TRUE(lb.next_line(&line, &over));
+  EXPECT_EQ(line, "second line");
+  EXPECT_FALSE(over);
+}
+
+TEST(Protocol, LineBufferStripsCrlf) {
+  protocol::LineBuffer lb;
+  lb.append("stats\r\nlist\r\n");
+  std::string line;
+  bool over = true;
+  ASSERT_TRUE(lb.next_line(&line, &over));
+  EXPECT_EQ(line, "stats");
+  ASSERT_TRUE(lb.next_line(&line, &over));
+  EXPECT_EQ(line, "list");
+}
+
+TEST(Protocol, LineBufferCapsOversizeLinesAndRecovers) {
+  protocol::LineBuffer lb;
+  // One line far past the cap, fed in chunks, then a normal line: the
+  // oversize line comes out once with overflowed=true and its stored
+  // content capped; the follow-up line is unaffected.
+  const std::string big(protocol::kMaxLineBytes + 5000, 'x');
+  lb.append(big.substr(0, 3000));
+  lb.append(big.substr(3000));
+  lb.append("\nstats\n");
+  std::string line;
+  bool over = false;
+  ASSERT_TRUE(lb.next_line(&line, &over));
+  EXPECT_TRUE(over);
+  EXPECT_LE(line.size(), protocol::kMaxLineBytes);
+  ASSERT_TRUE(lb.next_line(&line, &over));
+  EXPECT_EQ(line, "stats");
+  EXPECT_FALSE(over);
+  EXPECT_FALSE(lb.next_line(&line, &over));
+}
+
+TEST(Protocol, LineBufferFinishFlushesUnterminatedTail) {
+  protocol::LineBuffer lb;
+  std::string line;
+  bool over = true;
+  EXPECT_FALSE(lb.finish(&line, &over));  // nothing pending
+  lb.append("no newline here");
+  ASSERT_TRUE(lb.finish(&line, &over));
+  EXPECT_EQ(line, "no newline here");
+  EXPECT_FALSE(over);
+  EXPECT_FALSE(lb.finish(&line, &over));  // flushed exactly once
+
+  // An unterminated tail past the cap still reports its overflow.
+  protocol::LineBuffer lb2;
+  lb2.append(std::string(protocol::kMaxLineBytes + 100, 'y'));
+  ASSERT_TRUE(lb2.finish(&line, &over));
+  EXPECT_TRUE(over);
+  EXPECT_LE(line.size(), protocol::kMaxLineBytes);
+}
+
+// ---------- handle_line against a hermetic server ----------
+
+// Mirrors the fuzz_serve_line harness: full-solve tier off, one analytic
+// surrogate registered over the shuttle_stag_point identity so the
+// tier-0 path answers real queries in ~ns.
+struct ProtocolServerFixture {
+  Server server;
+
+  ProtocolServerFixture() : server(options()) {
+    const Case* base = find_scenario("shuttle_stag_point");
+    if (base == nullptr) return;
+    SurrogateMeta meta;
+    meta.planet = base->planet;
+    meta.gas = base->gas;
+    meta.family = base->family;
+    meta.nose_radius_m = base->vehicle.nose_radius;
+    meta.wall_temperature_K = base->wall_temperature_K;
+    meta.angle_of_attack_rad = base->angle_of_attack_rad;
+    meta.base_case = base->name;
+    SurrogateDomain dom;
+    dom.velocity_min_mps = 1000.0;
+    dom.velocity_max_mps = 12000.0;
+    dom.n_velocity = 6;
+    dom.altitude_min_m = 10000.0;
+    dom.altitude_max_m = 90000.0;
+    dom.n_altitude = 6;
+    const auto truth = [](double v, double a) {
+      return std::array<double, 4>{1e4 * std::sqrt(v / 1e3),
+                                   50.0 * v / 1e3, 1500.0 + v / 10.0,
+                                   101325.0 * std::exp(-a / 7000.0)};
+    };
+    register_surrogate(std::make_shared<const SurrogateTable>(
+        build_surrogate(meta, dom, truth)));
+  }
+  ~ProtocolServerFixture() { clear_surrogates(); }
+
+  static ServerOptions options() {
+    ServerOptions opt;
+    opt.threads = 1;
+    opt.allow_solve = false;
+    return opt;
+  }
+
+  std::string reply(const std::string& line) {
+    std::string out;
+    protocol::handle_line(server, line, &out);
+    return out;
+  }
+};
+
+TEST(Protocol, HandleLineControlFlow) {
+  ProtocolServerFixture fx;
+  std::string out;
+  EXPECT_EQ(protocol::handle_line(fx.server, "", &out),
+            protocol::LineAction::kReply);
+  EXPECT_TRUE(out.empty());  // blank line: no reply at all
+  EXPECT_EQ(protocol::handle_line(fx.server, "quit", &out),
+            protocol::LineAction::kQuit);
+  EXPECT_EQ(protocol::handle_line(fx.server, "stop", &out),
+            protocol::LineAction::kStop);
+  EXPECT_EQ(protocol::handle_line(fx.server, "bogus", &out),
+            protocol::LineAction::kReply);
+  EXPECT_NE(out.find("unknown command 'bogus'"), std::string::npos);
+}
+
+TEST(Protocol, HandleLineServesSurrogateQueryWithSolveDisabled) {
+  ProtocolServerFixture fx;
+  const std::string out =
+      fx.reply("query shuttle_stag_point v=5000 alt=60000");
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"tier\": \"surrogate\""), std::string::npos) << out;
+}
+
+TEST(Protocol, HandleLineGatesTheFullSolveTier) {
+  ProtocolServerFixture fx;
+  const std::string out =
+      fx.reply("query shuttle_stag_point v=5000 alt=60000 tier=smoke");
+  EXPECT_NE(out.find("\"ok\": false"), std::string::npos) << out;
+  EXPECT_NE(out.find("full-solve tier disabled"), std::string::npos) << out;
+}
+
+TEST(Protocol, HandleLineRejectsMalformedQueries) {
+  ProtocolServerFixture fx;
+  EXPECT_NE(fx.reply("query").find("needs a scenario name"),
+            std::string::npos);
+  EXPECT_NE(fx.reply("query no_such_case").find("unknown scenario"),
+            std::string::npos);
+  // Non-finite and out-of-range numbers get the one-line bounded-parse
+  // error, never a solve attempt.
+  EXPECT_NE(fx.reply("query shuttle_stag_point v=1e999")
+                .find("bad v='1e999' (finite m/s in [1, 1e6])"),
+            std::string::npos);
+  EXPECT_NE(fx.reply("query shuttle_stag_point alt=nan")
+                .find("bad alt='nan'"),
+            std::string::npos);
+  EXPECT_NE(fx.reply("query shuttle_stag_point v=").find("bad v=''"),
+            std::string::npos);
+  EXPECT_NE(fx.reply("query shuttle_stag_point =5").find("bad query option"),
+            std::string::npos);
+  EXPECT_NE(fx.reply("query shuttle_stag_point warp=9")
+                .find("unknown query option"),
+            std::string::npos);
+}
+
+TEST(Protocol, HandleLineEnforcesLineAndTokenCaps) {
+  ProtocolServerFixture fx;
+  const std::string big(protocol::kMaxLineBytes + 1, 'x');
+  EXPECT_NE(fx.reply(big).find("request line exceeds 4096 bytes"),
+            std::string::npos);
+  std::string many = "query";
+  for (std::size_t i = 0; i < protocol::kMaxTokens + 4; ++i) many += " t";
+  EXPECT_NE(fx.reply(many).find("request line exceeds 64 tokens"),
+            std::string::npos);
+}
+
+TEST(Protocol, HandleLineListsScenarios) {
+  ProtocolServerFixture fx;
+  const std::string out = fx.reply("list");
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(out.find("shuttle_stag_point"), std::string::npos);
+}
+
+}  // namespace

@@ -212,6 +212,34 @@ TEST(Serve, LadderServesSurrogateThenFallsBackOffTable) {
   EXPECT_EQ(s.errors, 0u);
 }
 
+TEST(Serve, DisabledSolveTierAnswersWithErrorNotSolve) {
+  // ServerOptions::allow_solve = false gates only the full-solve rung:
+  // surrogate and correlation requests still serve, but anything that
+  // would reach the hierarchy gets an error reply (the hermetic mode the
+  // protocol tests and fuzz_serve_line run the server in).
+  const RegistryCleaner cleaner;
+  scenario::register_surrogate(anchor_table());
+  scenario::ServerOptions opt;
+  opt.threads = 2;
+  opt.allow_solve = false;
+  scenario::Server server(opt);
+
+  const auto r1 = server.serve(anchor_case());
+  ASSERT_TRUE(r1.ok) << r1.error;
+  EXPECT_EQ(r1.tier, "surrogate");
+
+  scenario::Case full = anchor_case();
+  full.fidelity = scenario::Fidelity::kSmoke;  // explicit truth request
+  const auto r2 = server.serve(full);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_NE(r2.error.find("full-solve tier disabled"), std::string::npos)
+      << r2.error;
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.served_solve, 0u);
+  EXPECT_EQ(s.errors, 1u);
+}
+
 TEST(Serve, ExplicitFullFidelityRequestIsNeverDowngraded) {
   const RegistryCleaner cleaner;
   scenario::register_surrogate(anchor_table());  // would cover the state

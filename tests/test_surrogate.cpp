@@ -8,12 +8,14 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "core/error.hpp"
 #include "io/binary.hpp"
@@ -329,6 +331,283 @@ TEST(Surrogate, LegacyV1RecordLoadsWithStagnationIdentity) {
   const auto a = loaded.query(5000.0, 60000.0);
   EXPECT_DOUBLE_EQ(a.q_conv_W_m2, 10.0);
   EXPECT_DOUBLE_EQ(a.q_conv_err_W_m2, 0.5);
+}
+
+// ---------- corrupt records (hermetic, MemoryWriter + load_memory) -----
+
+// Field-by-field v2 record builder: the default spec is a VALID minimal
+// record (ValidCraftedV2RecordLoads proves it), so each corrupt variant
+// below fails for exactly the mutation it applies.
+struct V2RecordSpec {
+  std::uint64_t planet = 0, gas = 0, family = 0;
+  double nose_radius = 0.3, wall_temp = 1000.0, aoa = 0.0;
+  std::string base_case = "crafted_v2";
+  std::uint64_t nv = 2, na = 2;
+  double vmin = 3000.0, vmax = 7500.0;
+  double amin = 45000.0, amax = 75000.0;
+  double node = 10.0, bound = 0.5;
+  bool write_payload = true;
+
+  std::string bytes() const {
+    io::MemoryWriter w;
+    w.write_magic("CATSURR2");
+    w.write_u64(planet);
+    w.write_u64(gas);
+    w.write_u64(family);
+    w.write_f64(nose_radius);
+    w.write_f64(wall_temp);
+    w.write_f64(aoa);
+    w.write_string(base_case);
+    w.write_u64(nv);
+    w.write_u64(na);
+    w.write_f64(vmin);
+    w.write_f64(vmax);
+    w.write_f64(amin);
+    w.write_f64(amax);
+    if (write_payload) {
+      for (std::size_t ch = 0; ch < scenario::SurrogateTable::kNChannels;
+           ++ch) {
+        for (std::uint64_t k = 0; k < nv * na; ++k) w.write_f64(node);
+        for (std::uint64_t k = 0; k < (nv - 1) * (na - 1); ++k)
+          w.write_f64(bound);
+      }
+    }
+    return w.bytes();
+  }
+};
+
+// Same for the legacy CATSURR1 layout (no family/attitude fields).
+struct V1RecordSpec {
+  std::uint64_t planet = 0, gas = 0;
+  double nose_radius = 0.3, wall_temp = 1000.0;
+  std::string base_case = "crafted_v1";
+  std::uint64_t nv = 2, na = 2;
+  double vmin = 3000.0, vmax = 7500.0;
+  double amin = 45000.0, amax = 75000.0;
+  double node = 10.0, bound = 0.5;
+  bool write_payload = true;
+
+  std::string bytes() const {
+    io::MemoryWriter w;
+    w.write_magic("CATSURR1");
+    w.write_u64(planet);
+    w.write_u64(gas);
+    w.write_f64(nose_radius);
+    w.write_f64(wall_temp);
+    w.write_string(base_case);
+    w.write_u64(nv);
+    w.write_u64(na);
+    w.write_f64(vmin);
+    w.write_f64(vmax);
+    w.write_f64(amin);
+    w.write_f64(amax);
+    if (write_payload) {
+      for (std::size_t ch = 0; ch < scenario::SurrogateTable::kNChannels;
+           ++ch) {
+        for (std::uint64_t k = 0; k < nv * na; ++k) w.write_f64(node);
+        for (std::uint64_t k = 0; k < (nv - 1) * (na - 1); ++k)
+          w.write_f64(bound);
+      }
+    }
+    return w.bytes();
+  }
+};
+
+scenario::SurrogateTable load_mem(const std::string& record) {
+  const std::vector<unsigned char> bytes(record.begin(), record.end());
+  return scenario::SurrogateTable::load_memory(bytes, "<crafted>");
+}
+
+// The corrupt-record oracle (same contract the fuzz harness enforces):
+// a malformed record may throw cat::Error and nothing else. In
+// particular std::invalid_argument — the API-misuse exception the table
+// constructor raises — must never escape on a byte-stream problem.
+void expect_rejected(const std::string& record, const char* label) {
+  try {
+    load_mem(record);
+    FAIL() << label << ": corrupt record was accepted";
+  } catch (const Error&) {
+    // The only acceptable outcome.
+  } catch (const std::exception& e) {
+    FAIL() << label << ": wrong exception type escaped: " << e.what();
+  }
+}
+
+TEST(Surrogate, ValidCraftedV2RecordLoads) {
+  const auto t = load_mem(V2RecordSpec{}.bytes());
+  EXPECT_EQ(t.meta().base_case, "crafted_v2");
+  EXPECT_EQ(t.domain().n_velocity, 2u);
+  EXPECT_EQ(t.domain().n_altitude, 2u);
+  const auto a = t.query(5000.0, 60000.0);
+  EXPECT_DOUBLE_EQ(a.q_conv_W_m2, 10.0);
+  EXPECT_DOUBLE_EQ(a.q_conv_err_W_m2, 0.5);
+}
+
+TEST(Surrogate, CorruptV2RecordsThrowErrorOnly) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // Degenerate grids: fewer than 2 nodes per axis can never bound a cell.
+  {
+    V2RecordSpec s;
+    s.nv = 0;
+    s.na = 0;
+    s.write_payload = false;
+    expect_rejected(s.bytes(), "n_velocity = n_altitude = 0");
+  }
+  {
+    V2RecordSpec s;
+    s.nv = 1;
+    expect_rejected(s.bytes(), "n_velocity = 1");
+  }
+  {
+    V2RecordSpec s;
+    s.na = 1;
+    expect_rejected(s.bytes(), "n_altitude = 1");
+  }
+
+  // The fuzz-found hazard class: a header claiming a huge grid over a
+  // tiny payload must be rejected BEFORE any allocation is sized by it.
+  {
+    V2RecordSpec s;
+    s.nv = 60000;
+    s.na = 60000;
+    s.write_payload = false;
+    expect_rejected(s.bytes(), "huge dims over empty payload");
+  }
+
+  // Malformed flight domains.
+  {
+    V2RecordSpec s;
+    s.vmin = nan;
+    expect_rejected(s.bytes(), "NaN velocity_min");
+  }
+  {
+    V2RecordSpec s;
+    s.vmin = 7500.0;
+    s.vmax = 3000.0;
+    expect_rejected(s.bytes(), "inverted velocity axis");
+  }
+  {
+    V2RecordSpec s;
+    s.amin = s.amax = 60000.0;
+    expect_rejected(s.bytes(), "zero-width altitude axis");
+  }
+  {
+    V2RecordSpec s;
+    s.vmin = -100.0;
+    expect_rejected(s.bytes(), "non-positive velocity_min");
+  }
+
+  // Non-finite / negative payload values.
+  {
+    V2RecordSpec s;
+    s.node = nan;
+    expect_rejected(s.bytes(), "NaN node value");
+  }
+  {
+    V2RecordSpec s;
+    s.bound = nan;
+    expect_rejected(s.bytes(), "NaN deviation bound");
+  }
+  {
+    V2RecordSpec s;
+    s.bound = -0.5;
+    expect_rejected(s.bytes(), "negative deviation bound");
+  }
+
+  // Non-finite identity fields and unknown enum tags.
+  {
+    V2RecordSpec s;
+    s.nose_radius = nan;
+    expect_rejected(s.bytes(), "NaN nose radius");
+  }
+  {
+    V2RecordSpec s;
+    s.planet = 99;
+    expect_rejected(s.bytes(), "unknown planet tag");
+  }
+  {
+    V2RecordSpec s;
+    s.family = 99;
+    expect_rejected(s.bytes(), "unknown solver family tag");
+  }
+}
+
+TEST(Surrogate, TruncatedV2RecordRejectedAtEveryCut) {
+  // Chopping a valid record anywhere must throw Error — never serve a
+  // half table, never read past the buffer (ASan would catch the latter).
+  const std::string full = V2RecordSpec{}.bytes();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, std::size_t{8},
+                          std::size_t{40}, full.size() / 2,
+                          full.size() - 1}) {
+    expect_rejected(full.substr(0, cut), "truncated v2 record");
+  }
+}
+
+TEST(Surrogate, CorruptV1RecordsThrowErrorOnly) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // The degenerate-grid regression must hold on the legacy path too:
+  // v1 records share the dimension checks with v2.
+  {
+    V1RecordSpec s;
+    s.nv = 0;
+    s.write_payload = false;
+    expect_rejected(s.bytes(), "v1 n_velocity = 0");
+  }
+  {
+    V1RecordSpec s;
+    s.na = 1;
+    expect_rejected(s.bytes(), "v1 n_altitude = 1");
+  }
+  {
+    V1RecordSpec s;
+    s.nv = 60000;
+    s.na = 60000;
+    s.write_payload = false;
+    expect_rejected(s.bytes(), "v1 huge dims over empty payload");
+  }
+  {
+    V1RecordSpec s;
+    s.planet = 99;
+    expect_rejected(s.bytes(), "v1 unknown planet tag");
+  }
+  {
+    V1RecordSpec s;
+    s.amin = nan;
+    expect_rejected(s.bytes(), "v1 NaN altitude_min");
+  }
+  {
+    const std::string full = V1RecordSpec{}.bytes();
+    expect_rejected(full.substr(0, full.size() / 2),
+                    "v1 truncated payload");
+  }
+  // And the valid default still loads, so the rejections above are real.
+  const auto t = load_mem(V1RecordSpec{}.bytes());
+  EXPECT_EQ(t.meta().family, scenario::SolverFamily::kStagnationPoint);
+}
+
+TEST(Surrogate, LoadMemoryMatchesFileLoad) {
+  // The span-backed and file-backed loaders run the same parser: a saved
+  // table read back through either path serves identical answers.
+  const auto table = build_analytic(5);
+  const std::string path = "surrogate_load_memory_test.bin";
+  table.save(path);
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  const auto from_file = scenario::SurrogateTable::load(path);
+  std::remove(path.c_str());
+  const auto from_mem = load_mem(bytes);
+
+  EXPECT_EQ(from_mem.meta().base_case, from_file.meta().base_case);
+  EXPECT_EQ(from_mem.n_cells(), from_file.n_cells());
+  const auto a = from_file.query(5200.0, 61000.0);
+  const auto b = from_mem.query(5200.0, 61000.0);
+  EXPECT_EQ(a.q_conv_W_m2, b.q_conv_W_m2);
+  EXPECT_EQ(a.t_stag_err_K, b.t_stag_err_K);
 }
 
 // ---------- against the real hierarchy ----------

@@ -32,6 +32,8 @@ inline bool try_parse_size(const std::string& text, std::size_t min,
   if (text[0] == '-' || text[0] == '+') return false;
   errno = 0;
   char* end = nullptr;
+  // cat-lint: untrusted-ok(this IS the bounded integer-parsing primitive:
+  // full consumption, ERANGE, and range checks follow)
   const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
   if (errno == ERANGE || end != text.c_str() + text.size()) return false;
   if (v < min || v > max) return false;
@@ -40,12 +42,16 @@ inline bool try_parse_size(const std::string& text, std::size_t min,
 }
 
 /// Parse \p text as a finite double in [\p min, \p max] with full string
-/// consumption.
+/// consumption. Non-finite inputs are rejected however they are spelled:
+/// overflowing literals like `1e999` (ERANGE and/or an infinite result)
+/// and the `inf`/`nan` spellings strtod itself accepts all return false.
 inline bool try_parse_double(const std::string& text, double min, double max,
                              double* out) {
   if (text.empty()) return false;
   errno = 0;
   char* end = nullptr;
+  // cat-lint: untrusted-ok(this IS the bounded double-parsing primitive:
+  // full consumption, ERANGE, and finite/range checks follow)
   const double v = std::strtod(text.c_str(), &end);
   if (errno == ERANGE || end != text.c_str() + text.size()) return false;
   if (!std::isfinite(v) || v < min || v > max) return false;
@@ -72,8 +78,8 @@ inline double parse_double_arg(const char* flag, const std::string& text,
   double v = 0.0;
   if (!try_parse_double(text, min, max, &v)) {
     std::fprintf(stderr,
-                 "error: %s expects a number in [%g, %g], got '%s'\n", flag,
-                 min, max, text.c_str());
+                 "error: %s expects a finite number in [%g, %g], got '%s'\n",
+                 flag, min, max, text.c_str());
     std::exit(1);
   }
   return v;

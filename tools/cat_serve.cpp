@@ -1,6 +1,9 @@
 // cat_serve — the serving front: a line-oriented request/response shell
 // over scenario::Server (sharded result cache, request coalescing, async
 // bounded job queue, surrogate -> correlation -> full-solve fallback).
+// The protocol itself (tokenizing, dispatch, JSON replies, line caps)
+// lives in src/scenario/protocol.{hpp,cpp}; this file is only the
+// stdio/TCP plumbing plus argument parsing.
 //
 //   cat_serve --tables data                      # stdio front (default)
 //   cat_serve --tables data --port 7457          # TCP front on 127.0.0.1
@@ -14,17 +17,22 @@
 //   quit            -> close this session (stdio: exit; tcp: drop conn)
 //   stop            -> tcp only: shut the whole server down
 //
+// Request lines are untrusted: length and token count are capped
+// (protocol::kMaxLineBytes / kMaxTokens), an oversize line gets one
+// structured error reply instead of being misparsed as fragments, and
+// buffer memory per session is bounded whatever the peer sends.
+//
 // Query responses carry no timing, so a response stream is byte-identical
 // for any --threads value — the determinism contract the smoke tests pin.
 //
 // Exit code 0 on clean shutdown, 1 on usage/setup errors.
 
-#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
-#include <vector>
+#include <string_view>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CAT_SERVE_HAVE_SOCKETS 1
@@ -35,10 +43,11 @@
 #endif
 
 #include "arg_parse.hpp"
-#include "scenario/registry.hpp"
+#include "scenario/protocol.hpp"
 #include "scenario/server.hpp"
 
 using namespace cat;
+namespace protocol = cat::scenario::protocol;
 
 namespace {
 
@@ -53,191 +62,56 @@ void print_usage() {
       "  --timeout S         per-request timeout seconds (default 60)\n"
       "  --shards N          cache shard count (default 8)\n"
       "  --queue N           bounded job-queue capacity (default 64)\n"
+      "  --no-solve          disable the full-solve tier (fast tiers only)\n"
       "protocol: query <scenario> [v=MPS] [alt=M] [tier=T] | list | stats\n"
       "          | quit | stop\n");
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default: out += ch; break;
-    }
+/// Drive one input chunk through the session's LineBuffer, answering
+/// every completed line. Returns kReply while the session stays open.
+protocol::LineAction pump_lines(scenario::Server& server,
+                                protocol::LineBuffer& lb,
+                                std::string_view chunk,
+                                const std::function<bool(const std::string&)>&
+                                    send) {
+  lb.append(chunk);
+  std::string line, reply;
+  bool overflowed = false;
+  while (lb.next_line(&line, &overflowed)) {
+    protocol::LineAction action = protocol::LineAction::kReply;
+    if (overflowed)
+      reply = protocol::oversize_reply();
+    else
+      action = protocol::handle_line(server, line, &reply);
+    if (action != protocol::LineAction::kReply) return action;
+    if (!reply.empty() && !send(reply)) return protocol::LineAction::kQuit;
   }
-  return out;
-}
-
-std::string json_number(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-// The JSON emitters build by append throughout: GCC 12's -Wrestrict
-// misfires (as an error here) on operator+ chains mixing literals with
-// rvalue std::strings.
-std::string error_reply(const std::string& message) {
-  std::string out = "{\"ok\": false, \"error\": \"";
-  out += json_escape(message);
-  out += "\"}";
-  return out;
-}
-
-std::string reply_to_json(const scenario::ServeReply& r) {
-  if (!r.ok) return error_reply(r.error);
-  std::string out = "{\"ok\": true, \"case\": \"";
-  out += json_escape(r.case_name);
-  out += "\", \"tier\": \"";
-  out += r.tier;
-  out += "\", \"cached\": ";
-  out += r.from_cache ? "true" : "false";
-  out += ", \"coalesced\": ";
-  out += r.coalesced ? "true" : "false";
-  out += ", \"metrics\": {";
-  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
-    const auto& m = r.metrics[i];
-    if (i > 0) out += ", ";
-    out += "\"";
-    out += json_escape(m.name);
-    out += "\": {\"value\": ";
-    out += json_number(m.value);
-    out += ", \"unit\": \"";
-    out += json_escape(m.unit);
-    out += "\"}";
-  }
-  out += "}}";
-  return out;
-}
-
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
-      ++i;
-    std::size_t j = i;
-    while (j < line.size() &&
-           !std::isspace(static_cast<unsigned char>(line[j])))
-      ++j;
-    if (j > i) tokens.push_back(line.substr(i, j - i));
-    i = j;
-  }
-  return tokens;
-}
-
-std::string handle_query(scenario::Server& server,
-                         const std::vector<std::string>& tokens) {
-  if (tokens.size() < 2)
-    return error_reply("query needs a scenario name (try: list)");
-  const scenario::Case* base = scenario::find_scenario(tokens[1]);
-  if (base == nullptr)
-    return error_reply("unknown scenario '" + tokens[1] + "' (try: list)");
-  scenario::Case c = *base;
-  c.fidelity = scenario::Fidelity::kSurrogate;  // serve the ladder by default
-  for (std::size_t i = 2; i < tokens.size(); ++i) {
-    const std::string& t = tokens[i];
-    const std::size_t eq = t.find('=');
-    if (eq == std::string::npos || eq == 0)
-      return error_reply("bad query option '" + t +
-                         "' (expected key=value)");
-    const std::string key = t.substr(0, eq), val = t.substr(eq + 1);
-    if (key == "v") {
-      if (!tools::try_parse_double(val, 1.0, 1e6, &c.condition.velocity_mps))
-        return error_reply("bad v='" + val + "' (m/s in [1, 1e6])");
-    } else if (key == "alt") {
-      if (!tools::try_parse_double(val, -500.0, 1e6,
-                                   &c.condition.altitude_m))
-        return error_reply("bad alt='" + val + "' (m in [-500, 1e6])");
-    } else if (key == "tier") {
-      if (val == "surrogate") {
-        c.fidelity = scenario::Fidelity::kSurrogate;
-      } else if (val == "correlation") {
-        c.fidelity = scenario::Fidelity::kCorrelation;
-      } else if (val == "smoke") {
-        c.fidelity = scenario::Fidelity::kSmoke;
-      } else if (val == "nominal") {
-        c.fidelity = scenario::Fidelity::kNominal;
-      } else {
-        return error_reply(
-            "bad tier='" + val +
-            "' (surrogate | correlation | smoke | nominal)");
-      }
-    } else {
-      return error_reply("unknown query option '" + key +
-                         "' (v | alt | tier)");
-    }
-  }
-  return reply_to_json(server.serve(c));
-}
-
-std::string handle_stats(const scenario::Server& server) {
-  const auto s = server.stats();
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "{\"ok\": true, \"requests\": %zu, \"cache_hits\": %zu, "
-                "\"coalesced\": %zu, \"served_surrogate\": %zu, "
-                "\"served_correlation\": %zu, \"served_solve\": %zu, "
-                "\"errors\": %zu, \"timeouts\": %zu}",
-                s.requests, s.cache_hits, s.coalesced, s.served_surrogate,
-                s.served_correlation, s.served_solve, s.errors, s.timeouts);
-  return buf;
-}
-
-enum class LineAction { kReply, kQuit, kStop };
-
-/// Handle one request line; *out is the response ("" = print nothing).
-LineAction handle_line(scenario::Server& server, const std::string& line,
-                       std::string* out) {
-  out->clear();
-  const auto tokens = tokenize(line);
-  if (tokens.empty()) return LineAction::kReply;  // blank line: ignore
-  const std::string& cmd = tokens[0];
-  if (cmd == "quit") return LineAction::kQuit;
-  if (cmd == "stop") return LineAction::kStop;
-  if (cmd == "query") {
-    *out = handle_query(server, tokens);
-  } else if (cmd == "list") {
-    std::string names = "{\"ok\": true, \"scenarios\": [";
-    const auto all = scenario::scenario_names();
-    for (std::size_t i = 0; i < all.size(); ++i) {
-      if (i > 0) names += ", ";
-      names += "\"";
-      names += json_escape(all[i]);
-      names += "\"";
-    }
-    names += "]}";
-    *out = names;
-  } else if (cmd == "stats") {
-    *out = handle_stats(server);
-  } else {
-    // Built by append: GCC 12's -Wrestrict misfires on the equivalent
-    // operator+ chain here.
-    std::string msg = "unknown command '";
-    msg += cmd;
-    msg += "' (query | list | stats | quit | stop)";
-    *out = error_reply(msg);
-  }
-  return LineAction::kReply;
+  return protocol::LineAction::kReply;
 }
 
 int serve_stdio(scenario::Server& server) {
-  std::string line, reply;
+  protocol::LineBuffer lb;
   char buf[4096];
-  while (std::fgets(buf, sizeof buf, stdin) != nullptr) {
-    line.assign(buf);
-    if (!line.empty() && line.back() == '\n') line.pop_back();
-    const auto action = handle_line(server, line, &reply);
-    if (action != LineAction::kReply) break;
-    if (!reply.empty()) {
-      std::fputs(reply.c_str(), stdout);
-      std::fputc('\n', stdout);
-      std::fflush(stdout);
+  const auto send = [](const std::string& reply) {
+    std::fputs(reply.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+    return true;
+  };
+  bool open = true;
+  while (open && std::fgets(buf, sizeof buf, stdin) != nullptr)
+    open = pump_lines(server, lb, buf,
+                      send) == protocol::LineAction::kReply;
+  if (open) {
+    // EOF without a final newline: the trailing bytes are still one line.
+    std::string line, reply;
+    bool overflowed = false;
+    if (lb.finish(&line, &overflowed)) {
+      if (overflowed)
+        reply = protocol::oversize_reply();
+      else
+        protocol::handle_line(server, line, &reply);
+      if (!reply.empty()) send(reply);
     }
   }
   server.shutdown();
@@ -257,6 +131,8 @@ int serve_tcp(scenario::Server& server, std::size_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  // cat-lint: untrusted-ok(sockaddr_in -> sockaddr is the sockets API's
+  // own required cast; no untrusted bytes are reinterpreted)
   if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0 ||
       ::listen(listener, 8) != 0) {
@@ -271,28 +147,24 @@ int serve_tcp(scenario::Server& server, std::size_t port) {
   while (running) {
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) continue;
-    std::FILE* in = ::fdopen(conn, "r");
-    if (in == nullptr) {
-      ::close(conn);
-      continue;
-    }
+    const auto send = [conn](const std::string& reply) {
+      const std::string out = reply + "\n";
+      // Best-effort write: a client that hangs up mid-reply just ends
+      // its own session.
+      return ::write(conn, out.data(), out.size()) >= 0;
+    };
+    protocol::LineBuffer lb;
     char buf[4096];
-    std::string line, reply;
-    while (std::fgets(buf, sizeof buf, in) != nullptr) {
-      line.assign(buf);
-      while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
-        line.pop_back();
-      const auto action = handle_line(server, line, &reply);
-      if (action == LineAction::kStop) running = false;
-      if (action != LineAction::kReply) break;
-      if (!reply.empty()) {
-        reply += '\n';
-        // Best-effort write: a client that hangs up mid-reply just ends
-        // its own session.
-        if (::write(conn, reply.data(), reply.size()) < 0) break;
-      }
+    bool open = true;
+    while (open) {
+      const ssize_t n = ::read(conn, buf, sizeof buf);
+      if (n <= 0) break;
+      const auto action =
+          pump_lines(server, lb, {buf, static_cast<std::size_t>(n)}, send);
+      if (action == protocol::LineAction::kStop) running = false;
+      open = action == protocol::LineAction::kReply;
     }
-    std::fclose(in);  // closes conn
+    ::close(conn);
   }
   ::close(listener);
   server.shutdown();
@@ -344,6 +216,8 @@ int main(int argc, char** argv) {
     } else if (matches("--queue")) {
       opt.queue_capacity =
           tools::parse_size_arg("--queue", value("--queue"), 1, 1u << 20);
+    } else if (arg == "--no-solve") {
+      opt.allow_solve = false;
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
